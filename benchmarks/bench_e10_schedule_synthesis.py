@@ -1,0 +1,95 @@
+"""E10 — supporting study: schedule synthesis and buffer sizing.
+
+Not a paper figure, but the classic SDF syntheses DESIGN.md layers on
+the PASS machinery: single-appearance looped schedules and minimal
+buffer capacities — and their agreement with the MoCCML execution
+(minimized buffers keep the woven execution model deadlock-free).
+"""
+
+import pytest
+
+from repro.engine import explore
+from repro.sdf import (
+    SdfBuilder,
+    build_execution_model,
+    loop_notation,
+    minimal_buffer_capacities,
+    pass_schedule,
+    single_appearance_schedule,
+)
+from repro.sdf.schedules import apply_capacities, render_looped
+
+
+def spectrum_graph(capacity=16):
+    builder = SdfBuilder("spectrum")
+    builder.agent("adc")
+    builder.agent("frame")
+    builder.agent("fft")
+    builder.agent("avg")
+    builder.connect("adc", "frame", push=1, pop=4, capacity=capacity)
+    builder.connect("frame", "fft", push=1, pop=1, capacity=capacity)
+    builder.connect("fft", "avg", push=1, pop=2, capacity=capacity)
+    return builder.build()
+
+
+class TestSynthesis:
+    def test_single_appearance_schedule(self):
+        _model, app = spectrum_graph()
+        schedule = single_appearance_schedule(app)
+        assert render_looped(schedule) == "(8 adc) (2 frame) (2 fft) avg"
+
+    def test_pass_loop_notation(self):
+        _model, app = spectrum_graph()
+        flat = pass_schedule(app)
+        text = loop_notation(flat)
+        print(f"\nPASS (run-length): {text}")
+        assert "adc" in text
+
+    def test_minimal_buffers_keep_mocc_deadlock_free(self):
+        model, app = spectrum_graph()
+        capacities = minimal_buffer_capacities(app)
+        print(f"\nminimal capacities: {capacities}")
+        assert capacities == {"adc_frame": 4, "frame_fft": 1, "fft_avg": 2}
+        apply_capacities(app, capacities)
+        space = explore(build_execution_model(model).execution_model,
+                        max_states=50_000)
+        assert not space.truncated
+        assert space.is_deadlock_free()
+
+    def test_below_minimal_deadlocks(self):
+        model, app = spectrum_graph()
+        capacities = minimal_buffer_capacities(app)
+        capacities["adc_frame"] -= 1  # starve the framer
+        apply_capacities(app, capacities)
+        assert pass_schedule(app, bounded=True) is None
+        space = explore(build_execution_model(model).execution_model,
+                        max_states=50_000)
+        assert not space.is_deadlock_free()
+
+
+@pytest.mark.benchmark(group="e10-synthesis")
+def bench_single_appearance(benchmark):
+    _model, app = spectrum_graph()
+    schedule = benchmark(single_appearance_schedule, app)
+    assert len(schedule) == 4
+
+
+@pytest.mark.benchmark(group="e10-synthesis")
+def bench_buffer_sizing(benchmark):
+    _model, app = spectrum_graph()
+    capacities = benchmark(minimal_buffer_capacities, app)
+    assert capacities is not None
+
+
+@pytest.mark.benchmark(group="e10-synthesis")
+def bench_campaign(benchmark):
+    from repro.engine import run_campaign
+    model, _app = spectrum_graph(capacity=6)
+    engine_model = build_execution_model(model).execution_model
+
+    def campaign():
+        return run_campaign(engine_model, steps=25,
+                            watch_events=["avg.start"])
+
+    rows = benchmark.pedantic(campaign, rounds=2, iterations=1)
+    assert {row.policy for row in rows} == {"asap", "minimal", "random"}

@@ -1,0 +1,115 @@
+"""E1 — §II-C worked example and Fig. 3: PlaceConstraint semantics.
+
+Regenerates the boolean step expressions the paper derives for the
+PlaceConstraint automaton and benchmarks their construction/solution.
+Also contrasts the figure's strict guards with the prose's non-strict
+reading (DESIGN.md clarification 2).
+"""
+
+import pytest
+
+from repro.boolalg import iter_models
+from repro.moccml.semantics import AutomatonRuntime
+from repro.sdf.mocc import sdf_library
+
+
+def make_place(variant: str, push=1, pop=1, delay=0, capacity=4):
+    definition = sdf_library(variant).definition_for("PlaceConstraint")
+    return AutomatonRuntime(definition, {
+        "write": "write", "read": "read", "pushRate": push, "popRate": pop,
+        "itsDelay": delay, "itsCapacity": capacity}, label="place")
+
+
+def non_empty_steps(runtime):
+    formula = runtime.step_formula()
+    steps = set()
+    for model in iter_models(formula, over=("write", "read")):
+        step = frozenset(k for k, v in model.items() if v)
+        if step:
+            steps.add(step)
+    return steps
+
+
+def drive_to_size(runtime, size):
+    for _ in range(size):
+        runtime.advance(frozenset({"write"}))
+    assert runtime.variables["size"] == size
+    return runtime
+
+
+class TestPaperFormulas:
+    """The exact §II-C claims, checked (not timed)."""
+
+    def test_write_only_when_empty(self):
+        # "the boolean expression when size is lesser than itsCapacity
+        # minus pushRate is: write ∧ ¬read"
+        runtime = make_place("default", capacity=4)
+        assert non_empty_steps(runtime) == {frozenset({"write"})}
+
+    def test_both_when_partially_filled(self):
+        # "(write ∧ ¬read) ∨ (read ∧ ¬write)"
+        runtime = drive_to_size(make_place("default", capacity=4), 2)
+        assert non_empty_steps(runtime) == {
+            frozenset({"write"}), frozenset({"read"})}
+
+    def test_read_only_when_full(self):
+        runtime = drive_to_size(make_place("default", capacity=4), 4)
+        assert non_empty_steps(runtime) == {frozenset({"read"})}
+
+    def test_strict_vs_default_guard_difference(self):
+        # Fig. 3 verbatim wastes one slot: with capacity 2 and rates 1
+        # the strict automaton refuses the second write
+        default = drive_to_size(make_place("default", capacity=2), 1)
+        strict = make_place("strict", capacity=2)
+        strict.advance(frozenset({"write"}))
+        assert frozenset({"write"}) in non_empty_steps(default)
+        assert frozenset({"write"}) not in non_empty_steps(strict)
+
+    def test_occupancy_table(self):
+        # the full acceptance table over occupancy, both variants
+        def step_names(runtime):
+            return sorted(",".join(sorted(step))
+                          for step in non_empty_steps(runtime))
+
+        rows = []
+        for size in range(5):
+            default = drive_to_size(make_place("default", capacity=4), size)
+            strict_rt = make_place("strict", capacity=4, delay=size)
+            rows.append((size, step_names(default), step_names(strict_rt)))
+        print("\nsize | default steps | strict (Fig. 3 verbatim) steps")
+        for size, default_steps, strict_steps in rows:
+            print(f"  {size}  | {default_steps} | {strict_steps}")
+        assert rows[0][1] == ["write"]
+        assert rows[4][1] == ["read"]
+        assert rows[4][2] == ["read"]
+        # the strict reading refuses the boundary write at size 3
+        assert rows[3][1] == ["read", "write"]
+        assert rows[3][2] == ["read"]
+
+
+class BenchE1:
+    pass
+
+
+@pytest.mark.benchmark(group="e1-place-constraint")
+def bench_step_formula_and_enumeration(benchmark):
+    """Time of one semantic round: formula construction + all-steps."""
+    runtime = drive_to_size(make_place("default", capacity=8), 3)
+
+    def round_trip():
+        return non_empty_steps(runtime)
+
+    steps = benchmark(round_trip)
+    assert steps == {frozenset({"write"}), frozenset({"read"})}
+
+
+@pytest.mark.benchmark(group="e1-place-constraint")
+def bench_advance(benchmark):
+    """Time of committing a step (guard evaluation + actions)."""
+    runtime = make_place("default", capacity=1_000_000)
+
+    def advance_once():
+        runtime.advance(frozenset({"write"}))
+
+    benchmark(advance_once)
+    assert runtime.variables["size"] > 0

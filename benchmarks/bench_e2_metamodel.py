@@ -1,0 +1,160 @@
+"""E2 — Fig. 2: the MoCCML metamodel excerpt.
+
+Rebuilds the metamodel of Fig. 2 inside the metamodeling kernel (the
+meta-meta level: MoCCML as data), instantiates the Fig. 3 automaton as a
+model conforming to it, and checks conformance — the structural rules
+(single initial state, 1..* states, trigger sets) that the paper encodes
+as multiplicities. Benchmarks metamodel construction and conformance
+checking.
+"""
+
+import pytest
+
+from repro.kernel import MetamodelBuilder, Model, check_conformance
+
+
+def build_moccml_metamodel():
+    """Fig. 2, transcribed: the constraint-automata half of MoCCML."""
+    b = MetamodelBuilder("MoCCML")
+    b.metaclass("NamedElement", attributes={"name": "str"}, abstract=True)
+    b.metaclass("RelationLibrary", supertypes=["NamedElement"], references={
+        "declarations": ("ConstraintDeclaration", "many", "containment"),
+        "definitions": ("ConstraintDefinition", "many", "containment"),
+    })
+    b.metaclass("ConstraintDeclaration", supertypes=["NamedElement"],
+                references={
+        "constrainedEvents": ("Event", "many", "containment"),
+    })
+    b.metaclass("ConstraintDefinition", supertypes=["NamedElement"],
+                abstract=True, references={
+        "declaration": ("ConstraintDeclaration", "required"),
+    })
+    b.metaclass("DeclarativeDefinition",
+                supertypes=["ConstraintDefinition"])
+    b.metaclass("ConstraintAutomataDefinition",
+                supertypes=["ConstraintDefinition"], references={
+        "states": ("State", "many", "containment"),
+        "initialState": ("State", "required"),
+        "finalStates": ("State", "many"),
+        "transitions": ("Transition", "many", "containment"),
+        "declBlock": ("DeclarationBlock", "containment"),
+    })
+    b.metaclass("DeclarationBlock", references={
+        "variables": ("Variable", "many", "containment"),
+    })
+    b.metaclass("Event", supertypes=["NamedElement"])
+    b.metaclass("Variable", supertypes=["NamedElement"])
+    b.metaclass("State", supertypes=["NamedElement"])
+    b.metaclass("Transition", references={
+        "source": ("State", "required"),
+        "target": ("State", "required"),
+        "trigger": ("TransitionTrigger", "containment"),
+        "guard": ("Guard", "containment"),
+        "actions": ("Action", "many", "containment"),
+    })
+    b.metaclass("TransitionTrigger", references={
+        "trueTriggers": ("Event", "many"),
+        "falseTriggers": ("Event", "many"),
+    })
+    b.metaclass("Guard", attributes={"expression": "str"})
+    b.metaclass("Action", attributes={"expression": "str"})
+    return b.build()
+
+
+def build_fig3_as_model(metamodel):
+    """The Fig. 3 PlaceConstraint as an instance of the Fig. 2 metamodel."""
+    model = Model(metamodel, "fig3")
+    library = model.create("RelationLibrary", name="SimpleSDFRelationLibrary")
+
+    declaration = metamodel.instantiate("ConstraintDeclaration",
+                                        name="PlaceConstraint")
+    write = metamodel.instantiate("Event", name="write")
+    read = metamodel.instantiate("Event", name="read")
+    declaration.add("constrainedEvents", write)
+    declaration.add("constrainedEvents", read)
+    library.add("declarations", declaration)
+
+    automaton = metamodel.instantiate("ConstraintAutomataDefinition",
+                                      name="PlaceConstraintDef")
+    automaton.set("declaration", declaration)
+    s1 = metamodel.instantiate("State", name="S1")
+    automaton.add("states", s1)
+    automaton.set("initialState", s1)
+    automaton.add("finalStates", s1)
+
+    block = metamodel.instantiate("DeclarationBlock")
+    block.add("variables", metamodel.instantiate("Variable", name="size"))
+    automaton.set("declBlock", block)
+
+    for true_event, false_event, guard_text, action_text in (
+            (write, read, "size <= itsCapacity - pushRate",
+             "size += pushRate"),
+            (read, write, "size >= popRate", "size -= popRate")):
+        transition = metamodel.instantiate("Transition")
+        transition.set("source", s1)
+        transition.set("target", s1)
+        trigger = metamodel.instantiate("TransitionTrigger")
+        trigger.add("trueTriggers", true_event)
+        trigger.add("falseTriggers", false_event)
+        transition.set("trigger", trigger)
+        transition.set("guard", metamodel.instantiate(
+            "Guard", expression=guard_text))
+        transition.add("actions", metamodel.instantiate(
+            "Action", expression=action_text))
+        automaton.add("transitions", transition)
+    library.add("definitions", automaton)
+    return model
+
+
+class TestFig2:
+    def test_metamodel_builds_and_resolves(self):
+        metamodel = build_moccml_metamodel()
+        assert "ConstraintAutomataDefinition" in metamodel
+        automata = metamodel.metaclass("ConstraintAutomataDefinition")
+        assert automata.conforms_to("ConstraintDefinition")
+        assert automata.conforms_to("NamedElement")
+
+    def test_fig3_conforms(self):
+        metamodel = build_moccml_metamodel()
+        model = build_fig3_as_model(metamodel)
+        assert check_conformance(model) == []
+
+    def test_missing_initial_state_detected(self):
+        metamodel = build_moccml_metamodel()
+        model = Model(metamodel, "broken")
+        library = model.create("RelationLibrary", name="L")
+        declaration = metamodel.instantiate("ConstraintDeclaration", name="C")
+        library.add("declarations", declaration)
+        automaton = metamodel.instantiate("ConstraintAutomataDefinition",
+                                          name="D")
+        automaton.set("declaration", declaration)
+        library.add("definitions", automaton)
+        issues = check_conformance(model)
+        assert any("initialState" in issue for issue in issues)
+
+
+@pytest.mark.benchmark(group="e2-metamodel")
+def bench_build_metamodel(benchmark):
+    metamodel = benchmark(build_moccml_metamodel)
+    assert len(metamodel.classes()) == 14
+
+
+@pytest.mark.benchmark(group="e2-metamodel")
+def bench_conformance_check(benchmark):
+    metamodel = build_moccml_metamodel()
+    model = build_fig3_as_model(metamodel)
+    issues = benchmark(check_conformance, model)
+    assert issues == []
+
+
+@pytest.mark.benchmark(group="e2-metamodel")
+def bench_model_roundtrip(benchmark):
+    from repro.kernel import model_from_json, model_to_json
+    metamodel = build_moccml_metamodel()
+    model = build_fig3_as_model(metamodel)
+
+    def roundtrip():
+        return model_from_json(model_to_json(model), metamodel)
+
+    back = benchmark(roundtrip)
+    assert len(back) == len(model)

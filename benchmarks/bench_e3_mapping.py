@@ -1,0 +1,86 @@
+"""E3 — Listing 1 and §III-A: the ECL mapping and its weaving.
+
+Parses the mapping text, weaves it over SigPML models of growing size
+and checks the §III-A claims: one (start, stop, isExecuting) triple per
+Agent, one PlaceConstraint per Place, and the N = 0 collapse (read,
+start, stop, write simultaneous).
+"""
+
+import pytest
+
+from repro.ecl import parse_ecl
+from repro.sdf import SdfBuilder, build_execution_model
+from repro.sdf.mapping import SDF_MAPPING_TEXT
+
+
+def chain_model(n_agents: int, cycles: int = 0):
+    builder = SdfBuilder(f"chain{n_agents}")
+    for index in range(n_agents):
+        builder.agent(f"a{index}", cycles=cycles)
+    for index in range(n_agents - 1):
+        builder.connect(f"a{index}", f"a{index+1}", capacity=2)
+    return builder.build()
+
+
+class TestListing1:
+    def test_mapping_parses(self):
+        document = parse_ecl(SDF_MAPPING_TEXT)
+        agent_context = document.context_for("Agent")
+        assert [d.name for d in agent_context.event_defs] == [
+            "start", "stop", "isExecuting"]
+        place_context = document.context_for("Place")
+        assert place_context.invariants[0].name == "PlaceLimitation"
+
+    def test_every_agent_gets_its_event_triple(self):
+        model, app = chain_model(4)
+        result = build_execution_model(model)
+        for agent in app.get("agents"):
+            for event_name in ("start", "stop", "isExecuting"):
+                assert result.event_of(agent, event_name) \
+                    in result.execution_model.events
+
+    def test_one_place_constraint_per_place(self):
+        model, app = chain_model(5)
+        result = build_execution_model(model)
+        place_constraints = [c for c in result.execution_model.constraints
+                             if "PlaceLimitation" in c.label]
+        assert len(place_constraints) == len(app.get("places")) == 4
+
+    def test_n0_collapse(self):
+        # §III-A: with N = 0, read, start, stop, write are simultaneous
+        model, _app = chain_model(2)
+        result = build_execution_model(model)
+        engine_model = result.execution_model
+        first_steps = engine_model.acceptable_steps()
+        assert len(first_steps) == 1
+        step = first_steps[0]
+        assert {"a0.start", "a0.stop", "a0_a1.out.write"} <= step
+        engine_model.advance(step)
+        second = [s for s in engine_model.acceptable_steps()
+                  if "a1.start" in s]
+        assert all({"a1.start", "a1.stop", "a0_a1.in.read"} <= s
+                   for s in second)
+
+
+def weave_sizes():
+    return [2, 4, 8, 16]
+
+
+@pytest.mark.benchmark(group="e3-mapping")
+@pytest.mark.parametrize("n_agents", weave_sizes())
+def bench_weaving(benchmark, n_agents):
+    """Weaving cost as the model grows (events + constraints generated)."""
+    model, _app = chain_model(n_agents)
+
+    result = benchmark(build_execution_model, model)
+    engine_model = result.execution_model
+    # 3 events/agent + 2 events/place
+    assert len(engine_model.events) == 3 * n_agents + 2 * (n_agents - 1)
+    # 1 AgentExecution/agent + (1 PlaceConstraint + 2 Coincides)/place
+    assert len(engine_model.constraints) == n_agents + 3 * (n_agents - 1)
+
+
+@pytest.mark.benchmark(group="e3-mapping")
+def bench_parse_mapping(benchmark):
+    document = benchmark(parse_ecl, SDF_MAPPING_TEXT)
+    assert len(document.contexts) == 4

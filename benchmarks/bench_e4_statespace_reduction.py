@@ -1,0 +1,79 @@
+"""E4 — §II-C: "there are 2^n possible futures for all steps" and each
+added constraint reduces the set of acceptable schedules.
+
+Regenerates the series: acceptable-step count for n unconstrained events
+(2^n, symbolically counted), then the monotone reduction as constraints
+are conjoined one at a time.
+"""
+
+import pytest
+
+from repro.boolalg import Bdd
+from repro.ccsl import AlternatesRuntime, excludes, subclock
+from repro.engine import ExecutionModel
+
+
+class TestTwoToTheN:
+    @pytest.mark.parametrize("n", [1, 4, 8, 16, 32, 64])
+    def test_unconstrained_count_is_2_to_n(self, n):
+        events = [f"e{i}" for i in range(n)]
+        model = ExecutionModel(events)
+        assert model.count_acceptable_steps(include_empty=True) == 2 ** n
+
+    def test_reduction_series(self):
+        events = ["a", "b", "c", "d"]
+        model = ExecutionModel(events)
+        series = [model.count_acceptable_steps(include_empty=True)]
+        for constraint in (subclock("a", "b"), excludes("b", "c"),
+                           subclock("d", "c"), AlternatesRuntime("a", "d")):
+            model.add_constraint(constraint)
+            series.append(model.count_acceptable_steps(include_empty=True))
+        print(f"\nacceptable steps as constraints are added: {series}")
+        assert series[0] == 16
+        for before, after in zip(series, series[1:]):
+            assert after <= before
+        assert series[-1] < series[0]
+
+    def test_subevent_count(self):
+        # e1 => e2 removes exactly a quarter of the assignments
+        model = ExecutionModel(["e1", "e2"], [subclock("e1", "e2")])
+        assert model.count_acceptable_steps(include_empty=True) == 3
+
+
+@pytest.mark.benchmark(group="e4-futures")
+@pytest.mark.parametrize("n", [8, 32, 128])
+def bench_symbolic_step_count(benchmark, n):
+    """Counting 2^n futures symbolically (BDD sat-count, no enumeration)."""
+    events = [f"e{i}" for i in range(n)]
+    model = ExecutionModel(events)
+
+    count = benchmark(model.count_acceptable_steps)
+    assert count == 2 ** n  # all futures, the empty step included
+
+
+@pytest.mark.benchmark(group="e4-futures")
+def bench_constrained_count(benchmark):
+    """Sat-counting under a conjunction of constraints."""
+    events = [f"e{i}" for i in range(24)]
+    constraints = [subclock(f"e{i}", f"e{i+1}") for i in range(23)]
+    model = ExecutionModel(events, constraints)
+
+    count = benchmark(model.count_acceptable_steps)
+    # chain of implications: models are the 25 upward-closed suffixes
+    # (e_k..e_23 set, for k = 0..23, plus the empty step)
+    assert count == 25
+
+
+@pytest.mark.benchmark(group="e4-futures")
+def bench_bdd_construction(benchmark):
+    """Building the step BDD for a 24-event implication chain."""
+    from repro.boolalg.expr import And, Implies, Var
+    formula = And(*(Implies(Var(f"e{i}"), Var(f"e{i+1}"))
+                    for i in range(23)))
+
+    def build():
+        bdd = Bdd(order=[f"e{i}" for i in range(24)])
+        return bdd, bdd.from_expr(formula)
+
+    bdd, node = benchmark(build)
+    assert bdd.sat_count(node, [f"e{i}" for i in range(24)]) == 25

@@ -1,0 +1,134 @@
+"""E5 — §III claim: "These two constraint automata reproduce the SDF
+semantics".
+
+Cross-validates the MoCCML execution of SDF graphs against classic SDF
+theory (Lee & Messerschmitt) and the token-level baseline simulator:
+
+* firing counts per iteration match the repetition vector;
+* every engine step maps to a firing set the baseline accepts;
+* a PASS exists iff the explored state space reaches a cycle.
+"""
+
+import pytest
+
+from repro.engine import AsapPolicy, RandomPolicy, Simulator, explore
+from repro.engine.analysis import max_cycle_mean_throughput
+from repro.sdf import (
+    SdfBuilder,
+    TokenSimulator,
+    analyze,
+    build_execution_model,
+    repetition_vector,
+)
+
+
+def multirate_graph():
+    builder = SdfBuilder("multirate")
+    builder.agent("a")
+    builder.agent("b")
+    builder.agent("c")
+    builder.connect("a", "b", push=2, pop=1, capacity=4)
+    builder.connect("b", "c", push=1, pop=2, capacity=4)
+    return builder.build()
+
+
+def cyclic_graph(delay: int):
+    builder = SdfBuilder("ring")
+    builder.agent("x")
+    builder.agent("y")
+    builder.connect("x", "y", push=1, pop=1, capacity=2)
+    builder.connect("y", "x", push=1, pop=1, capacity=2, delay=delay)
+    return builder.build()
+
+
+class TestAgreement:
+    def test_firing_ratios_match_repetition_vector(self):
+        model, app = multirate_graph()
+        repetition = repetition_vector(app)
+        result = build_execution_model(model)
+        simulation = Simulator(result.execution_model, AsapPolicy()).run(80)
+        counts = {name: simulation.trace.count(f"{name}.start")
+                  for name in repetition}
+        iterations = min(counts[n] // repetition[n] for n in repetition)
+        assert iterations >= 8
+        for name in repetition:
+            assert abs(counts[name] - iterations * repetition[name]) \
+                <= 2 * repetition[name]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_every_step_is_a_legal_firing_set(self, seed):
+        model, app = multirate_graph()
+        result = build_execution_model(model)
+        simulation = Simulator(result.execution_model,
+                               RandomPolicy(seed=seed)).run(40)
+        baseline = TokenSimulator(app)
+        for step in simulation.trace:
+            fired = frozenset(name.split(".")[0] for name in step
+                              if name.endswith(".start"))
+            if fired:
+                baseline.fire_set(fired)
+
+    def test_deadlock_agreement_on_cycles(self):
+        # no initial token: both PASS and exploration deadlock
+        model, app = cyclic_graph(delay=0)
+        assert analyze(app).deadlock_free is False
+        space = explore(build_execution_model(model).execution_model)
+        assert not space.is_deadlock_free()
+
+        # one initial token: both proceed
+        model, app = cyclic_graph(delay=1)
+        assert analyze(app).deadlock_free is True
+        space = explore(build_execution_model(model).execution_model)
+        assert space.is_deadlock_free()
+
+    def test_throughput_matches_hand_computation(self):
+        # ring with one token: strict alternation x y x y -> 1/2 each
+        model, _app = cyclic_graph(delay=1)
+        space = explore(build_execution_model(model).execution_model)
+        assert max_cycle_mean_throughput(space, "x.start") \
+            == pytest.approx(0.5)
+
+
+@pytest.mark.benchmark(group="e5-sdf")
+def bench_static_analysis(benchmark):
+    _model, app = multirate_graph()
+    info = benchmark(analyze, app)
+    assert info.repetition == {"a": 1, "b": 2, "c": 1}
+
+
+@pytest.mark.benchmark(group="e5-sdf")
+def bench_exploration_multirate(benchmark):
+    model, _app = multirate_graph()
+
+    def explore_once():
+        result = build_execution_model(model)
+        return explore(result.execution_model, max_states=20000)
+
+    space = benchmark.pedantic(explore_once, rounds=3, iterations=1)
+    assert not space.truncated
+    assert space.is_deadlock_free()
+
+
+@pytest.mark.benchmark(group="e5-sdf")
+def bench_asap_simulation(benchmark):
+    model, _app = multirate_graph()
+    result = build_execution_model(model)
+
+    def simulate():
+        return Simulator(result.execution_model.clone(),
+                         AsapPolicy()).run(50)
+
+    simulation = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert simulation.steps_run == 50
+
+
+@pytest.mark.benchmark(group="e5-sdf")
+def bench_baseline_simulation(benchmark):
+    _model, app = multirate_graph()
+
+    def simulate():
+        baseline = TokenSimulator(app)
+        return baseline.run_self_timed(50)
+
+    history = benchmark(simulate)
+    assert len(history) == 50

@@ -1,0 +1,82 @@
+"""E7 — the companion-website PAM study: infinite resources vs. three
+deployments.
+
+Regenerates the study table (state-space size, deadlock freedom, peak
+concurrent firings, steady-state logger throughput, ASAP metrics) and
+asserts the qualitative ordering the paper's conclusion reports: the
+deployment constraints restrict the valid schedules and the actual
+parallelism.
+"""
+
+import pytest
+
+from repro.pam.experiments import (
+    CONFIGURATIONS,
+    format_study,
+    run_deployment_study,
+    study_configuration,
+)
+
+_rows_cache = {}
+
+
+def rows():
+    if "rows" not in _rows_cache:
+        _rows_cache["rows"] = {
+            row.deployment: row
+            for row in run_deployment_study(sim_steps=120)}
+    return _rows_cache["rows"]
+
+
+class TestStudyShape:
+    """The qualitative claims (who wins, where it ranks)."""
+
+    def test_all_configurations_explored_completely(self):
+        for row in rows().values():
+            assert not row.truncated
+            assert row.deadlock_free
+
+    def test_parallelism_ordering(self):
+        data = rows()
+        assert data["mono"].max_concurrent_firings == 1
+        assert (data["mono"].max_concurrent_firings
+                < data["dual"].max_concurrent_firings
+                <= data["quad"].max_concurrent_firings
+                <= data["infinite"].max_concurrent_firings)
+
+    def test_throughput_ordering(self):
+        data = rows()
+        assert (data["mono"].logger_throughput
+                < data["dual"].logger_throughput
+                < data["quad"].logger_throughput
+                < data["infinite"].logger_throughput)
+
+    def test_deployment_restricts_schedules(self):
+        data = rows()
+        # same configuration count but strictly fewer scheduling choices
+        assert data["mono"].transitions < data["infinite"].transitions
+        assert data["dual"].transitions < data["infinite"].transitions
+
+    def test_interconnect_latency_costs_throughput(self):
+        data = rows()
+        # quad reaches the same peak parallelism as infinite but the
+        # link latency keeps its steady-state throughput lower
+        assert (data["quad"].max_concurrent_firings
+                == data["infinite"].max_concurrent_firings)
+        assert data["quad"].logger_throughput \
+            < data["infinite"].logger_throughput
+
+    def test_print_table(self):
+        print("\n" + format_study([rows()[name] for name in CONFIGURATIONS]))
+
+
+@pytest.mark.benchmark(group="e7-pam")
+@pytest.mark.parametrize("configuration", list(CONFIGURATIONS))
+def bench_configuration_study(benchmark, configuration):
+    """Exploration + simulation cost per configuration."""
+
+    def study():
+        return study_configuration(configuration, sim_steps=60)
+
+    row = benchmark.pedantic(study, rounds=1, iterations=1)
+    assert row.deadlock_free

@@ -1,0 +1,81 @@
+"""E8 — §III-A's variation point: the multiport-memory PlaceConstraint.
+
+The paper: "one could add a transition to specify that read and write
+can be done simultaneously (as supported by multiport memories)".
+This ablation measures what that semantic variant buys: additional
+acceptable schedules and better pipeline throughput on tight buffers.
+"""
+
+import pytest
+
+from repro.engine import AsapPolicy, Simulator, explore
+from repro.engine.analysis import max_cycle_mean_throughput
+from repro.sdf import SdfBuilder, build_execution_model
+
+
+def tight_pipeline(capacity=1, length=3):
+    builder = SdfBuilder("tight")
+    for index in range(length):
+        builder.agent(f"a{index}")
+    for index in range(length - 1):
+        builder.connect(f"a{index}", f"a{index+1}", capacity=capacity,
+                        name=f"p{index}")
+    return builder.build()
+
+
+def spaces(capacity=1, length=3):
+    result = {}
+    for variant in ("default", "multiport"):
+        model, _app = tight_pipeline(capacity, length)
+        woven = build_execution_model(model, place_variant=variant)
+        result[variant] = explore(woven.execution_model, max_states=20000)
+    return result
+
+
+class TestAblation:
+    def test_multiport_admits_more_schedules(self):
+        both = spaces()
+        assert both["multiport"].n_transitions \
+            > both["default"].n_transitions
+        assert both["multiport"].distinct_steps() \
+            > both["default"].distinct_steps()
+
+    def test_multiport_improves_throughput_on_capacity_1(self):
+        both = spaces(capacity=1)
+        sink = "a2.start"
+        default_thr = max_cycle_mean_throughput(both["default"], sink)
+        multiport_thr = max_cycle_mean_throughput(both["multiport"], sink)
+        print(f"\nthroughput(a2), capacity-1 pipeline: "
+              f"default={default_thr:.4f} multiport={multiport_thr:.4f}")
+        assert multiport_thr > default_thr
+
+    def test_variants_agree_when_buffers_are_large(self):
+        # with slack buffers the steady-state throughput converges
+        both = spaces(capacity=4)
+        sink = "a2.start"
+        default_thr = max_cycle_mean_throughput(both["default"], sink)
+        multiport_thr = max_cycle_mean_throughput(both["multiport"], sink)
+        assert default_thr == pytest.approx(multiport_thr)
+
+    def test_asap_trace_reflects_the_gain(self):
+        traces = {}
+        for variant in ("default", "multiport"):
+            model, _app = tight_pipeline(capacity=1)
+            woven = build_execution_model(model, place_variant=variant)
+            traces[variant] = Simulator(
+                woven.execution_model, AsapPolicy()).run(40).trace
+        assert traces["multiport"].count("a2.start") \
+            >= traces["default"].count("a2.start")
+
+
+@pytest.mark.benchmark(group="e8-ablation")
+@pytest.mark.parametrize("variant", ["default", "multiport"])
+def bench_exploration_by_variant(benchmark, variant):
+    model, _app = tight_pipeline(capacity=2, length=3)
+
+    def explore_once():
+        woven = build_execution_model(model, place_variant=variant)
+        return explore(woven.execution_model, max_states=20000)
+
+    space = benchmark.pedantic(explore_once, rounds=3, iterations=1)
+    assert not space.truncated

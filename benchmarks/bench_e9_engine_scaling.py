@@ -1,0 +1,131 @@
+"""E9 — supporting study: engine scaling and solver comparison.
+
+Not a figure of the paper, but the scaling data DESIGN.md calls out:
+how exploration cost grows with model size, and how the BDD enumeration
+compares with DPLL all-SAT on per-step formulas.
+"""
+
+import pytest
+
+from repro.boolalg import Bdd, all_sat
+from repro.engine import AsapPolicy, Simulator, explore
+from repro.sdf import SdfBuilder, build_execution_model
+
+
+def chain(length: int, capacity: int = 1):
+    builder = SdfBuilder(f"chain{length}")
+    for index in range(length):
+        builder.agent(f"a{index}")
+    for index in range(length - 1):
+        builder.connect(f"a{index}", f"a{index+1}", capacity=capacity)
+    return builder.build()
+
+
+class TestScaling:
+    def test_statespace_grows_with_chain_length(self):
+        sizes = []
+        for length in (2, 3, 4):
+            model, _app = chain(length)
+            space = explore(build_execution_model(model).execution_model,
+                            max_states=50000)
+            sizes.append(space.n_states)
+        print(f"\nchain length 2,3,4 -> states {sizes}")
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_bdd_and_dpll_agree_on_step_formulas(self):
+        model, _app = chain(3, capacity=2)
+        engine_model = build_execution_model(model).execution_model
+        formula = engine_model.step_formula()
+        events = engine_model.events
+        bdd = Bdd(order=events)
+        node = bdd.from_expr(formula)
+        bdd_models = {frozenset(k for k, v in m.items() if v)
+                      for m in bdd.iter_models(node, events)}
+        dpll_models = {frozenset(k for k, v in m.items() if v)
+                       for m in all_sat(formula, over=frozenset(events))}
+        assert bdd_models == dpll_models
+
+
+@pytest.mark.benchmark(group="e9-scaling")
+@pytest.mark.parametrize("length", [2, 4, 6])
+def bench_exploration_scaling(benchmark, length):
+    model, _app = chain(length)
+
+    def explore_once():
+        return explore(build_execution_model(model).execution_model,
+                       max_states=100000)
+
+    space = benchmark.pedantic(explore_once, rounds=1, iterations=1)
+    assert not space.truncated
+
+
+@pytest.mark.benchmark(group="e9-scaling")
+@pytest.mark.parametrize("length", [4, 8, 12])
+def bench_simulation_scaling(benchmark, length):
+    model, _app = chain(length, capacity=2)
+    woven = build_execution_model(model)
+
+    def simulate():
+        return Simulator(woven.execution_model.clone(), AsapPolicy()).run(30)
+
+    simulation = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert simulation.steps_run == 30
+
+
+class TestMaximalOnlyAblation:
+    def test_reduction_preserves_peak_parallelism(self):
+        model, _app = chain(4, capacity=2)
+        woven = build_execution_model(model)
+        full = explore(woven.execution_model, max_states=50000)
+        reduced = explore(woven.execution_model, max_states=50000,
+                          maximal_only=True)
+        print(f"\nmaximal-only ablation: full {full.n_states}/"
+              f"{full.n_transitions}, reduced {reduced.n_states}/"
+              f"{reduced.n_transitions}")
+        assert reduced.n_transitions < full.n_transitions
+        assert reduced.max_parallelism() == full.max_parallelism()
+
+
+@pytest.mark.benchmark(group="e9-scaling")
+@pytest.mark.parametrize("maximal_only", [False, True],
+                         ids=["full", "maximal-only"])
+def bench_exploration_reduction(benchmark, maximal_only):
+    """Cost of full vs. maximal-step-only exploration."""
+    model, _app = chain(5, capacity=2)
+
+    def explore_once():
+        return explore(build_execution_model(model).execution_model,
+                       max_states=100000, maximal_only=maximal_only)
+
+    space = benchmark.pedantic(explore_once, rounds=1, iterations=1)
+    assert not space.truncated
+
+
+@pytest.mark.benchmark(group="e9-solvers")
+def bench_bdd_enumeration(benchmark):
+    model, _app = chain(4, capacity=2)
+    engine_model = build_execution_model(model).execution_model
+    formula = engine_model.step_formula()
+    events = engine_model.events
+
+    def enumerate_bdd():
+        bdd = Bdd(order=events)
+        node = bdd.from_expr(formula)
+        return list(bdd.iter_models(node, events))
+
+    models = benchmark(enumerate_bdd)
+    assert models
+
+
+@pytest.mark.benchmark(group="e9-solvers")
+def bench_dpll_enumeration(benchmark):
+    model, _app = chain(4, capacity=2)
+    engine_model = build_execution_model(model).execution_model
+    formula = engine_model.step_formula()
+    events = engine_model.events
+
+    def enumerate_dpll():
+        return list(all_sat(formula, over=frozenset(events)))
+
+    models = benchmark(enumerate_dpll)
+    assert models

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Defining a brand-new MoCC in MoCCML text and running it.
+
+The paper's pitch is that MoCCML is a *meta*-language: a DSL designer
+writes their own constraint automata and declarative definitions instead
+of hard-coding scheduling in a general-purpose language. This example
+plays that designer: it defines a small request/response protocol MoCC —
+an automaton bounding in-flight requests plus a declarative
+Handshake built from kernel relations — and drives two services with it.
+
+Run: python examples/custom_mocc.py
+"""
+
+from repro.ccsl.library import kernel_library
+from repro.engine import ExecutionModel, RandomPolicy, Simulator, explore
+from repro.moccml import LibraryRegistry
+from repro.moccml.text import parse_library
+from repro.moccml.validate import assert_valid_library
+from repro.viz import statespace_report, trace_report
+
+PROTOCOL_LIBRARY = """
+// A MoCC for bounded request/response protocols.
+library ProtocolLibrary {
+  declaration Window(request: event, response: event, max: int)
+  declaration Handshake(req: event, ack: event)
+
+  // sliding window: at most 'max' requests await their response
+  automaton WindowDef implements Window {
+    var inflight: int = 0
+    initial final state Open
+    transition Open -> Open when {request} unless {response} \
+        [inflight < max] / inflight += 1
+    transition Open -> Open when {response} unless {request} \
+        [inflight > 0] / inflight -= 1
+    transition Open -> Open when {request, response} \
+        [inflight > 0 and inflight < max]
+  }
+
+  // strict alternation plus "no ack without a matching request"
+  declarative HandshakeDef implements Handshake {
+    Alternates(req, ack)
+  }
+}
+"""
+
+
+def main() -> None:
+    registry = LibraryRegistry([kernel_library()])
+    library = parse_library(PROTOCOL_LIBRARY)
+    assert_valid_library(library, registry)
+    registry.register(library)
+    print(f"defined {library!r}")
+
+    # two clients sharing a server: each client has a window of 2; the
+    # server acknowledges one request at a time (handshake per client)
+    events = ["c1.req", "c1.ack", "c2.req", "c2.ack"]
+    constraints = [
+        registry.instantiate("Window", ["c1.req", "c1.ack", 2],
+                             label="window(c1)"),
+        registry.instantiate("Window", ["c2.req", "c2.ack", 2],
+                             label="window(c2)"),
+        # server-side exclusion: one ack per step
+        registry.instantiate("Excludes", ["c1.ack", "c2.ack"],
+                             label="server-excl"),
+    ]
+    model = ExecutionModel(events, constraints, name="protocol")
+
+    result = Simulator(model.clone(), RandomPolicy(seed=42)).run(16)
+    print("\n--- random simulation ---")
+    print(trace_report(result.trace))
+
+    space = explore(model)
+    print("\n--- exploration ---")
+    print(statespace_report(space))
+    print("\nEvery schedule keeps at most 2 requests in flight per client "
+          "and never acknowledges both clients in one step.")
+
+
+if __name__ == "__main__":
+    main()

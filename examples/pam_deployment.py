@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The companion-website study: PAM deployments compared.
+
+Models the Passive Acoustic Monitoring chain, then compares the
+infinite-resource configuration with three platform deployments (mono,
+dual, quad) through exhaustive exploration and ASAP simulation — "the
+impact of the different allocations on the valid scheduling of the
+application" (paper conclusion).
+
+Run: python examples/pam_deployment.py        (about a minute)
+"""
+
+from repro.engine import AsapPolicy, Simulator
+from repro.pam import build_pam_application
+from repro.pam.experiments import (
+    build_configuration,
+    format_study,
+    run_deployment_study,
+)
+from repro.viz import sdf_to_dot
+
+
+def main() -> None:
+    _model, app = build_pam_application()
+    print("the PAM application graph (DOT, render with `dot -Tpng`):\n")
+    print(sdf_to_dot(app))
+
+    print("running the four-configuration study "
+          "(exhaustive exploration + ASAP simulation)...\n")
+    rows = run_deployment_study(sim_steps=120)
+    print(format_study(rows))
+
+    print("\nreading the table:")
+    print(" - 'fire||' is the peak number of agents firing in the same")
+    print("   step anywhere in the scheduling state space: 4 with")
+    print("   infinite resources, 1 on the mono-processor (fully")
+    print("   serialized), intermediate on the dual/quad platforms;")
+    print(" - 'thr(log)' is the best steady-state logger throughput over")
+    print("   all schedules (max cycle mean on the state space): the")
+    print("   quad deployment restores peak parallelism but its")
+    print("   interconnect latency still caps throughput below the")
+    print("   infinite-resource bound.")
+
+    print("\nmono-processor trace excerpt (everything serializes):")
+    mono = build_configuration("mono")
+    result = Simulator(mono, AsapPolicy()).run(18)
+    starts = [f"{agent.name}.start" for agent in app.get("agents")]
+    print(result.trace.to_ascii(events=starts))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Concurrency-aware analysis: checking properties of all schedules.
+
+The paper motivates the explicit MoCC with "the effective usage of
+concurrency-aware analysis techniques". This example runs the standard
+finite-state checks over the *complete* scheduling state space of a
+small sensor pipeline:
+
+* safety  — the place never overflows, mutual exclusion holds;
+* reachability — the sink can fire (with a shortest witness schedule);
+* inevitability / leads-to — every source firing is eventually followed
+  by a sink firing, under every acceptable schedule;
+* divergence — which properties break when the MoCC changes.
+
+Run: python examples/property_checking.py
+"""
+
+from repro.deployment import Allocation, Platform, deploy
+from repro.engine import explore
+from repro.engine.properties import (
+    counterexample_path,
+    eventually_reachable,
+    inevitable,
+    leads_to,
+    never,
+    occurs,
+    together,
+)
+from repro.sdf import SdfBuilder, build_execution_model
+
+
+def build_pipeline():
+    builder = SdfBuilder("sensor")
+    builder.agent("sense")
+    builder.agent("proc")
+    builder.agent("log")
+    builder.connect("sense", "proc", capacity=2, name="raw")
+    builder.connect("proc", "log", capacity=2, name="cooked")
+    return builder.build()
+
+
+def main() -> None:
+    model, app = build_pipeline()
+    space = explore(build_execution_model(model).execution_model)
+    print(f"explored {space.n_states} states / "
+          f"{space.n_transitions} transitions (complete: "
+          f"{not space.truncated})\n")
+
+    # -- safety ---------------------------------------------------------
+    # adjacent agents share a place; the base MoCC forbids simultaneous
+    # read/write, so they can never fire in the same step
+    print("safety:")
+    print("  sense and proc never fire together:",
+          never(space, together("sense.start", "proc.start")))
+    print("  sense and log CAN fire together (no shared place):",
+          not never(space, together("sense.start", "log.start")))
+
+    # -- reachability with witness ----------------------------------------
+    print("\nreachability:")
+    print("  the log agent can fire:",
+          eventually_reachable(space, occurs("log.start")))
+    witness = counterexample_path(space, occurs("log.start"))
+    print("  shortest schedule reaching it:")
+    for index, step in enumerate(witness):
+        fired = sorted(e for e in step if e.endswith(".start"))
+        print(f"    step {index}: {fired}")
+
+    # -- liveness ------------------------------------------------------------
+    print("\nliveness (over ALL acceptable schedules):")
+    print("  log firing is inevitable:",
+          inevitable(space, occurs("log.start")))
+    print("  every sense firing leads to a log firing:",
+          leads_to(space, occurs("sense.start"), occurs("log.start")))
+
+    # -- the same checks after deployment --------------------------------------
+    model2, app2 = build_pipeline()
+    platform = Platform("mono")
+    platform.processor("cpu")
+    deployed = deploy(model2, app2, platform, Allocation(
+        {"sense": "cpu", "proc": "cpu", "log": "cpu"}))
+    deployed_space = explore(deployed.execution_model)
+    print("\nafter mono-processor deployment:")
+    print("  sense and log never fire together anymore:",
+          never(deployed_space, together("sense.start", "log.start")))
+    print("  log firing still inevitable:",
+          inevitable(deployed_space, occurs("log.start")))
+    print("\nThe deployment changed the safety landscape (full mutual "
+          "exclusion) while preserving liveness — checked over every "
+          "schedule, not just one simulation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Section III end to end: the SDF MoCC reproduces SDF semantics.
+
+Builds a multirate signal-processing chain, compares the MoCCML
+execution against classic SDF theory (repetition vector, PASS) and
+against the token-level baseline simulator, then shows the semantic
+variation point of §III-A: the multiport-memory PlaceConstraint variant.
+
+Run: python examples/sdf_semantics.py
+"""
+
+from repro.engine import AsapPolicy, Simulator, explore
+from repro.sdf import analyze, build_execution_model, parse_sigpml
+
+APPLICATION = """
+application spectrum {
+  agent source
+  agent fft cycles 2
+  agent detect
+  agent sink
+  place source -> fft push 2 pop 2 capacity 4
+  place fft -> detect push 1 pop 1 capacity 2
+  place detect -> sink push 1 pop 1 capacity 2
+}
+"""
+
+
+def main() -> None:
+    model, app = parse_sigpml(APPLICATION)
+
+    # -- static SDF theory --------------------------------------------------
+    info = analyze(app)
+    print("repetition vector:", info.repetition)
+    print("PASS:", " ".join(info.schedule))
+    print("buffer bounds along the PASS:", info.buffer_bounds)
+
+    # -- MoCCML execution ----------------------------------------------------
+    woven = build_execution_model(model)
+    simulation = Simulator(woven.execution_model.clone(), AsapPolicy()).run(40)
+    trace = simulation.trace
+    print("\nASAP firing counts over 40 steps:")
+    for agent in info.repetition:
+        print(f"  {agent}: {trace.count(f'{agent}.start')}")
+    print("(ratios follow the repetition vector; the fft takes 2 extra "
+          "cycles per firing, visible as isExecuting steps)")
+    print("\ntiming diagram (first 30 steps):")
+    print(trace.to_ascii(
+        events=[f"{a}.start" for a in info.repetition]
+        + ["fft.isExecuting"], width=30))
+
+    # -- cross-validation: token accounting of the trace ----------------------
+    # agents with N > 0 cycles read at start and write at stop, so the
+    # replay tracks the write/read port events directly
+    from repro.sdf.analysis import place_infos
+    tokens = {place.name: place.delay for place in place_infos(app)}
+    for step in trace:
+        for place in place_infos(app):
+            if f"{place.name}.in.read" in step:
+                tokens[place.name] -= place.pop
+            if f"{place.name}.out.write" in step:
+                tokens[place.name] += place.push
+            assert 0 <= tokens[place.name] <= place.capacity, place.name
+    print("\ntoken counts after replaying the MoCCML trace:", tokens)
+    print("every place stayed within [0, capacity] at every step.")
+
+    # -- the variation point: multiport places -------------------------------
+    base_space = explore(build_execution_model(model).execution_model,
+                         max_states=20000)
+    multi_space = explore(
+        build_execution_model(model, place_variant="multiport")
+        .execution_model, max_states=20000)
+    print(f"\nstate space, base variant:      {base_space.n_states} states, "
+          f"{base_space.n_transitions} transitions")
+    print(f"state space, multiport variant: {multi_space.n_states} states, "
+          f"{multi_space.n_transitions} transitions")
+    print("the multiport variant admits strictly more schedules "
+          "(simultaneous read+write on one place).")
+
+
+if __name__ == "__main__":
+    main()

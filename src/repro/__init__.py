@@ -1,0 +1,38 @@
+"""repro — a reproduction of "Towards a Meta-Language for the
+Concurrency Concern in DSLs" (Deantoni et al., DATE 2015).
+
+The package implements the full MoCCML stack:
+
+* :mod:`repro.kernel` — MOF-lite metamodeling (the EMF substitute);
+* :mod:`repro.boolalg` — the boolean/BDD substrate of the semantics;
+* :mod:`repro.moccml` — the meta-language: abstract syntax, textual
+  syntax, validation and operational semantics;
+* :mod:`repro.ccsl` — the CCSL kernel relation library;
+* :mod:`repro.ecl` — the mapping language weaving MoCCs onto DSLs;
+* :mod:`repro.engine` — the generic execution engine (simulation and
+  exhaustive exploration);
+* :mod:`repro.sdf` — the SigPML DSL of Section III with its MoCC;
+* :mod:`repro.deployment` — the platform/deployment extension;
+* :mod:`repro.pam` — the Passive Acoustic Monitoring case study.
+
+Quickstart::
+
+    from repro.sdf import SdfBuilder, build_execution_model
+    from repro.engine import Simulator, AsapPolicy
+
+    b = SdfBuilder("demo")
+    b.agent("producer")
+    b.agent("consumer")
+    b.connect("producer", "consumer", capacity=2)
+    model, app = b.build()
+
+    woven = build_execution_model(model)
+    result = Simulator(woven.execution_model, AsapPolicy()).run(10)
+    print(result.trace.to_ascii())
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,43 @@
+"""Symbolic boolean algebra over event variables.
+
+The formal semantics of MoCCML (paper §II-C) represents every execution
+step as a boolean expression over *E*, a set of boolean variables in
+bijection with the MoCC events; the conjunction of all constraint
+expressions characterizes the acceptable steps. This package provides:
+
+* :mod:`repro.boolalg.expr` — an immutable expression AST with
+  evaluation, substitution and light simplification;
+* :mod:`repro.boolalg.cnf` — CNF conversion (distributive and Tseitin);
+* :mod:`repro.boolalg.sat` — a DPLL solver with all-solution
+  enumeration;
+* :mod:`repro.boolalg.bdd` — a hash-consed reduced ordered BDD package
+  used by the engine to enumerate and count acceptable steps.
+"""
+
+from repro.boolalg.expr import (
+    FALSE,
+    TRUE,
+    And,
+    BExpr,
+    Const,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+    all_assignments,
+    iter_models,
+)
+from repro.boolalg.cnf import to_cnf_clauses, tseitin_clauses
+from repro.boolalg.sat import all_sat, is_satisfiable, solve_one
+from repro.boolalg.bdd import Bdd
+
+__all__ = [
+    "BExpr", "Var", "Const", "Not", "And", "Or", "Implies", "Iff", "Xor",
+    "TRUE", "FALSE",
+    "all_assignments", "iter_models",
+    "to_cnf_clauses", "tseitin_clauses",
+    "is_satisfiable", "solve_one", "all_sat",
+    "Bdd",
+]

@@ -1,0 +1,391 @@
+"""Hash-consed reduced ordered binary decision diagrams.
+
+The engine represents each step's acceptable-event formula as a BDD:
+model enumeration and model counting are then linear in the number of
+solutions/nodes, which is what makes exhaustive exploration of the
+scheduling state space practical (paper §II-C: the execution model is "a
+symbolic representation of all the acceptable schedules").
+
+A :class:`Bdd` instance is a manager owning the unique-node table and a
+variable order. Functions are plain integers (node references), with
+``bdd.zero`` and ``bdd.one`` as terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.boolalg.expr import (
+    BExpr,
+    Var,
+    _And,
+    _Const,
+    _Not,
+    _Or,
+)
+
+
+class Bdd:
+    """A BDD manager with a fixed-on-first-use variable order."""
+
+    def __init__(self, order: Iterable[str] | None = None):
+        #: node storage: index -> (level, low, high); levels 0.. for
+        #: variables, terminals use a level beyond every variable.
+        self._nodes: list[tuple[int, int, int]] = []
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._order: list[str] = []
+        self._levels: dict[str, int] = {}
+        self.zero = self._make_terminal()
+        self.one = self._make_terminal()
+        for name in order or []:
+            self.declare(name)
+
+    # -- variables ------------------------------------------------------------
+
+    def declare(self, name: str) -> int:
+        """Ensure *name* is in the variable order; return its level."""
+        if name not in self._levels:
+            self._levels[name] = len(self._order)
+            self._order.append(name)
+        return self._levels[name]
+
+    @property
+    def order(self) -> list[str]:
+        return list(self._order)
+
+    def var(self, name: str) -> int:
+        """The function of the single variable *name*."""
+        level = self.declare(name)
+        return self._node(level, self.zero, self.one)
+
+    def nvar(self, name: str) -> int:
+        """The function ¬name."""
+        level = self.declare(name)
+        return self._node(level, self.one, self.zero)
+
+    # -- node plumbing -----------------------------------------------------------
+
+    def _make_terminal(self) -> int:
+        index = len(self._nodes)
+        self._nodes.append((-1, -1, -1))
+        return index
+
+    def _level(self, node: int) -> int:
+        if node in (self.zero, self.one):
+            return len(self._order) + 1_000_000  # beyond every variable
+        return self._nodes[node][0]
+
+    def _node(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        existing = self._unique.get(key)
+        if existing is not None:
+            return existing
+        index = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = index
+        return index
+
+    def node_count(self) -> int:
+        """Total nodes allocated by this manager (including terminals)."""
+        return len(self._nodes)
+
+    # -- core operations -----------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: f ? g : h — the universal BDD combinator."""
+        if f == self.one:
+            return g
+        if f == self.zero:
+            return h
+        if g == h:
+            return g
+        if g == self.one and h == self.zero:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(f), self._level(g), self._level(h))
+        f_low, f_high = self._cofactors(f, level)
+        g_low, g_high = self._cofactors(g, level)
+        h_low, h_high = self._cofactors(h, level)
+        low = self.ite(f_low, g_low, h_low)
+        high = self.ite(f_high, g_high, h_high)
+        result = self._node(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> tuple[int, int]:
+        if node in (self.zero, self.one) or self._nodes[node][0] != level:
+            return node, node
+        _lvl, low, high = self._nodes[node]
+        return low, high
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.zero)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, self.one, g)
+
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, self.zero, self.one)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def restrict(self, node: int, assignment: Mapping[str, bool]) -> int:
+        """Fix variables to constants."""
+        fixed = {self._levels[name]: value
+                 for name, value in assignment.items() if name in self._levels}
+        cache: dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current in (self.zero, self.one):
+                return current
+            if current in cache:
+                return cache[current]
+            level, low, high = self._nodes[current]
+            if level in fixed:
+                result = walk(high if fixed[level] else low)
+            else:
+                result = self._node(level, walk(low), walk(high))
+            cache[current] = result
+            return result
+
+        return walk(node)
+
+    def exists(self, node: int, names: Iterable[str]) -> int:
+        """Existential quantification over *names*."""
+        levels = {self._levels[name] for name in names if name in self._levels}
+        cache: dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current in (self.zero, self.one):
+                return current
+            if current in cache:
+                return cache[current]
+            level, low, high = self._nodes[current]
+            low_walked, high_walked = walk(low), walk(high)
+            if level in levels:
+                result = self.apply_or(low_walked, high_walked)
+            else:
+                result = self._node(level, low_walked, high_walked)
+            cache[current] = result
+            return result
+
+        return walk(node)
+
+    # -- building from expressions -----------------------------------------------
+
+    def from_expr(self, expr: BExpr) -> int:
+        """Compile a :class:`~repro.boolalg.expr.BExpr` into a BDD node."""
+        if isinstance(expr, _Const):
+            return self.one if expr.value else self.zero
+        if isinstance(expr, Var):
+            return self.var(expr.name)
+        if isinstance(expr, _Not):
+            return self.apply_not(self.from_expr(expr.operand))
+        if isinstance(expr, _And):
+            result = self.one
+            for arg in expr.args:
+                result = self.apply_and(result, self.from_expr(arg))
+                if result == self.zero:
+                    return result
+            return result
+        if isinstance(expr, _Or):
+            result = self.zero
+            for arg in expr.args:
+                result = self.apply_or(result, self.from_expr(arg))
+                if result == self.one:
+                    return result
+            return result
+        raise TypeError(f"unexpected expression node: {expr!r}")
+
+    # -- model queries ----------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the function at a total assignment."""
+        current = node
+        while current not in (self.zero, self.one):
+            level, low, high = self._nodes[current]
+            name = self._order[level]
+            current = high if assignment.get(name, False) else low
+        return current == self.one
+
+    def sat_count(self, node: int, over: Iterable[str]) -> int:
+        """Number of models over the variable set *over* (must cover the
+        support of *node*)."""
+        names = list(dict.fromkeys(over))
+        for name in names:
+            self.declare(name)
+        levels = sorted(self._levels[name] for name in names)
+        level_index = {level: i for i, level in enumerate(levels)}
+        total_levels = len(levels)
+        support_levels = self._support_levels(node)
+        missing = support_levels - set(levels)
+        if missing:
+            missing_names = [self._order[level] for level in sorted(missing)]
+            raise ValueError(
+                f"sat_count variable set must cover the support; missing "
+                f"{missing_names}")
+        cache: dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            """Models of the sub-function counted over variables at or
+            below the current node's level, scaled at the call site."""
+            if current == self.zero:
+                return 0
+            if current == self.one:
+                return 1
+            if current in cache:
+                return cache[current]
+            level, low, high = self._nodes[current]
+            position = level_index[level]
+            result = 0
+            for child in (low, high):
+                child_models = walk(child)
+                child_level = self._level(child)
+                child_position = (level_index[child_level]
+                                  if child_level in level_index
+                                  else total_levels)
+                gap = child_position - position - 1
+                result += child_models << gap
+            cache[current] = result
+            return result
+
+        top_level = self._level(node)
+        top_position = (level_index[top_level]
+                        if top_level in level_index else total_levels)
+        return walk(node) << top_position
+
+    def _support_levels(self, node: int) -> set[int]:
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in (self.zero, self.one) or current in seen:
+                continue
+            seen.add(current)
+            level, low, high = self._nodes[current]
+            levels.add(level)
+            stack.extend((low, high))
+        return levels
+
+    def support(self, node: int) -> frozenset[str]:
+        """Variable names the function actually depends on."""
+        return frozenset(self._order[level]
+                         for level in self._support_levels(node))
+
+    def max_true_model(self, node: int,
+                       over: Iterable[str]) -> dict[str, bool] | None:
+        """A model maximizing the number of true variables over *over*.
+
+        Returns None when the function is unsatisfiable. Deterministic:
+        ties prefer the high (true) branch, then the low branch. Used by
+        the engine's ASAP policy to pick a maximal step without
+        enumerating every model.
+        """
+        if node == self.zero:
+            return None
+        names = list(dict.fromkeys(over))
+        for name in names:
+            self.declare(name)
+        levels = sorted(self._levels[name] for name in names)
+        position_of = {level: i for i, level in enumerate(levels)}
+        total = len(levels)
+        missing = self._support_levels(node) - set(levels)
+        if missing:
+            missing_names = [self._order[level] for level in sorted(missing)]
+            raise ValueError(
+                f"max_true_model variable set must cover the support; "
+                f"missing {missing_names}")
+
+        def position(of_node: int) -> int:
+            level = self._level(of_node)
+            return position_of.get(level, total)
+
+        # best[node] = (true-count below node incl. free gaps, value, child)
+        best: dict[int, tuple[int, bool, int]] = {}
+
+        def walk(current: int) -> int:
+            """Max true-count achievable from *current* (its own level
+            onwards); free gaps below children count fully as true."""
+            if current == self.one:
+                return 0
+            if current in best:
+                return best[current][0]
+            _level, low, high = self._nodes[current]
+            p = position(current)
+            candidates: list[tuple[int, bool, int]] = []
+            for value, child in ((True, high), (False, low)):
+                if child == self.zero:
+                    continue
+                gap = position(child) - p - 1
+                tail = total - position(child) if child == self.one else 0
+                score = walk(child) + gap + tail + (1 if value else 0)
+                candidates.append((score, value, child))
+            score, value, child = max(candidates, key=lambda c: (c[0], c[1]))
+            best[current] = (score, value, child)
+            return score
+
+        walk(node)
+        model = {name: True for name in names}  # free vars default true
+        current = node
+        while current != self.one:
+            _level, _low, _high = self._nodes[current]
+            _score, value, child = best[current]
+            model[self._order[self._nodes[current][0]]] = value
+            current = child
+        return model
+
+    def iter_models(self, node: int,
+                    over: Iterable[str]) -> Iterator[dict[str, bool]]:
+        """Enumerate every model over *over* (a superset of the support),
+        in a deterministic order (False branches first, order-respecting)."""
+        names = list(dict.fromkeys(over))
+        for name in names:
+            self.declare(name)
+        levels = sorted(self._levels[name] for name in names)
+        support_levels = self._support_levels(node)
+        missing = support_levels - set(levels)
+        if missing:
+            missing_names = [self._order[level] for level in sorted(missing)]
+            raise ValueError(
+                f"iter_models variable set must cover the support; missing "
+                f"{missing_names}")
+
+        def expand(position: int, stop_level: int,
+                   partial: dict[str, bool]) -> Iterator[tuple[int, dict[str, bool]]]:
+            """Yield (next_position, assignment) filling free variables
+            between *position* and *stop_level* with both polarities."""
+            if position >= len(levels) or levels[position] >= stop_level:
+                yield position, partial
+                return
+            name = self._order[levels[position]]
+            for value in (False, True):
+                extended = dict(partial)
+                extended[name] = value
+                yield from expand(position + 1, stop_level, extended)
+
+        def walk(current: int, position: int,
+                 partial: dict[str, bool]) -> Iterator[dict[str, bool]]:
+            if current == self.zero:
+                return  # prune before expanding free variables
+            stop_level = self._level(current)
+            for next_position, filled in expand(position, stop_level, partial):
+                if current == self.one:
+                    # expand already filled every remaining free variable
+                    yield filled
+                    continue
+                level, low, high = self._nodes[current]
+                name = self._order[level]
+                for value, child in ((False, low), (True, high)):
+                    extended = dict(filled)
+                    extended[name] = value
+                    yield from walk(child, next_position + 1, extended)
+
+        yield from walk(node, 0, {})

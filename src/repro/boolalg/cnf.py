@@ -1,0 +1,160 @@
+"""Conversion of boolean expressions to conjunctive normal form.
+
+Two strategies are provided:
+
+* :func:`to_cnf_clauses` — textbook distributive conversion. Exact (no
+  auxiliary variables) but potentially exponential; fine for the small
+  per-constraint formulas MoCCML produces.
+* :func:`tseitin_clauses` — Tseitin encoding, linear in formula size at
+  the cost of fresh auxiliary variables (prefixed ``_t``). Equisatisfiable
+  rather than equivalent; projections onto the original variables give
+  back the models of the source formula.
+
+Clauses are frozensets of literals; a literal is ``(name, polarity)``
+with ``polarity`` True for the positive literal.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.boolalg.expr import (
+    BExpr,
+    FALSE,
+    TRUE,
+    Var,
+    _And,
+    _Const,
+    _Not,
+    _Or,
+)
+
+Literal = tuple[str, bool]
+Clause = frozenset[Literal]
+
+#: Prefix of auxiliary variables introduced by the Tseitin encoding.
+AUX_PREFIX = "_t"
+
+
+def _nnf(expr: BExpr, positive: bool) -> BExpr:
+    """Push negations down to literals (negation normal form)."""
+    from repro.boolalg.expr import And, Not, Or
+
+    if isinstance(expr, _Const):
+        value = expr.value if positive else not expr.value
+        return TRUE if value else FALSE
+    if isinstance(expr, Var):
+        return expr if positive else Not(expr)
+    if isinstance(expr, _Not):
+        return _nnf(expr.operand, not positive)
+    if isinstance(expr, _And):
+        parts = [_nnf(arg, positive) for arg in expr.args]
+        return And(*parts) if positive else Or(*parts)
+    if isinstance(expr, _Or):
+        parts = [_nnf(arg, positive) for arg in expr.args]
+        return Or(*parts) if positive else And(*parts)
+    raise TypeError(f"unexpected expression node: {expr!r}")
+
+
+def to_cnf_clauses(expr: BExpr) -> list[Clause]:
+    """Distributive CNF. Returns [] for TRUE and [frozenset()] for FALSE
+    (the empty clause is unsatisfiable)."""
+    nnf = _nnf(expr, positive=True)
+    clauses = _cnf_of_nnf(nnf)
+    return _prune(clauses)
+
+
+def _cnf_of_nnf(expr: BExpr) -> list[Clause]:
+    if expr is TRUE:
+        return []
+    if expr is FALSE:
+        return [frozenset()]
+    if isinstance(expr, Var):
+        return [frozenset(((expr.name, True),))]
+    if isinstance(expr, _Not):
+        assert isinstance(expr.operand, Var), "NNF guarantees literal negations"
+        return [frozenset(((expr.operand.name, False),))]
+    if isinstance(expr, _And):
+        clauses: list[Clause] = []
+        for arg in expr.args:
+            clauses.extend(_cnf_of_nnf(arg))
+        return clauses
+    if isinstance(expr, _Or):
+        branch_clauses = [_cnf_of_nnf(arg) for arg in expr.args]
+        result: list[Clause] = []
+        for combo in itertools.product(*branch_clauses):
+            merged: Clause = frozenset().union(*combo)
+            result.append(merged)
+        return result
+    raise TypeError(f"unexpected NNF node: {expr!r}")
+
+
+def _prune(clauses: list[Clause]) -> list[Clause]:
+    """Drop tautological and duplicate clauses."""
+    seen: set[Clause] = set()
+    result: list[Clause] = []
+    for clause in clauses:
+        if any((name, not polarity) in clause for name, polarity in clause):
+            continue  # contains x and ~x
+        if clause in seen:
+            continue
+        seen.add(clause)
+        result.append(clause)
+    return result
+
+
+def tseitin_clauses(expr: BExpr) -> tuple[list[Clause], str | None]:
+    """Tseitin encoding of *expr*.
+
+    Returns ``(clauses, root)`` where *root* is the auxiliary variable
+    asserted true (None when the formula degenerated to a constant: TRUE
+    yields ``([], None)`` and FALSE yields ``([frozenset()], None)``).
+    """
+    nnf = _nnf(expr, positive=True)
+    if nnf is TRUE:
+        return [], None
+    if nnf is FALSE:
+        return [frozenset()], None
+
+    counter = itertools.count(1)
+    clauses: list[Clause] = []
+
+    def encode(node: BExpr) -> Literal:
+        if isinstance(node, Var):
+            return (node.name, True)
+        if isinstance(node, _Not):
+            assert isinstance(node.operand, Var)
+            return (node.operand.name, False)
+        aux = f"{AUX_PREFIX}{next(counter)}"
+        child_literals = [encode(arg) for arg in node.args]  # type: ignore[attr-defined]
+        if isinstance(node, _And):
+            # aux <-> (l1 & l2 & ...)
+            for name, polarity in child_literals:
+                clauses.append(frozenset(((aux, False), (name, polarity))))
+            clauses.append(frozenset(
+                [(aux, True)] + [(name, not polarity)
+                                 for name, polarity in child_literals]))
+        elif isinstance(node, _Or):
+            # aux <-> (l1 | l2 | ...)
+            for name, polarity in child_literals:
+                clauses.append(frozenset(((aux, True), (name, not polarity))))
+            clauses.append(frozenset(
+                [(aux, False)] + list(child_literals)))
+        else:  # pragma: no cover - NNF guarantees And/Or here
+            raise TypeError(f"unexpected node {node!r}")
+        return (aux, True)
+
+    root_name, root_polarity = encode(nnf)
+    clauses.append(frozenset(((root_name, root_polarity),)))
+    return _prune(clauses), root_name
+
+
+def clauses_support(clauses: list[Clause],
+                    include_aux: bool = False) -> frozenset[str]:
+    """Variables mentioned in *clauses*, optionally including Tseitin aux."""
+    names: set[str] = set()
+    for clause in clauses:
+        for name, _polarity in clause:
+            if include_aux or not name.startswith(AUX_PREFIX):
+                names.add(name)
+    return frozenset(names)

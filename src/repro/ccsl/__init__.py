@@ -1,0 +1,42 @@
+"""CCSL-inspired kernel relations.
+
+The paper's declarative definitions lean on the Clock Constraint
+Specification Language (its ref [10]/[15]): relations such as sub-event
+(``e1 => e2``), coincidence, exclusion, precedence and alternation, plus
+expression-like constraints (union, delay, sampling) defining one event
+from others.
+
+Stateless relations are plain :class:`FormulaRuntime` instances; the
+history-dependent ones are implemented here as dedicated runtimes and
+registered as *builtin* definitions of the ``CCSLKernel`` library
+returned by :func:`kernel_library`.
+"""
+
+from repro.ccsl.stateful import (
+    AlternatesRuntime,
+    CausesRuntime,
+    DeadlineRuntime,
+    DelayedForRuntime,
+    FilterByRuntime,
+    PeriodicOnRuntime,
+    PrecedesRuntime,
+    SampledOnRuntime,
+)
+from repro.ccsl.words import BinaryWord
+from repro.ccsl.relations import (
+    coincides,
+    excludes,
+    intersection,
+    minus,
+    subclock,
+    union,
+)
+from repro.ccsl.library import kernel_library
+
+__all__ = [
+    "subclock", "coincides", "excludes", "union", "intersection", "minus",
+    "PrecedesRuntime", "CausesRuntime", "AlternatesRuntime",
+    "DelayedForRuntime", "PeriodicOnRuntime", "SampledOnRuntime",
+    "DeadlineRuntime", "FilterByRuntime", "BinaryWord",
+    "kernel_library",
+]

@@ -1,0 +1,119 @@
+"""The CCSL kernel as a MoCCML relation library.
+
+:func:`kernel_library` returns a fresh ``CCSLKernel``
+:class:`~repro.moccml.library.RelationLibrary` whose declarations are
+implemented by builtin runtimes. Register it in a
+:class:`~repro.moccml.library.LibraryRegistry` and declarative MoCCML
+definitions (or ECL invariants) can instantiate the kernel relations by
+name, e.g. ``Alternates(self.start, self.stop)``.
+"""
+
+from __future__ import annotations
+
+from repro.ccsl.relations import (
+    coincides,
+    excludes,
+    intersection,
+    minus,
+    subclock,
+    union,
+)
+from repro.ccsl.stateful import (
+    AlternatesRuntime,
+    CausesRuntime,
+    DeadlineRuntime,
+    DelayedForRuntime,
+    FilterByRuntime,
+    PeriodicOnRuntime,
+    PrecedesRuntime,
+    SampledOnRuntime,
+)
+from repro.ccsl.words import BinaryWord
+from repro.moccml.declarations import ConstraintDeclaration, Parameter
+from repro.moccml.library import RelationLibrary
+
+#: Name of the kernel library.
+KERNEL_LIBRARY_NAME = "CCSLKernel"
+
+
+def _declaration(name: str, *params: str) -> ConstraintDeclaration:
+    """Shorthand: parameters are 'name:kind' strings."""
+    parsed = []
+    for param in params:
+        param_name, _sep, kind = param.partition(":")
+        parsed.append(Parameter(param_name, kind or "event"))
+    return ConstraintDeclaration(name, parsed)
+
+
+def kernel_library() -> RelationLibrary:
+    """Build the CCSL kernel library with builtin definitions."""
+    library = RelationLibrary(KERNEL_LIBRARY_NAME)
+
+    library.define_builtin(
+        _declaration("SubClock", "left:event", "right:event"),
+        lambda label, left, right: subclock(left, right, label))
+    library.define_builtin(
+        _declaration("Coincides", "first:event", "second:event"),
+        lambda label, first, second: coincides(first, second, label))
+    library.define_builtin(
+        _declaration("Excludes", "first:event", "second:event"),
+        lambda label, first, second: excludes(first, second, label))
+    library.define_builtin(
+        _declaration("Union", "result:event", "first:event", "second:event"),
+        lambda label, result, first, second: union(result, first, second,
+                                                   label))
+    library.define_builtin(
+        _declaration("Intersection", "result:event", "first:event",
+                     "second:event"),
+        lambda label, result, first, second: intersection(
+            result, first, second, label))
+    library.define_builtin(
+        _declaration("Minus", "result:event", "first:event", "second:event"),
+        lambda label, result, first, second: minus(result, first, second,
+                                                   label))
+    library.define_builtin(
+        _declaration("Precedes", "cause:event", "effect:event"),
+        lambda label, cause, effect: PrecedesRuntime(cause, effect,
+                                                     label=label))
+    library.define_builtin(
+        _declaration("BoundedPrecedes", "cause:event", "effect:event",
+                     "bound:int"),
+        lambda label, cause, effect, bound: PrecedesRuntime(
+            cause, effect, bound=bound, label=label))
+    library.define_builtin(
+        _declaration("Causes", "cause:event", "effect:event"),
+        lambda label, cause, effect: CausesRuntime(cause, effect, label=label))
+    library.define_builtin(
+        _declaration("Alternates", "first:event", "second:event"),
+        lambda label, first, second: AlternatesRuntime(first, second,
+                                                       label=label))
+    library.define_builtin(
+        _declaration("DelayedFor", "delayed:event", "base:event", "depth:int"),
+        lambda label, delayed, base, depth: DelayedForRuntime(
+            delayed, base, depth, label=label))
+    library.define_builtin(
+        _declaration("PeriodicOn", "filtered:event", "base:event",
+                     "period:int", "offset:int"),
+        lambda label, filtered, base, period, offset: PeriodicOnRuntime(
+            filtered, base, period, offset, label=label))
+    library.define_builtin(
+        _declaration("SampledOn", "result:event", "trigger:event",
+                     "base:event"),
+        lambda label, result, trigger, base: SampledOnRuntime(
+            result, trigger, base, label=label))
+    library.define_builtin(
+        _declaration("Deadline", "start:event", "finish:event", "budget:int"),
+        lambda label, start, finish, budget: DeadlineRuntime(
+            start, finish, budget, label=label))
+    library.define_builtin(
+        # parameters are restricted to ints, so the periodic binary word
+        # arrives in the 4-int encoding of BinaryWord.from_ints
+        _declaration("FilterBy", "filtered:event", "base:event",
+                     "prefixBits:int", "prefixLen:int", "periodBits:int",
+                     "periodLen:int"),
+        lambda label, filtered, base, prefixBits, prefixLen, periodBits,
+        periodLen: FilterByRuntime(
+            filtered, base,
+            BinaryWord.from_ints(prefixBits, prefixLen, periodBits,
+                                 periodLen), label=label))
+    return library

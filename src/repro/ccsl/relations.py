@@ -1,0 +1,62 @@
+"""Stateless CCSL relations as step formulas.
+
+Each helper returns a :class:`~repro.moccml.semantics.runtime.FormulaRuntime`
+whose formula is repeated identically at every step — history never
+changes what these relations accept.
+"""
+
+from __future__ import annotations
+
+from repro.boolalg.expr import And, Iff, Implies, Not, Or, Var
+from repro.moccml.semantics.runtime import FormulaRuntime
+
+
+def subclock(left: str, right: str, label: str | None = None) -> FormulaRuntime:
+    """Sub-event relation: every occurrence of *left* is one of *right*.
+
+    Paper §II-C: "if the sub-event declarative constraint is defined
+    between two events e1 and e2 (...) the corresponding boolean
+    expression is e1 => e2".
+    """
+    return FormulaRuntime(label or f"SubClock({left}, {right})",
+                          Implies(Var(left), Var(right)),
+                          constrained_events=(left, right))
+
+
+def coincides(first: str, second: str, label: str | None = None) -> FormulaRuntime:
+    """Coincidence: the two events always occur together."""
+    return FormulaRuntime(label or f"Coincides({first}, {second})",
+                          Iff(Var(first), Var(second)),
+                          constrained_events=(first, second))
+
+
+def excludes(first: str, second: str, label: str | None = None) -> FormulaRuntime:
+    """Exclusion: the two events never occur in the same step."""
+    return FormulaRuntime(label or f"Excludes({first}, {second})",
+                          Not(And(Var(first), Var(second))),
+                          constrained_events=(first, second))
+
+
+def union(result: str, first: str, second: str,
+          label: str | None = None) -> FormulaRuntime:
+    """Union expression: *result* occurs iff *first* or *second* does."""
+    return FormulaRuntime(label or f"Union({result} = {first} + {second})",
+                          Iff(Var(result), Or(Var(first), Var(second))),
+                          constrained_events=(result, first, second))
+
+
+def intersection(result: str, first: str, second: str,
+                 label: str | None = None) -> FormulaRuntime:
+    """Intersection expression: *result* occurs iff both inputs do."""
+    return FormulaRuntime(label or f"Intersection({result} = {first} * {second})",
+                          Iff(Var(result), And(Var(first), Var(second))),
+                          constrained_events=(result, first, second))
+
+
+def minus(result: str, first: str, second: str,
+          label: str | None = None) -> FormulaRuntime:
+    """Difference expression: *result* occurs iff *first* does and
+    *second* does not."""
+    return FormulaRuntime(label or f"Minus({result} = {first} - {second})",
+                          Iff(Var(result), And(Var(first), Not(Var(second)))),
+                          constrained_events=(result, first, second))

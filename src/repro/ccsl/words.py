@@ -1,0 +1,83 @@
+"""Periodic binary words, the index language of CCSL's filtering.
+
+A periodic binary word ``u(v)`` is a finite prefix *u* followed by an
+infinitely repeated period *v*; ``w[i]`` tells whether the i-th
+occurrence of a base event is kept. Textual form: ``"1(10)"`` keeps the
+first occurrence, then every other one.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+
+_WORD_RE = re.compile(r"^([01]*)\(([01]+)\)$|^([01]+)$")
+
+
+class BinaryWord:
+    """An ultimately periodic word over {0, 1}."""
+
+    def __init__(self, prefix: str = "", period: str = "1"):
+        if not period:
+            raise ParseError("binary word period must be non-empty")
+        for part, what in ((prefix, "prefix"), (period, "period")):
+            if any(ch not in "01" for ch in part):
+                raise ParseError(
+                    f"binary word {what} must contain only 0/1: {part!r}")
+        self.prefix = prefix
+        self.period = period
+
+    @classmethod
+    def parse(cls, text: str) -> "BinaryWord":
+        """Parse ``u(v)`` or a plain finite word ``u`` (period '0')."""
+        match = _WORD_RE.match(text.strip())
+        if not match:
+            raise ParseError(f"invalid binary word {text!r}; "
+                             f"expected e.g. '1(10)' or '0(01)'")
+        prefix, period, finite = match.groups()
+        if finite is not None:
+            # a finite word keeps only its listed positions
+            return cls(prefix=finite, period="0")
+        return cls(prefix=prefix or "", period=period)
+
+    @classmethod
+    def from_ints(cls, prefix_bits: int, prefix_len: int,
+                  period_bits: int, period_len: int) -> "BinaryWord":
+        """Decode the 4-int encoding used by the MoCCML declaration
+        (parameters are restricted to integers): bit i (LSB-first) of
+        ``*_bits`` is position i of the corresponding part."""
+        if period_len < 1:
+            raise ParseError("period length must be >= 1")
+        if prefix_len < 0:
+            raise ParseError("prefix length must be >= 0")
+        prefix = "".join("1" if prefix_bits >> i & 1 else "0"
+                         for i in range(prefix_len))
+        period = "".join("1" if period_bits >> i & 1 else "0"
+                         for i in range(period_len))
+        return cls(prefix=prefix, period=period)
+
+    def __getitem__(self, index: int) -> bool:
+        """Whether position *index* (0-based) is kept."""
+        if index < 0:
+            raise IndexError("binary word positions start at 0")
+        if index < len(self.prefix):
+            return self.prefix[index] == "1"
+        offset = (index - len(self.prefix)) % len(self.period)
+        return self.period[offset] == "1"
+
+    def state_of(self, index: int) -> int:
+        """Canonical finite state for position *index* (for hashing)."""
+        if index < len(self.prefix):
+            return index
+        return len(self.prefix) + (index - len(self.prefix)) % len(self.period)
+
+    def __repr__(self):
+        return f"{self.prefix}({self.period})"
+
+    def __eq__(self, other):
+        return (isinstance(other, BinaryWord) and self.prefix == other.prefix
+                and self.period == other.period)
+
+    def __hash__(self):
+        return hash((self.prefix, self.period))

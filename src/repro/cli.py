@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands mirror the workbench facilities of the paper's tooling:
+
+* ``simulate`` — simulate a SigPML application under a policy;
+* ``explore`` — exhaustively explore its scheduling state space;
+* ``analyze`` — static SDF analysis (repetition vector, PASS);
+* ``dot`` — render the application, its MoCC automata, or the state
+  space as DOT;
+* ``pam`` — run the PAM deployment study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine import (
+    AsapPolicy,
+    MinimalPolicy,
+    RandomPolicy,
+    Simulator,
+    explore,
+)
+from repro.errors import ReproError
+from repro.sdf import analyze, build_execution_model, parse_sigpml, sdf_library
+from repro.viz import sdf_to_dot, statespace_report, trace_report
+
+_POLICIES = {
+    "asap": AsapPolicy,
+    "minimal": MinimalPolicy,
+    "random": RandomPolicy,
+}
+
+
+def _load_application(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return parse_sigpml(handle.read(), filename=path)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("application", help="path to a .sigpml file")
+    parser.add_argument("--variant", default="default",
+                        choices=("default", "strict", "multiport"),
+                        help="PlaceConstraint variant")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    model, _app = _load_application(args.application)
+    woven = build_execution_model(model, place_variant=args.variant)
+    policy_factory = _POLICIES[args.policy]
+    policy = (policy_factory(seed=args.seed)
+              if args.policy == "random" else policy_factory())
+    result = Simulator(woven.execution_model, policy).run(args.steps)
+    print(trace_report(result.trace))
+    if result.deadlocked:
+        print("\nDEADLOCK: no acceptable non-empty step remains")
+    if args.vcd:
+        with open(args.vcd, "w", encoding="utf-8") as handle:
+            handle.write(result.trace.to_vcd())
+        print(f"\nVCD written to {args.vcd}")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    model, _app = _load_application(args.application)
+    woven = build_execution_model(model, place_variant=args.variant)
+    space = explore(woven.execution_model, max_states=args.max_states)
+    print(statespace_report(space))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    _model, app = _load_application(args.application)
+    info = analyze(app)
+    print(f"agents: {', '.join(info.agents)}")
+    print(f"consistent: {info.consistent}")
+    if info.consistent:
+        print("repetition vector:")
+        for agent, count in info.repetition.items():
+            print(f"  {agent}: {count}")
+        print(f"deadlock-free: {info.deadlock_free}")
+        if info.schedule is not None:
+            print(f"PASS: {' '.join(info.schedule)}")
+            print("buffer bounds:")
+            for place, bound in info.buffer_bounds.items():
+                print(f"  {place}: {bound}")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    if args.what == "application":
+        _model, app = _load_application(args.application)
+        print(sdf_to_dot(app), end="")
+    elif args.what == "automaton":
+        from repro.moccml.draw import automaton_to_dot
+        library = sdf_library(args.variant)
+        definition = library.definition_for(args.constraint)
+        if definition is None:
+            print(f"unknown constraint {args.constraint!r}", file=sys.stderr)
+            return 2
+        print(automaton_to_dot(definition), end="")
+    else:  # statespace
+        from repro.moccml.draw import statespace_to_dot
+        model, _app = _load_application(args.application)
+        woven = build_execution_model(model, place_variant=args.variant)
+        space = explore(woven.execution_model, max_states=args.max_states)
+        print(statespace_to_dot(space), end="")
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.deployment import deploy, parse_deployment
+    model, app = _load_application(args.application)
+    with open(args.deployment, encoding="utf-8") as handle:
+        platform, allocation = parse_deployment(handle.read(),
+                                                filename=args.deployment)
+    if platform is None or allocation is None:
+        print("error: the deployment file needs both a platform and an "
+              "allocation block", file=sys.stderr)
+        return 2
+    result = deploy(model, app, platform, allocation,
+                    place_variant=args.variant)
+    print(f"deployed {app.name!r} on {platform.name!r}: "
+          f"{len(result.mutexes)} mutex(es), "
+          f"{len(result.comm_delays)} comm delay(s)")
+    if args.explore:
+        space = explore(result.execution_model.clone(),
+                        max_states=args.max_states)
+        print(statespace_report(space))
+    simulation = Simulator(result.execution_model,
+                           AsapPolicy()).run(args.steps)
+    print(trace_report(simulation.trace))
+    return 0
+
+
+def cmd_pam(args: argparse.Namespace) -> int:
+    from repro.pam.experiments import format_study, run_deployment_study
+    rows = run_deployment_study(capacity=args.capacity,
+                                max_states=args.max_states,
+                                sim_steps=args.steps)
+    print(format_study(rows))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.engine.campaign import format_campaign, run_campaign
+    model, app = _load_application(args.application)
+    woven = build_execution_model(model, place_variant=args.variant)
+    watch = args.watch or [
+        f"{agent.name}.start" for agent in app.get("agents")]
+    rows = run_campaign(woven.execution_model, steps=args.steps,
+                        watch_events=watch)
+    print(format_campaign(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MoCCML workbench (DATE 2015 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate a SigPML application")
+    _add_common(simulate)
+    simulate.add_argument("--steps", type=int, default=20)
+    simulate.add_argument("--policy", default="asap",
+                          choices=sorted(_POLICIES))
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--vcd", help="write the trace as VCD to this path")
+    simulate.set_defaults(handler=cmd_simulate)
+
+    explorer = subparsers.add_parser(
+        "explore", help="exhaustively explore the scheduling state space")
+    _add_common(explorer)
+    explorer.add_argument("--max-states", type=int, default=10_000)
+    explorer.set_defaults(handler=cmd_explore)
+
+    analyzer = subparsers.add_parser(
+        "analyze", help="static SDF analysis (repetition vector, PASS)")
+    analyzer.add_argument("application", help="path to a .sigpml file")
+    analyzer.set_defaults(handler=cmd_analyze)
+
+    dot = subparsers.add_parser("dot", help="DOT renderings")
+    dot.add_argument("what",
+                     choices=("application", "automaton", "statespace"))
+    dot.add_argument("application", nargs="?",
+                     help="path to a .sigpml file (application/statespace)")
+    dot.add_argument("--constraint", default="PlaceConstraint",
+                     help="constraint name for 'automaton'")
+    dot.add_argument("--variant", default="default",
+                     choices=("default", "strict", "multiport"))
+    dot.add_argument("--max-states", type=int, default=500)
+    dot.set_defaults(handler=cmd_dot)
+
+    deployer = subparsers.add_parser(
+        "deploy", help="deploy an application on a platform and simulate")
+    _add_common(deployer)
+    deployer.add_argument("deployment",
+                          help="path to a platform+allocation file")
+    deployer.add_argument("--steps", type=int, default=20)
+    deployer.add_argument("--explore", action="store_true",
+                          help="also explore the deployed state space")
+    deployer.add_argument("--max-states", type=int, default=10_000)
+    deployer.set_defaults(handler=cmd_deploy)
+
+    pam = subparsers.add_parser(
+        "pam", help="run the PAM deployment study")
+    pam.add_argument("--capacity", type=int, default=1)
+    pam.add_argument("--max-states", type=int, default=60_000)
+    pam.add_argument("--steps", type=int, default=200)
+    pam.set_defaults(handler=cmd_pam)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="compare scheduling policies on an application")
+    _add_common(campaign)
+    campaign.add_argument("--steps", type=int, default=40)
+    campaign.add_argument("--watch", nargs="*",
+                          help="events to report throughput for "
+                               "(default: every agent's start)")
+    campaign.set_defaults(handler=cmd_campaign)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "dot" and args.what != "automaton" \
+            and args.application is None:
+        parser.error("an application file is required")
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Platform deployment: extending the SDF MoCC with platform constraints.
+
+The paper's conclusion describes extending SDF "to define a deployment
+on a simple platform" and studying, for a PAM application, "the impact
+of the different allocations on the valid scheduling of the
+application". This package provides that extension:
+
+* a platform metamodel — processors and communication links
+  (:mod:`repro.deployment.metamodel`);
+* an allocation of agents to processors
+  (:mod:`repro.deployment.allocation`);
+* the deployment constraints as MoCC runtimes — processor mutual
+  exclusion and communication latency (:mod:`repro.deployment.mocc`);
+* the deployment weaver stacking those constraints onto a woven SDF
+  execution model (:mod:`repro.deployment.weaver`).
+"""
+
+from repro.deployment.metamodel import CommLink, Platform, Processor
+from repro.deployment.allocation import Allocation
+from repro.deployment.mocc import CommDelayRuntime, ProcessorMutexRuntime
+from repro.deployment.weaver import DeploymentResult, deploy
+from repro.deployment.parser import (
+    parse_allocation,
+    parse_deployment,
+    parse_platform,
+)
+
+__all__ = [
+    "Platform", "Processor", "CommLink",
+    "Allocation",
+    "ProcessorMutexRuntime", "CommDelayRuntime",
+    "deploy", "DeploymentResult",
+    "parse_platform", "parse_allocation", "parse_deployment",
+]

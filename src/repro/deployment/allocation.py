@@ -1,0 +1,51 @@
+"""Allocation: which agent runs on which processor."""
+
+from __future__ import annotations
+
+from repro.deployment.metamodel import Platform
+from repro.errors import DeploymentError
+from repro.kernel.mobject import MObject
+
+
+class Allocation:
+    """A total mapping from agents to processors.
+
+    Construct with a plain dict ``{agent name: processor name}``;
+    :meth:`check` validates totality against an application and
+    existence against a platform.
+    """
+
+    def __init__(self, mapping: dict[str, str]):
+        self.mapping = dict(mapping)
+
+    def processor_of(self, agent_name: str) -> str:
+        try:
+            return self.mapping[agent_name]
+        except KeyError:
+            raise DeploymentError(
+                f"agent {agent_name!r} is not allocated") from None
+
+    def agents_on(self, processor_name: str) -> list[str]:
+        """Agents allocated to *processor_name*, in mapping order."""
+        return [agent for agent, proc in self.mapping.items()
+                if proc == processor_name]
+
+    def check(self, app: MObject, platform: Platform) -> list[str]:
+        """Diagnostics: unallocated agents, unknown agents/processors."""
+        issues = []
+        agent_names = {agent.name for agent in app.get("agents")}
+        processor_names = {proc.name for proc in platform.processors()}
+        for agent in sorted(agent_names):
+            if agent not in self.mapping:
+                issues.append(f"agent {agent!r} has no allocation")
+        for agent, processor in self.mapping.items():
+            if agent not in agent_names:
+                issues.append(f"allocation names unknown agent {agent!r}")
+            if processor not in processor_names:
+                issues.append(
+                    f"agent {agent!r} allocated to unknown processor "
+                    f"{processor!r}")
+        return issues
+
+    def __repr__(self):
+        return f"Allocation({self.mapping})"

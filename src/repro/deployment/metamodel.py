@@ -1,0 +1,112 @@
+"""A simple platform model: processors and communication links.
+
+Deliberately lightweight — the paper calls its deployment target "a
+simple platform". Processors execute agents under mutual exclusion; a
+link between two processors carries data with a latency measured in
+engine steps. A *speed factor* per processor scales the agents' cycle
+counts (a slow processor stretches execution).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeploymentError
+from repro.kernel.names import check_identifier
+
+
+class Processor:
+    """A processing element; *speed_factor* multiplies agent cycles."""
+
+    def __init__(self, name: str, speed_factor: int = 1):
+        self.name = check_identifier(name, "processor name")
+        if speed_factor < 1:
+            raise DeploymentError(
+                f"processor {name!r}: speed_factor must be >= 1")
+        self.speed_factor = speed_factor
+
+    def __repr__(self):
+        return f"Processor({self.name}, x{self.speed_factor})"
+
+
+class CommLink:
+    """A directed link between processors with a step latency."""
+
+    def __init__(self, source: str, target: str, latency: int = 1):
+        self.source = source
+        self.target = target
+        if latency < 0:
+            raise DeploymentError(
+                f"link {source}->{target}: latency must be >= 0")
+        self.latency = latency
+
+    def __repr__(self):
+        return f"CommLink({self.source} -> {self.target}, {self.latency})"
+
+
+class Platform:
+    """A set of processors plus the links between them."""
+
+    def __init__(self, name: str):
+        self.name = check_identifier(name, "platform name")
+        self._processors: dict[str, Processor] = {}
+        self._links: dict[tuple[str, str], CommLink] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def processor(self, name: str, speed_factor: int = 1) -> Processor:
+        if name in self._processors:
+            raise DeploymentError(f"duplicate processor {name!r}")
+        proc = Processor(name, speed_factor)
+        self._processors[name] = proc
+        return proc
+
+    def link(self, source: str, target: str, latency: int = 1,
+             bidirectional: bool = True) -> CommLink:
+        self._require(source)
+        self._require(target)
+        connection = CommLink(source, target, latency)
+        self._links[(source, target)] = connection
+        if bidirectional:
+            self._links[(target, source)] = CommLink(target, source, latency)
+        return connection
+
+    def fully_connect(self, latency: int = 1) -> None:
+        """Add links between every pair of processors."""
+        names = list(self._processors)
+        for source in names:
+            for target in names:
+                if source != target and (source, target) not in self._links:
+                    self._links[(source, target)] = CommLink(
+                        source, target, latency)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _require(self, name: str) -> Processor:
+        try:
+            return self._processors[name]
+        except KeyError:
+            raise DeploymentError(
+                f"unknown processor {name!r} on platform {self.name!r}"
+            ) from None
+
+    def processors(self) -> list[Processor]:
+        return list(self._processors.values())
+
+    def get_processor(self, name: str) -> Processor:
+        return self._require(name)
+
+    def latency(self, source: str, target: str) -> int:
+        """Communication latency between two processors (0 when equal)."""
+        if source == target:
+            return 0
+        self._require(source)
+        self._require(target)
+        link = self._links.get((source, target))
+        if link is None:
+            raise DeploymentError(
+                f"no link {source!r} -> {target!r} on platform "
+                f"{self.name!r}")
+        return link.latency
+
+    def __repr__(self):
+        return (f"Platform({self.name}, {len(self._processors)} processors, "
+                f"{len(self._links)} links)")

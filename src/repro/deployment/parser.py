@@ -1,0 +1,148 @@
+"""Textual syntax for platforms and allocations.
+
+Example::
+
+    platform board {
+      processor dsp
+      processor cpu speed 2
+      link dsp <-> cpu latency 3
+    }
+
+    allocation {
+      hydro, framer, fft -> dsp
+      detect, classify -> cpu
+    }
+
+``link a -> b`` is unidirectional, ``<->`` bidirectional;
+``connect all latency N`` fully connects the processors declared so
+far. A document may contain one platform block, one allocation block,
+or both (:func:`parse_deployment`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.deployment.allocation import Allocation
+from repro.deployment.metamodel import Platform
+from repro.errors import ParseError
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_]*"
+_PLATFORM_RE = re.compile(rf"^platform\s+({_NAME})\s*\{{$")
+_PROCESSOR_RE = re.compile(rf"^processor\s+({_NAME})(?:\s+speed\s+(\d+))?$")
+_LINK_RE = re.compile(
+    rf"^link\s+({_NAME})\s*(<->|->)\s*({_NAME})(?:\s+latency\s+(\d+))?$")
+_CONNECT_ALL_RE = re.compile(r"^connect\s+all(?:\s+latency\s+(\d+))?$")
+_ALLOCATION_RE = re.compile(r"^allocation\s*\{$")
+_BINDING_RE = re.compile(
+    rf"^({_NAME}(?:\s*,\s*{_NAME})*)\s*->\s*({_NAME})$")
+
+
+def _lines(text: str) -> list[tuple[int, str]]:
+    stripped = re.sub(r"//[^\n]*", "", text)
+    return [(number, line.strip())
+            for number, line in enumerate(stripped.splitlines(), start=1)
+            if line.strip()]
+
+
+def parse_platform(text: str, filename: str | None = None) -> Platform:
+    """Parse a document containing exactly one platform block."""
+    platform, _allocation = parse_deployment(text, filename,
+                                             require_platform=True)
+    assert platform is not None
+    return platform
+
+
+def parse_allocation(text: str, filename: str | None = None) -> Allocation:
+    """Parse a document containing exactly one allocation block."""
+    _platform, allocation = parse_deployment(text, filename,
+                                             require_allocation=True)
+    assert allocation is not None
+    return allocation
+
+
+def parse_deployment(text: str, filename: str | None = None,
+                     require_platform: bool = False,
+                     require_allocation: bool = False
+                     ) -> tuple[Platform | None, Allocation | None]:
+    """Parse a deployment document (platform and/or allocation blocks)."""
+    platform: Platform | None = None
+    allocation: Allocation | None = None
+    lines = _lines(text)
+    index = 0
+    while index < len(lines):
+        number, line = lines[index]
+        index += 1
+        if (match := _PLATFORM_RE.match(line)):
+            if platform is not None:
+                raise ParseError("duplicate platform block", line=number,
+                                 filename=filename)
+            platform, index = _parse_platform_block(
+                match.group(1), lines, index, filename)
+            continue
+        if _ALLOCATION_RE.match(line):
+            if allocation is not None:
+                raise ParseError("duplicate allocation block", line=number,
+                                 filename=filename)
+            allocation, index = _parse_allocation_block(
+                lines, index, filename)
+            continue
+        raise ParseError(f"unexpected line {line!r}", line=number,
+                         filename=filename)
+    if require_platform and platform is None:
+        raise ParseError("no platform block found", filename=filename)
+    if require_allocation and allocation is None:
+        raise ParseError("no allocation block found", filename=filename)
+    return platform, allocation
+
+
+def _parse_platform_block(name, lines, index, filename):
+    platform = Platform(name)
+    while True:
+        if index >= len(lines):
+            raise ParseError("unterminated platform block",
+                             filename=filename)
+        number, line = lines[index]
+        index += 1
+        if line == "}":
+            return platform, index
+        if (match := _PROCESSOR_RE.match(line)):
+            proc_name, speed = match.groups()
+            platform.processor(proc_name,
+                               speed_factor=int(speed) if speed else 1)
+            continue
+        if (match := _LINK_RE.match(line)):
+            source, arrow, target, latency = match.groups()
+            platform.link(source, target,
+                          latency=int(latency) if latency else 1,
+                          bidirectional=arrow == "<->")
+            continue
+        if (match := _CONNECT_ALL_RE.match(line)):
+            latency = match.group(1)
+            platform.fully_connect(latency=int(latency) if latency else 1)
+            continue
+        raise ParseError(f"unexpected platform line {line!r}", line=number,
+                         filename=filename)
+
+
+def _parse_allocation_block(lines, index, filename):
+    mapping: dict[str, str] = {}
+    while True:
+        if index >= len(lines):
+            raise ParseError("unterminated allocation block",
+                             filename=filename)
+        number, line = lines[index]
+        index += 1
+        if line == "}":
+            return Allocation(mapping), index
+        match = _BINDING_RE.match(line)
+        if not match:
+            raise ParseError(
+                f"expected 'agent[, agent...] -> processor', found {line!r}",
+                line=number, filename=filename)
+        agents_text, processor = match.groups()
+        for agent in (part.strip() for part in agents_text.split(",")):
+            if agent in mapping:
+                raise ParseError(f"agent {agent!r} allocated twice",
+                                 line=number, filename=filename)
+            mapping[agent] = processor

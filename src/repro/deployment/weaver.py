@@ -1,0 +1,122 @@
+"""The deployment weaver: application + platform + allocation → MoCC.
+
+Runs the base SDF weaving, then stacks the platform constraints on the
+resulting execution model:
+
+1. agent cycle counts are scaled by the hosting processor's speed
+   factor (a deployment-dependent execution time, §III-A: "an execution
+   time can be specified, for example according to a deployment on a
+   specific platform");
+2. one :class:`ProcessorMutexRuntime` per processor hosting at least
+   two agents;
+3. one :class:`CommDelayRuntime` per place whose producer and consumer
+   live on different processors, with the link's latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deployment.allocation import Allocation
+from repro.deployment.metamodel import Platform
+from repro.deployment.mocc import CommDelayRuntime, ProcessorMutexRuntime
+from repro.ecl.weaver import WeaveResult
+from repro.errors import DeploymentError
+from repro.kernel.mobject import MObject
+from repro.kernel.model import Model
+from repro.sdf.mapping import build_execution_model
+
+
+@dataclass
+class DeploymentResult:
+    """Execution model of a deployed application plus bookkeeping."""
+
+    weave: WeaveResult
+    platform: Platform
+    allocation: Allocation
+    #: processor name -> mutex runtime (only multi-agent processors)
+    mutexes: dict[str, ProcessorMutexRuntime] = field(default_factory=dict)
+    #: place name -> comm-delay runtime (only cross-processor places)
+    comm_delays: dict[str, CommDelayRuntime] = field(default_factory=dict)
+    #: agent name -> effective cycle count after speed scaling
+    effective_cycles: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def execution_model(self):
+        return self.weave.execution_model
+
+
+def deploy(model: Model, app: MObject, platform: Platform,
+           allocation: Allocation, place_variant: str = "default"
+           ) -> DeploymentResult:
+    """Build the deployed execution model.
+
+    The *model* is modified in place only through agent ``cycles``
+    scaling (restored afterwards), so repeated deployments of the same
+    application model are safe.
+    """
+    issues = allocation.check(app, platform)
+    if issues:
+        raise DeploymentError("; ".join(issues))
+
+    agents = {agent.name: agent for agent in app.get("agents")}
+
+    # 1. scale execution times by processor speed, weave, then restore
+    original_cycles = {name: agent.get("cycles")
+                       for name, agent in agents.items()}
+    effective_cycles = {}
+    try:
+        for name, agent in agents.items():
+            processor = platform.get_processor(allocation.processor_of(name))
+            effective = original_cycles[name] * processor.speed_factor
+            effective_cycles[name] = effective
+            agent.set("cycles", effective)
+        weave_result = build_execution_model(model,
+                                             place_variant=place_variant)
+    finally:
+        for name, agent in agents.items():
+            agent.set("cycles", original_cycles[name])
+
+    result = DeploymentResult(
+        weave=weave_result, platform=platform, allocation=allocation,
+        effective_cycles=effective_cycles)
+    execution_model = weave_result.execution_model
+
+    # 2. processor mutual exclusion
+    for processor in platform.processors():
+        hosted = allocation.agents_on(processor.name)
+        if len(hosted) < 2:
+            continue
+        windows = {}
+        for agent_name in hosted:
+            agent = agents[agent_name]
+            windows[agent_name] = (
+                weave_result.event_of(agent, "start"),
+                weave_result.event_of(agent, "stop"))
+        mutex = ProcessorMutexRuntime(processor.name, windows)
+        execution_model.add_constraint(mutex)
+        result.mutexes[processor.name] = mutex
+
+    # 3. communication latency on crossing places
+    for place in app.get("places"):
+        out_port = place.get("outputPort")
+        in_port = place.get("inputPort")
+        producer = out_port.get("agent").name
+        consumer = in_port.get("agent").name
+        source = allocation.processor_of(producer)
+        target = allocation.processor_of(consumer)
+        if source == target:
+            continue
+        latency = platform.latency(source, target)
+        if latency == 0:
+            continue
+        delay_rt = CommDelayRuntime(
+            write=weave_result.event_of(out_port, "write"),
+            read=weave_result.event_of(in_port, "read"),
+            push=out_port.get("rate"), pop=in_port.get("rate"),
+            latency=latency, initial_tokens=place.get("delay"),
+            label=f"CommDelay({place.name}:{source}->{target})")
+        execution_model.add_constraint(delay_rt)
+        result.comm_delays[place.name] = delay_rt
+
+    return result

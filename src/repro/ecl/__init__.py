@@ -1,0 +1,33 @@
+"""ECL-style mapping: weaving a MoCC into the concepts of a DSL.
+
+The paper (Listing 1) maps the MoCC onto the DSL abstract syntax with a
+language inspired by ECL — an OCL extension with events: ``context``
+blocks name a metaclass, ``def`` adds events to every instance of that
+metaclass, and ``inv`` instantiates library constraints with arguments
+navigated from ``self``.
+
+This package provides the document model (:mod:`repro.ecl.ast`), a
+parser for the Listing-1 syntax (:mod:`repro.ecl.parser`) and the weaver
+(:mod:`repro.ecl.weaver`) that, given a model and a library registry,
+generates the *execution model* — the paper's "automatic generation of
+the execution model" step in Fig. 1.
+"""
+
+from repro.ecl.ast import (
+    EclContext,
+    EclDocument,
+    EclEventDef,
+    EclInvariant,
+    IntLiteral,
+    Navigation,
+    RelationCall,
+)
+from repro.ecl.parser import parse_ecl
+from repro.ecl.weaver import WeaveResult, weave
+
+__all__ = [
+    "EclDocument", "EclContext", "EclEventDef", "EclInvariant",
+    "RelationCall", "Navigation", "IntLiteral",
+    "parse_ecl",
+    "weave", "WeaveResult",
+]

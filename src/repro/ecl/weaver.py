@@ -1,0 +1,198 @@
+"""The weaver: ECL mapping × model × libraries → execution model.
+
+This automates the paper's Fig. 1 pipeline step: "From such description,
+for any instance of the abstract syntax it is possible to automatically
+generate a dedicated execution model."
+
+Pass 1 creates the events: for every ``context C / def: e : Event`` and
+every instance of C in the model, one engine event named after the
+instance. Pass 2 instantiates the constraints: for every invariant and
+every instance, arguments are resolved by navigation — event arguments
+to pass-1 events, integer arguments to attribute values — and the
+registry builds the runtime constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecl.ast import (
+    EclDocument,
+    IntLiteral,
+    Navigation,
+    RelationCall,
+)
+from repro.engine.execution_model import ExecutionModel
+from repro.errors import MappingError, NavigationError
+from repro.iexpr.ast import IntExpr
+from repro.kernel.mobject import MObject
+from repro.kernel.model import Model
+from repro.kernel.navigation import navigate_path
+from repro.moccml.library import LibraryRegistry
+
+
+@dataclass
+class WeaveResult:
+    """The generated execution model plus the weaving tables."""
+
+    execution_model: ExecutionModel
+    #: (element uid, event def name) -> engine event name
+    event_table: dict[tuple[int, str], str]
+    #: per-element event names, for inspection: element label -> names
+    events_by_element: dict[str, list[str]] = field(default_factory=dict)
+
+    def event_of(self, element: MObject, event_name: str) -> str:
+        """Engine event for *event_name* defined on *element*."""
+        try:
+            return self.event_table[(element.uid, event_name)]
+        except KeyError:
+            raise MappingError(
+                f"{element.label()} has no mapped event {event_name!r}"
+            ) from None
+
+
+class _EventNamer:
+    """Readable, unique engine event names."""
+
+    def __init__(self):
+        self._used: set[str] = set()
+
+    def name(self, element: MObject, event_name: str) -> str:
+        base = element.name if element.name else f"{element.meta.name}{element.uid}"
+        candidate = f"{base}.{event_name}"
+        if candidate in self._used:
+            candidate = f"{base}#{element.uid}.{event_name}"
+        self._used.add(candidate)
+        return candidate
+
+
+def weave(document: EclDocument, model: Model, registry: LibraryRegistry,
+          name: str | None = None) -> WeaveResult:
+    """Weave *document* over *model*, resolving constraints in *registry*."""
+    namer = _EventNamer()
+    event_table: dict[tuple[int, str], str] = {}
+    events: list[str] = []
+    events_by_element: dict[str, list[str]] = {}
+
+    # pass 1: events. Iterating the *model* (containment order) rather
+    # than the contexts keeps each element's events adjacent to its
+    # container's — locality that keeps the step-formula BDDs small.
+    for context in document.contexts:
+        if context.metaclass_name not in model.metamodel:
+            raise MappingError(
+                f"context {context.metaclass_name!r} is not a metaclass of "
+                f"{model.metamodel.name!r}")
+    for element in model:
+        for context in document.contexts:
+            if not context.event_defs:
+                continue
+            if not element.meta.conforms_to(context.metaclass_name):
+                continue
+            for event_def in context.event_defs:
+                key = (element.uid, event_def.name)
+                if key in event_table:
+                    continue  # already created through a supertype context
+                engine_name = namer.name(element, event_def.name)
+                event_table[key] = engine_name
+                events.append(engine_name)
+                events_by_element.setdefault(element.label(), []).append(
+                    engine_name)
+
+    # pass 2: constraints -----------------------------------------------------
+    constraints = []
+    for context in document.contexts:
+        for element in model.all_instances(context.metaclass_name):
+            for invariant in context.invariants:
+                constraints.append(_instantiate(
+                    invariant.name, invariant.call, element, document,
+                    registry, event_table))
+
+    execution_model = ExecutionModel(
+        events, constraints,
+        name=name or f"{model.name}-execution-model")
+    return WeaveResult(execution_model=execution_model,
+                       event_table=event_table,
+                       events_by_element=events_by_element)
+
+
+def _instantiate(invariant_name: str, call: RelationCall, element: MObject,
+                 document: EclDocument, registry: LibraryRegistry,
+                 event_table: dict[tuple[int, str], str]):
+    _library, declaration = registry.resolve(call.constraint_name)
+    declaration.check_arity(len(call.arguments))
+    resolved: list[str | int] = []
+    for parameter, argument in zip(declaration.parameters, call.arguments):
+        where = (f"{invariant_name} on {element.label()}, "
+                 f"argument {parameter.name!r}")
+        if parameter.kind == "event":
+            resolved.append(_resolve_event(argument, element, event_table,
+                                           where))
+        else:
+            resolved.append(_resolve_int(argument, element, where))
+    label = f"{invariant_name}@{element.label()}"
+    return registry.instantiate(call.constraint_name, resolved, label=label)
+
+
+def _resolve_event(argument, element: MObject,
+                   event_table: dict[tuple[int, str], str],
+                   where: str) -> str:
+    if not isinstance(argument, Navigation):
+        raise MappingError(f"{where}: expected an event navigation, got "
+                           f"{argument!r}")
+    segments = argument.segments()
+    if not segments:
+        raise MappingError(f"{where}: empty event navigation")
+    *prefix, event_name = segments
+    try:
+        target = navigate_path(element, prefix)
+    except NavigationError as exc:
+        raise MappingError(f"{where}: {exc}") from exc
+    if isinstance(target, list):
+        if len(target) != 1:
+            raise MappingError(
+                f"{where}: navigation {argument.path!r} yields "
+                f"{len(target)} elements; event arguments need exactly one")
+        target = target[0]
+    if not isinstance(target, MObject):
+        raise MappingError(
+            f"{where}: {argument.path!r} does not reach a model element")
+    key = (target.uid, event_name)
+    if key not in event_table:
+        raise MappingError(
+            f"{where}: {target.label()} has no event {event_name!r} "
+            f"(is there a 'def: {event_name} : Event' context for "
+            f"{target.meta.name}?)")
+    return event_table[key]
+
+
+def _resolve_int(argument, element: MObject, where: str) -> int:
+    if isinstance(argument, IntLiteral):
+        return argument.value
+    if isinstance(argument, Navigation):
+        value = _navigate_int(argument.path, element, where)
+        return value
+    if isinstance(argument, IntExpr):
+        env = {name: _navigate_int(name, element, where)
+               for name in argument.names()}
+        return argument.evaluate(env)
+    raise MappingError(f"{where}: unsupported argument {argument!r}")
+
+
+def _navigate_int(path: str, element: MObject, where: str) -> int:
+    segments = [part for part in path.split(".") if part]
+    if segments and segments[0] == "self":
+        segments = segments[1:]
+    try:
+        value = navigate_path(element, segments)
+    except NavigationError as exc:
+        raise MappingError(f"{where}: {exc}") from exc
+    if isinstance(value, list):
+        if len(value) != 1:
+            raise MappingError(
+                f"{where}: {path!r} yields {len(value)} values; integer "
+                f"arguments need exactly one")
+        value = value[0]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise MappingError(
+            f"{where}: {path!r} resolves to {value!r}, not an int")
+    return value

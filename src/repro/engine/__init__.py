@@ -1,0 +1,49 @@
+"""The generic execution engine (paper Fig. 1, right-hand side).
+
+An :class:`ExecutionModel` — the instantiated constraints plus the event
+set of one specific model — *configures* this engine; the engine itself
+is DSL-agnostic. Two drivers are provided:
+
+* :class:`~repro.engine.simulator.Simulator` — step-by-step simulation
+  under a scheduling policy, producing a :class:`~repro.engine.trace.Trace`;
+* :func:`~repro.engine.explorer.explore` — exhaustive exploration of the
+  scheduling state space, producing a
+  :class:`~repro.engine.statespace.StateSpace` with quantitative metrics
+  (the paper's conclusion: "to obtain by exploration quantitative
+  results on the scheduling state-space").
+"""
+
+from repro.engine.execution_model import ExecutionModel
+from repro.engine.policies import (
+    AsapPolicy,
+    MinimalPolicy,
+    PriorityPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    SchedulingPolicy,
+)
+from repro.engine.trace import Trace
+from repro.engine.simulator import SimulationResult, Simulator
+from repro.engine.explorer import explore
+from repro.engine.statespace import StateSpace
+from repro.engine.analysis import (
+    event_liveness,
+    max_cycle_mean_throughput,
+    parallelism_profile,
+    variable_bounds,
+)
+from repro.engine import properties
+from repro.engine.campaign import format_campaign, run_campaign
+
+__all__ = [
+    "run_campaign", "format_campaign",
+    "ExecutionModel",
+    "SchedulingPolicy", "RandomPolicy", "AsapPolicy", "MinimalPolicy",
+    "PriorityPolicy", "ReplayPolicy",
+    "Trace",
+    "Simulator", "SimulationResult",
+    "explore", "StateSpace",
+    "event_liveness", "parallelism_profile", "variable_bounds",
+    "max_cycle_mean_throughput",
+    "properties",
+]

@@ -1,0 +1,168 @@
+"""Analyses over state spaces and execution models.
+
+Includes the steady-state throughput computation (maximum cycle mean,
+Karp's algorithm) used to compare deployments in the PAM study, plus
+liveness/boundedness helpers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.engine.execution_model import ExecutionModel
+from repro.engine.statespace import StateSpace
+from repro.moccml.semantics.automata_rt import AutomatonRuntime
+
+
+def event_liveness(space: StateSpace) -> dict[str, bool]:
+    """Per-event liveness: does the event occur anywhere in the space?"""
+    alive = space.live_events()
+    return {event: event in alive for event in space.events}
+
+
+def parallelism_profile(space: StateSpace) -> dict[str, float]:
+    """Aggregate parallelism metrics of a state space."""
+    histogram = space.parallelism_histogram()
+    total = sum(histogram.values())
+    mean = (sum(size * count for size, count in histogram.items()) / total
+            if total else 0.0)
+    return {
+        "max": float(space.max_parallelism()),
+        "mean": round(mean, 4),
+        "transitions": float(total),
+    }
+
+
+def variable_bounds(model: ExecutionModel, space: StateSpace | None = None
+                    ) -> dict[str, tuple[int, int]]:
+    """Min/max observed value per automaton variable.
+
+    With a *space*, bounds are read from the explored configuration keys
+    (exact over the explored region); otherwise only the current values
+    are reported.
+    """
+    bounds: dict[str, tuple[int, int]] = {}
+
+    def record(label: str, variables: dict[str, int]) -> None:
+        for var_name, value in variables.items():
+            key = f"{label}.{var_name}"
+            low, high = bounds.get(key, (value, value))
+            bounds[key] = (min(low, value), max(high, value))
+
+    if space is None:
+        for constraint in model.constraints:
+            if isinstance(constraint, AutomatonRuntime):
+                record(constraint.label, constraint.variables)
+        return bounds
+
+    # configuration keys are tuples of per-constraint state keys; automata
+    # use the shape (label, state_name, ((var, value), ...))
+    automaton_labels = {
+        constraint.label for constraint in model.constraints
+        if isinstance(constraint, AutomatonRuntime)}
+    for _node, data in space.graph.nodes(data=True):
+        configuration = data.get("key")
+        if configuration is None:
+            continue
+        for part in configuration:
+            if (isinstance(part, tuple) and len(part) == 3
+                    and part[0] in automaton_labels
+                    and isinstance(part[2], tuple)):
+                label = part[0]
+                record(label, dict(part[2]))
+    return bounds
+
+
+def max_cycle_mean_throughput(space: StateSpace, event: str) -> float:
+    """Best steady-state throughput of *event*: the maximum, over
+    reachable cycles, of (occurrences of *event* on the cycle) divided by
+    (cycle length in steps). Computed per strongly connected component
+    with Karp's maximum cycle mean algorithm. Returns 0.0 when the space
+    has no cycle.
+    """
+    best = Fraction(0)
+    for component in space.recurrent_components():
+        subgraph = space.graph.subgraph(component)
+        mean = _karp_max_cycle_mean(subgraph, event)
+        if mean is not None and mean > best:
+            best = mean
+    return float(best)
+
+
+def _karp_max_cycle_mean(graph: nx.MultiDiGraph, event: str) -> Fraction | None:
+    """Karp's algorithm on one strongly connected (multi)graph.
+
+    Edge weight = 1 if the step contains *event* else 0; the maximum
+    cycle mean of those weights is occurrences-per-step.
+    """
+    nodes = list(graph.nodes)
+    if not nodes:
+        return None
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    source = nodes[0]
+
+    # collapse parallel edges, keeping the max weight per (u, v)
+    weights: dict[tuple[int, int], int] = {}
+    for u, v, data in graph.edges(data=True):
+        w = 1 if event in data["step"] else 0
+        key = (index[u], index[v])
+        if key not in weights or w > weights[key]:
+            weights[key] = w
+    if not weights:
+        return None
+
+    minus_inf = float("-inf")
+    # progression[k][v] = max weight of a k-edge walk from source to v
+    progression = [[minus_inf] * n for _ in range(n + 1)]
+    progression[0][index[source]] = 0
+    for k in range(1, n + 1):
+        row = progression[k]
+        prev = progression[k - 1]
+        for (u, v), w in weights.items():
+            if prev[u] != minus_inf and prev[u] + w > row[v]:
+                row[v] = prev[u] + w
+
+    best: Fraction | None = None
+    for v in range(n):
+        if progression[n][v] == minus_inf:
+            continue
+        worst: Fraction | None = None
+        for k in range(n):
+            if progression[k][v] == minus_inf:
+                continue
+            candidate = Fraction(int(progression[n][v] - progression[k][v]),
+                                 n - k)
+            if worst is None or candidate < worst:
+                worst = candidate
+        if worst is not None and (best is None or worst > best):
+            best = worst
+    return best
+
+
+def occurrence_latency(trace, cause: str, effect: str) -> list[int]:
+    """Per-occurrence latency: steps between the i-th *cause* and the
+    i-th *effect* occurrence in a trace (pipeline source→sink latency).
+
+    Only pairs where the effect does not precede its cause are counted;
+    unmatched trailing causes are ignored.
+    """
+    causes = trace.occurrence_indices(cause)
+    effects = trace.occurrence_indices(effect)
+    latencies = []
+    for cause_step, effect_step in zip(causes, effects):
+        if effect_step >= cause_step:
+            latencies.append(effect_step - cause_step)
+    return latencies
+
+
+def check_mutual_exclusion(space: StateSpace, events: list[str]) -> bool:
+    """True when no transition step contains two of *events* at once —
+    used to verify processor mutual exclusion after deployment."""
+    event_set = set(events)
+    for _u, _v, data in space.graph.edges(data=True):
+        if len(data["step"] & event_set) > 1:
+            return False
+    return True

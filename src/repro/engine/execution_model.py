@@ -1,0 +1,166 @@
+"""Execution models: the engine configuration for one specific model.
+
+Paper §II-A: "The execution model is a symbolic representation of all
+the acceptable schedules for a particular model." Concretely it is the
+set of events (one boolean variable each) plus the instantiated
+constraint runtimes. At every step the conjunction of the constraints'
+boolean expressions characterizes the acceptable event sets; the
+conjunction is compiled to a BDD for enumeration and counting.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.boolalg.bdd import Bdd
+from repro.boolalg.expr import And, BExpr
+from repro.errors import EngineError
+from repro.moccml.semantics.runtime import ConstraintRuntime
+
+
+class ExecutionModel:
+    """Events + constraint instances, advanced step by step."""
+
+    def __init__(self, events: Iterable[str],
+                 constraints: Iterable[ConstraintRuntime] = (),
+                 name: str = "execution-model"):
+        self.name = name
+        self.events: list[str] = list(dict.fromkeys(events))
+        self.constraints: list[ConstraintRuntime] = list(constraints)
+        self._check_coverage()
+
+    def _check_coverage(self) -> None:
+        known = set(self.events)
+        for constraint in self.constraints:
+            missing = constraint.constrained_events - known
+            if missing:
+                raise EngineError(
+                    f"constraint {constraint.label!r} references event(s) "
+                    f"{sorted(missing)} not in the execution model")
+
+    def add_constraint(self, constraint: ConstraintRuntime) -> ConstraintRuntime:
+        """Attach one more constraint (its events must already exist)."""
+        missing = constraint.constrained_events - set(self.events)
+        if missing:
+            raise EngineError(
+                f"constraint {constraint.label!r} references unknown "
+                f"event(s) {sorted(missing)}")
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_event(self, event: str) -> str:
+        """Register an additional (free until constrained) event."""
+        if event not in self.events:
+            self.events.append(event)
+        return event
+
+    # -- step semantics ------------------------------------------------------
+
+    def step_formula(self) -> BExpr:
+        """The conjunction of every constraint's current formula."""
+        return And(*(constraint.step_formula()
+                     for constraint in self.constraints))
+
+    #: shared memo: (formula, events tuple, include_empty) -> step list.
+    #: Distinct configurations frequently produce structurally identical
+    #: formulas (same guards true, different counter values), so this
+    #: cache is the explorer's main accelerator.
+    _steps_cache: dict = {}
+    _STEPS_CACHE_LIMIT = 50_000
+
+    def acceptable_steps(self, include_empty: bool = False) -> list[frozenset[str]]:
+        """Enumerate the acceptable steps at the current configuration.
+
+        Returns a deterministically ordered list of event sets; the empty
+        step (nothing occurs) is omitted unless *include_empty*.
+        """
+        formula = self.step_formula()
+        cache_key = (formula, tuple(self.events), include_empty)
+        cached = ExecutionModel._steps_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
+        bdd = Bdd(order=self.events)
+        node = bdd.from_expr(formula)
+        steps = []
+        for model in bdd.iter_models(node, self.events):
+            step = frozenset(name for name, value in model.items() if value)
+            if step or include_empty:
+                steps.append(step)
+        steps.sort(key=lambda s: (len(s), sorted(s)))
+        if len(ExecutionModel._steps_cache) < self._STEPS_CACHE_LIMIT:
+            ExecutionModel._steps_cache[cache_key] = steps
+        return list(steps)
+
+    def count_acceptable_steps(self, include_empty: bool = True) -> int:
+        """Number of acceptable steps without enumerating them."""
+        bdd = Bdd(order=self.events)
+        node = bdd.from_expr(self.step_formula())
+        count = bdd.sat_count(node, self.events)
+        if not include_empty:
+            empty = {name: False for name in self.events}
+            if bdd.evaluate(node, empty):
+                count -= 1
+        return count
+
+    def max_step(self) -> frozenset[str] | None:
+        """A maximal acceptable step, computed symbolically.
+
+        Returns None when no *non-empty* step is acceptable. Unlike
+        :meth:`acceptable_steps`, this never enumerates models — cost is
+        linear in the BDD size — so the ASAP policy scales to wide
+        models where the candidate set is exponential.
+        """
+        bdd = Bdd(order=self.events)
+        node = bdd.from_expr(self.step_formula())
+        model = bdd.max_true_model(node, self.events)
+        if model is None:
+            return None
+        step = frozenset(name for name, value in model.items() if value)
+        return step or None
+
+    def is_acceptable(self, step: frozenset[str]) -> bool:
+        """Whether *step* satisfies the current conjunction."""
+        unknown = step - set(self.events)
+        if unknown:
+            raise EngineError(f"unknown event(s) in step: {sorted(unknown)}")
+        assignment = {name: name in step for name in self.events}
+        formula = self.step_formula()
+        return formula.evaluate(
+            {name: assignment[name] for name in formula.support()})
+
+    def advance(self, step: frozenset[str], check: bool = True) -> None:
+        """Commit *step*: every constraint updates its internal state.
+
+        With *check* (the default) the step is validated against the
+        global conjunction first; drivers that enumerate steps from the
+        formula itself (the explorer) skip the redundant validation.
+        """
+        if check and not self.is_acceptable(step):
+            raise EngineError(
+                f"step {sorted(step)} is not acceptable in the current "
+                f"configuration of {self.name!r}")
+        for constraint in self.constraints:
+            constraint.advance(step)
+
+    # -- exploration support -----------------------------------------------------
+
+    def configuration(self) -> Hashable:
+        """Hashable global configuration (tuple of constraint states)."""
+        return tuple(constraint.state_key()
+                     for constraint in self.constraints)
+
+    def clone(self) -> "ExecutionModel":
+        """Deep copy: cloned constraints, shared immutable event list."""
+        copy = ExecutionModel(self.events, [], name=self.name)
+        copy.constraints = [constraint.clone()
+                            for constraint in self.constraints]
+        return copy
+
+    def is_accepting(self) -> bool:
+        """Whether every constraint is in an accepting (final) state."""
+        return all(constraint.is_accepting()
+                   for constraint in self.constraints)
+
+    def __repr__(self):
+        return (f"ExecutionModel({self.name!r}, {len(self.events)} events, "
+                f"{len(self.constraints)} constraints)")

@@ -1,0 +1,164 @@
+"""Scheduling policies: how a simulator picks one acceptable step.
+
+The MoCC defines *which* steps are acceptable; it deliberately leaves
+the choice among them open (that is the concurrency). Policies close
+that choice for simulation purposes:
+
+* :class:`RandomPolicy` — uniform choice, seeded for reproducibility;
+* :class:`AsapPolicy` — as-soon-as-possible: a maximal step (greatest
+  number of simultaneous events), the natural choice for observing the
+  available parallelism;
+* :class:`MinimalPolicy` — a minimal non-empty step, serializing as much
+  as possible;
+* :class:`PriorityPolicy` — weighted choice by per-event priorities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.errors import EngineError
+
+
+class SchedulingPolicy:
+    """Base class. ``choose`` picks one step among the candidates."""
+
+    name = "abstract"
+
+    def choose(self, candidates: Sequence[frozenset[str]],
+               step_index: int) -> frozenset[str]:
+        raise NotImplementedError
+
+    def choose_from_model(self, model, step_index: int) -> frozenset[str] | None:
+        """Pick the next step directly from an execution model.
+
+        The default enumerates the acceptable steps and delegates to
+        :meth:`choose`; policies with a symbolic shortcut (ASAP)
+        override this. Returns None on deadlock (no non-empty step).
+        """
+        candidates = model.acceptable_steps(include_empty=False)
+        if not candidates:
+            return None
+        return self.choose(candidates, step_index)
+
+    def _require(self, candidates: Sequence[frozenset[str]]) -> None:
+        if not candidates:
+            raise EngineError(
+                f"policy {self.name!r} invoked with no candidate steps")
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniformly random among the acceptable steps (seeded)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates, step_index):
+        self._require(candidates)
+        return self._rng.choice(list(candidates))
+
+
+class AsapPolicy(SchedulingPolicy):
+    """A maximal step: as many events as the constraints allow.
+
+    Ties are broken lexicographically so simulations are reproducible.
+    On wide models (more than *symbolic_threshold* events) the step is
+    extracted symbolically from the BDD instead of enumerating the
+    (exponentially many) candidates.
+    """
+
+    name = "asap"
+
+    def __init__(self, symbolic_threshold: int = 20):
+        self.symbolic_threshold = symbolic_threshold
+
+    def choose(self, candidates, step_index):
+        self._require(candidates)
+        return max(candidates, key=lambda step: (len(step), sorted(step)))
+
+    def choose_from_model(self, model, step_index):
+        if len(model.events) > self.symbolic_threshold:
+            return model.max_step()
+        return super().choose_from_model(model, step_index)
+
+
+class MinimalPolicy(SchedulingPolicy):
+    """A minimal non-empty step (maximal serialization)."""
+
+    name = "minimal"
+
+    def choose(self, candidates, step_index):
+        self._require(candidates)
+        non_empty = [step for step in candidates if step]
+        pool = non_empty or list(candidates)
+        return min(pool, key=lambda step: (len(step), sorted(step)))
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Choose the step with the greatest total event priority.
+
+    Unlisted events default to weight 0; ties break toward larger, then
+    lexicographically smaller steps.
+    """
+
+    name = "priority"
+
+    def __init__(self, weights: dict[str, int]):
+        self.weights = dict(weights)
+
+    def choose(self, candidates, step_index):
+        self._require(candidates)
+        return max(candidates, key=lambda step: (
+            sum(self.weights.get(name, 0) for name in step),
+            len(step),
+            [-ord(c) for c in "".join(sorted(step))],
+        ))
+
+
+class ReplayPolicy(SchedulingPolicy):
+    """Replay a recorded step sequence (a trace, or any list of steps).
+
+    Validates at every step that the recorded step is still acceptable —
+    the standard way to re-check a schedule against a *modified* MoCC
+    (e.g. replaying an infinite-resource trace against a deployment).
+    Raises :class:`EngineError` on divergence; returns None (deadlock)
+    when the recording is exhausted.
+    """
+
+    name = "replay"
+
+    def __init__(self, steps):
+        self.steps = [frozenset(step) for step in steps]
+
+    def choose_from_model(self, model, step_index):
+        if step_index >= len(self.steps):
+            return None
+        step = self.steps[step_index]
+        if not model.is_acceptable(step):
+            raise EngineError(
+                f"replay diverged at step {step_index}: {sorted(step)} is "
+                f"no longer acceptable")
+        return step
+
+    def choose(self, candidates, step_index):
+        if step_index >= len(self.steps):
+            raise EngineError("replay exhausted")
+        return self.steps[step_index]
+
+
+class CallbackPolicy(SchedulingPolicy):
+    """Adapter turning a plain function into a policy (for tests and
+    interactive front ends)."""
+
+    name = "callback"
+
+    def __init__(self, function: Callable[[Sequence[frozenset[str]], int],
+                                          frozenset[str]]):
+        self._function = function
+
+    def choose(self, candidates, step_index):
+        self._require(candidates)
+        return self._function(candidates, step_index)

@@ -1,0 +1,175 @@
+"""Property checking over explored state spaces.
+
+The paper positions the explicit MoCC as the enabler of
+"concurrency-aware analysis techniques". This module provides the
+standard finite-state checks over a :class:`StateSpace`:
+
+* :func:`always` (safety, AG): a step/state predicate holds on every
+  reachable transition/state;
+* :func:`never` — convenience negation of :func:`always`;
+* :func:`eventually_reachable` (EF): some reachable transition
+  satisfies the predicate;
+* :func:`inevitable` (AF): every infinite run (and every run ending in
+  a deadlock) hits the predicate;
+* :func:`leads_to` — after a trigger transition, the target predicate
+  is inevitable;
+* :func:`counterexample_path` — a shortest step sequence witnessing a
+  reachability query (used as the diagnostic for failed safety checks).
+
+Step predicates receive the transition's event set; helpers
+:func:`occurs` and :func:`together` build the common ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.engine.statespace import StateSpace
+
+StepPredicate = Callable[[frozenset[str]], bool]
+
+
+def occurs(event: str) -> StepPredicate:
+    """Predicate: *event* occurs in the step."""
+    return lambda step: event in step
+
+
+def together(*events: str) -> StepPredicate:
+    """Predicate: all *events* occur simultaneously in the step."""
+    required = frozenset(events)
+    return lambda step: required <= step
+
+
+def always(space: StateSpace, predicate: StepPredicate) -> bool:
+    """AG over transitions: *predicate* holds on every reachable step."""
+    return all(predicate(data["step"])
+               for _u, _v, data in space.graph.edges(data=True))
+
+
+def never(space: StateSpace, predicate: StepPredicate) -> bool:
+    """Safety: no reachable step satisfies *predicate*."""
+    return always(space, lambda step: not predicate(step))
+
+
+def eventually_reachable(space: StateSpace,
+                         predicate: StepPredicate) -> bool:
+    """EF over transitions: some reachable step satisfies *predicate*."""
+    return any(predicate(data["step"])
+               for _u, _v, data in space.graph.edges(data=True))
+
+
+def counterexample_path(space: StateSpace, predicate: StepPredicate
+                        ) -> list[frozenset[str]] | None:
+    """Shortest step sequence from the initial state ending with a step
+    satisfying *predicate*, or None when unreachable."""
+    parent: dict[int, tuple[int, frozenset[str]] | None] = {
+        space.initial: None}
+    queue: deque[int] = deque([space.initial])
+    while queue:
+        node = queue.popleft()
+        for _u, successor, data in space.graph.out_edges(node, data=True):
+            step = data["step"]
+            if predicate(step):
+                path = [step]
+                cursor = node
+                while parent[cursor] is not None:
+                    previous, via = parent[cursor]  # type: ignore[misc]
+                    path.append(via)
+                    cursor = previous
+                path.reverse()
+                return path
+            if successor not in parent:
+                parent[successor] = (node, step)
+                queue.append(successor)
+    return None
+
+
+def inevitable(space: StateSpace, predicate: StepPredicate) -> bool:
+    """AF over transitions: every run eventually takes a step satisfying
+    *predicate*.
+
+    Computed as: no infinite run (cycle, or path into a deadlock) avoids
+    the predicate. Concretely, remove every edge satisfying the
+    predicate; the property fails iff the remaining graph, restricted to
+    what is reachable from the initial state, contains a cycle or a
+    path to a node that was a deadlock in the original space.
+    """
+    if space.truncated:
+        raise ValueError(
+            "inevitability is undecidable on a truncated state space")
+    avoiding = {
+        (u, v, key)
+        for u, v, key, data in space.graph.edges(keys=True, data=True)
+        if not predicate(data["step"])}
+    # reachability through avoiding edges only
+    reachable: set[int] = set()
+    stack = [space.initial]
+    adjacency: dict[int, list[int]] = {}
+    for u, v, key in avoiding:
+        adjacency.setdefault(u, []).append(v)
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(adjacency.get(node, []))
+    # a deadlock reachable while avoiding the predicate -> a maximal
+    # finite run that never satisfies it
+    deadlocks = set(space.deadlocks())
+    if reachable & deadlocks:
+        return False
+    # a cycle within the avoiding subgraph reachable from the start ->
+    # an infinite run that never satisfies it
+    return not _has_cycle(reachable, adjacency)
+
+
+def _has_cycle(nodes: set[int], adjacency: dict[int, list[int]]) -> bool:
+    state: dict[int, int] = {}  # 0 in-progress, 1 done
+
+    def visit(start: int) -> bool:
+        stack: list[tuple[int, Iterable[int]]] = [
+            (start, iter(adjacency.get(start, [])))]
+        state[start] = 0
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in nodes:
+                    continue
+                if child not in state:
+                    state[child] = 0
+                    stack.append((child, iter(adjacency.get(child, []))))
+                    advanced = True
+                    break
+                if state[child] == 0:
+                    return True
+            if not advanced:
+                state[node] = 1
+                stack.pop()
+        return False
+
+    for node in nodes:
+        if node not in state and visit(node):
+            return True
+    return False
+
+
+def leads_to(space: StateSpace, trigger: StepPredicate,
+             target: StepPredicate) -> bool:
+    """Response property: whenever a *trigger* step is taken, every
+    continuation eventually takes a *target* step."""
+    if space.truncated:
+        raise ValueError(
+            "leads-to is undecidable on a truncated state space")
+    # collect the states entered by a trigger step, then check
+    # inevitability of the target from each of them
+    sources = {v for _u, v, data in space.graph.edges(data=True)
+               if trigger(data["step"])}
+    for source in sources:
+        sub_space = StateSpace(graph=space.graph, initial=source,
+                               events=space.events, truncated=False,
+                               name=f"{space.name}@{source}")
+        if not inevitable(sub_space, target):
+            return False
+    return True

@@ -1,0 +1,78 @@
+"""Step-by-step simulation of an execution model under a policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.execution_model import ExecutionModel
+from repro.engine.policies import SchedulingPolicy
+from repro.engine.trace import Trace
+from repro.errors import DeadlockError
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    trace: Trace
+    deadlocked: bool = False
+    steps_run: int = 0
+    #: why the run stopped: "budget", "deadlock" or "stop-condition"
+    stop_reason: str = "budget"
+    final_accepting: bool = True
+    notes: list[str] = field(default_factory=list)
+
+
+class Simulator:
+    """Drives an :class:`ExecutionModel` with a scheduling policy.
+
+    The simulator mutates the execution model it is given; pass
+    ``model.clone()`` to keep the original configuration pristine.
+    """
+
+    def __init__(self, model: ExecutionModel, policy: SchedulingPolicy):
+        self.model = model
+        self.policy = policy
+
+    def run(self, max_steps: int, stop_when=None,
+            on_deadlock: str = "stop", observers=()) -> SimulationResult:
+        """Run up to *max_steps* steps.
+
+        Parameters
+        ----------
+        max_steps:
+            Step budget.
+        stop_when:
+            Optional predicate ``trace -> bool`` checked after each step.
+        on_deadlock:
+            ``"stop"`` ends the run marking ``deadlocked=True``;
+            ``"raise"`` raises :class:`~repro.errors.DeadlockError`.
+            A deadlock here means *no non-empty step is acceptable* —
+            the system can only stutter forever.
+        observers:
+            Callables ``(step_index, step, model)`` invoked after each
+            committed step — runtime monitors, progress reporting,
+            animation front ends.
+        """
+        trace = Trace(self.model.events)
+        result = SimulationResult(trace=trace)
+        for index in range(max_steps):
+            step = self.policy.choose_from_model(self.model, index)
+            if step is None:
+                result.deadlocked = True
+                result.stop_reason = "deadlock"
+                if on_deadlock == "raise":
+                    raise DeadlockError(
+                        f"{self.model.name}: no acceptable non-empty step "
+                        f"after {index} step(s)")
+                break
+            self.model.advance(step)
+            trace.append(step)
+            result.steps_run += 1
+            for observer in observers:
+                observer(index, step, self.model)
+            if stop_when is not None and stop_when(trace):
+                result.stop_reason = "stop-condition"
+                break
+        result.final_accepting = self.model.is_accepting()
+        return result

@@ -1,0 +1,181 @@
+"""State spaces: the explored scheduling graph plus quantitative metrics.
+
+The conclusion of the paper reports using exhaustive exploration "to
+obtain quantitative results on the scheduling state-space" and "to
+understand the impact of the deployment on the actual parallelism".
+Those are exactly the numbers this class exposes: state/transition
+counts, deadlocks, maximal step parallelism, event liveness and
+steady-state throughput.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import SerializationError
+
+
+@dataclass
+class StateSpace:
+    """An explored scheduling state space."""
+
+    graph: nx.MultiDiGraph
+    initial: int
+    events: list[str]
+    truncated: bool = False
+    name: str = "state-space"
+
+    # -- sizes -------------------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_transitions(self) -> int:
+        return self.graph.number_of_edges()
+
+    def distinct_steps(self) -> set[frozenset[str]]:
+        """The set of distinct steps labelling any transition."""
+        return {data["step"] for _u, _v, data in self.graph.edges(data=True)}
+
+    # -- deadlock / liveness ------------------------------------------------------
+
+    def deadlocks(self) -> list[int]:
+        """Nodes with no outgoing transition (that are not exploration
+        frontier nodes of a truncated run)."""
+        result = []
+        for node in self.graph.nodes:
+            if self.graph.out_degree(node) == 0 and not self.graph.nodes[
+                    node].get("frontier", False):
+                result.append(node)
+        return result
+
+    def is_deadlock_free(self) -> bool:
+        return not self.deadlocks()
+
+    def live_events(self) -> set[str]:
+        """Events occurring on at least one transition."""
+        alive: set[str] = set()
+        for _u, _v, data in self.graph.edges(data=True):
+            alive |= data["step"]
+        return alive
+
+    def dead_events(self) -> set[str]:
+        """Declared events that never occur anywhere in the state space."""
+        return set(self.events) - self.live_events()
+
+    # -- parallelism -----------------------------------------------------------------
+
+    def max_parallelism(self) -> int:
+        """Largest step cardinality over all transitions — the peak
+        *actual* parallelism the constraints permit."""
+        return max((len(data["step"])
+                    for _u, _v, data in self.graph.edges(data=True)),
+                   default=0)
+
+    def parallelism_histogram(self) -> dict[int, int]:
+        """Transition count per step cardinality."""
+        histogram: dict[int, int] = {}
+        for _u, _v, data in self.graph.edges(data=True):
+            size = len(data["step"])
+            histogram[size] = histogram.get(size, 0) + 1
+        return histogram
+
+    def mean_branching(self) -> float:
+        """Average out-degree — how much scheduling freedom remains."""
+        nodes = self.graph.number_of_nodes()
+        if nodes == 0:
+            return 0.0
+        return self.graph.number_of_edges() / nodes
+
+    # -- cyclic behaviour -------------------------------------------------------------
+
+    def recurrent_components(self) -> list[set[int]]:
+        """Non-trivial strongly connected components (steady-state
+        behaviours)."""
+        components = []
+        for component in nx.strongly_connected_components(self.graph):
+            if len(component) > 1:
+                components.append(component)
+            else:
+                node = next(iter(component))
+                if self.graph.has_edge(node, node):
+                    components.append(component)
+        return components
+
+    def summary(self) -> dict[str, object]:
+        """A metric bundle used by the PAM study and the benches."""
+        return {
+            "states": self.n_states,
+            "transitions": self.n_transitions,
+            "distinct_steps": len(self.distinct_steps()),
+            "deadlocks": len(self.deadlocks()),
+            "max_parallelism": self.max_parallelism(),
+            "mean_branching": round(self.mean_branching(), 3),
+            "dead_events": sorted(self.dead_events()),
+            "truncated": self.truncated,
+        }
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the explored graph (configuration keys are dropped —
+        they are engine-internal; steps, depths and flags survive)."""
+        nodes = []
+        for node, data in self.graph.nodes(data=True):
+            nodes.append({
+                "id": node,
+                "accepting": bool(data.get("accepting", True)),
+                "depth": data.get("depth", 0),
+                "frontier": bool(data.get("frontier", False)),
+            })
+        edges = [
+            {"source": u, "target": v, "step": sorted(data["step"])}
+            for u, v, data in self.graph.edges(data=True)
+        ]
+        doc = {
+            "format": 1,
+            "kind": "statespace",
+            "name": self.name,
+            "initial": self.initial,
+            "truncated": self.truncated,
+            "events": list(self.events),
+            "nodes": nodes,
+            "edges": edges,
+        }
+        return json.dumps(doc, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StateSpace":
+        """Reload a state space saved with :meth:`to_json`."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("kind") != "statespace":
+            raise SerializationError("expected a statespace document")
+        if doc.get("format") != 1:
+            raise SerializationError(
+                f"unsupported format version {doc.get('format')!r}")
+        graph = nx.MultiDiGraph()
+        for node_doc in doc["nodes"]:
+            attrs = {"accepting": node_doc["accepting"],
+                     "depth": node_doc["depth"]}
+            if node_doc.get("frontier"):
+                attrs["frontier"] = True
+            graph.add_node(node_doc["id"], **attrs)
+        for edge_doc in doc["edges"]:
+            graph.add_edge(edge_doc["source"], edge_doc["target"],
+                           step=frozenset(edge_doc["step"]))
+        return cls(graph=graph, initial=doc["initial"],
+                   events=list(doc["events"]),
+                   truncated=bool(doc["truncated"]), name=doc["name"])
+
+    def __repr__(self):
+        status = " (truncated)" if self.truncated else ""
+        return (f"StateSpace({self.name!r}, {self.n_states} states, "
+                f"{self.n_transitions} transitions{status})")

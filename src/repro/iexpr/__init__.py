@@ -1,0 +1,37 @@
+"""Integer and guard expressions for MoCCML constraint automata.
+
+The paper restricts automaton variables and parameters to the types
+``Event`` and ``Integer`` (§II-B1) "to ease exhaustive simulations".
+Guards are boolean expressions over the integer variables/parameters;
+actions are integer assignments (``size += pushRate`` in Fig. 3).
+
+This package provides the corresponding little ASTs plus a
+recursive-descent parser shared by the MoCCML textual syntax.
+"""
+
+from repro.iexpr.ast import (
+    Add,
+    Assign,
+    Cmp,
+    Div,
+    GAnd,
+    GConst,
+    GNot,
+    GOr,
+    IntConst,
+    IntExpr,
+    IntVar,
+    GuardExpr,
+    Mod,
+    Mul,
+    Neg,
+    Sub,
+)
+from repro.iexpr.parser import parse_actions, parse_guard, parse_int_expr
+
+__all__ = [
+    "IntExpr", "IntConst", "IntVar", "Add", "Sub", "Mul", "Div", "Mod", "Neg",
+    "GuardExpr", "GConst", "Cmp", "GAnd", "GOr", "GNot",
+    "Assign",
+    "parse_int_expr", "parse_guard", "parse_actions",
+]

@@ -1,0 +1,413 @@
+"""ASTs for integer expressions, guards and actions.
+
+All nodes are immutable and hashable. Evaluation happens against an
+*environment*: a mapping from names (automaton variables and integer
+parameters) to ints. Unknown names raise
+:class:`~repro.errors.GuardTypeError` so that binding mistakes surface
+at the first evaluation rather than as silent zeros.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import GuardTypeError
+
+
+# ---------------------------------------------------------------------------
+# integer expressions
+# ---------------------------------------------------------------------------
+
+
+class IntExpr:
+    """Base class of integer expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def names(self) -> frozenset[str]:
+        """Variable/parameter names used by the expression."""
+        raise NotImplementedError
+
+
+class IntConst(IntExpr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise GuardTypeError(f"integer constant expected, got {value!r}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("IntExpr is immutable")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def names(self) -> frozenset[str]:
+        return frozenset()
+
+    def __eq__(self, other):
+        return isinstance(other, IntConst) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("iconst", self.value))
+
+    def __repr__(self):
+        return str(self.value)
+
+
+class IntVar(IntExpr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("IntExpr is immutable")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            value = env[self.name]
+        except KeyError:
+            raise GuardTypeError(
+                f"unknown integer name {self.name!r} in expression") from None
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise GuardTypeError(
+                f"{self.name!r} is bound to non-integer {value!r}")
+        return value
+
+    def names(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def __eq__(self, other):
+        return isinstance(other, IntVar) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("ivar", self.name))
+
+    def __repr__(self):
+        return self.name
+
+
+class _BinOp(IntExpr):
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: IntExpr, right: IntExpr):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("IntExpr is immutable")
+
+    def names(self) -> frozenset[str]:
+        return self.left.names() | self.right.names()
+
+    def __eq__(self, other):
+        return (type(other) is type(self) and self.left == other.left
+                and self.right == other.right)
+
+    def __hash__(self):
+        return hash((self._symbol, self.left, self.right))
+
+    def __repr__(self):
+        return f"({self.left!r} {self._symbol} {self.right!r})"
+
+
+class Add(_BinOp):
+    __slots__ = ()
+    _symbol = "+"
+
+    def evaluate(self, env):
+        return self.left.evaluate(env) + self.right.evaluate(env)
+
+
+class Sub(_BinOp):
+    __slots__ = ()
+    _symbol = "-"
+
+    def evaluate(self, env):
+        return self.left.evaluate(env) - self.right.evaluate(env)
+
+
+class Mul(_BinOp):
+    __slots__ = ()
+    _symbol = "*"
+
+    def evaluate(self, env):
+        return self.left.evaluate(env) * self.right.evaluate(env)
+
+
+class Div(_BinOp):
+    __slots__ = ()
+    _symbol = "/"
+
+    def evaluate(self, env):
+        divisor = self.right.evaluate(env)
+        if divisor == 0:
+            raise GuardTypeError(f"division by zero in {self!r}")
+        # truncating division (C-like), adequate for rate arithmetic
+        return int(self.left.evaluate(env) / divisor)
+
+
+class Mod(_BinOp):
+    __slots__ = ()
+    _symbol = "%"
+
+    def evaluate(self, env):
+        divisor = self.right.evaluate(env)
+        if divisor == 0:
+            raise GuardTypeError(f"modulo by zero in {self!r}")
+        return self.left.evaluate(env) % divisor
+
+
+class Neg(IntExpr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: IntExpr):
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("IntExpr is immutable")
+
+    def evaluate(self, env):
+        return -self.operand.evaluate(env)
+
+    def names(self) -> frozenset[str]:
+        return self.operand.names()
+
+    def __eq__(self, other):
+        return isinstance(other, Neg) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("neg", self.operand))
+
+    def __repr__(self):
+        return f"-({self.operand!r})"
+
+
+# ---------------------------------------------------------------------------
+# guards (boolean expressions over integers)
+# ---------------------------------------------------------------------------
+
+
+class GuardExpr:
+    """Base class of guard expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        raise NotImplementedError
+
+    def names(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+class GConst(GuardExpr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("GuardExpr is immutable")
+
+    def evaluate(self, env):
+        return self.value
+
+    def names(self):
+        return frozenset()
+
+    def __eq__(self, other):
+        return isinstance(other, GConst) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("gconst", self.value))
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+_CMP_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class Cmp(GuardExpr):
+    """A comparison between two integer expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: IntExpr, right: IntExpr):
+        if op not in _CMP_OPS:
+            raise GuardTypeError(f"unknown comparison operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("GuardExpr is immutable")
+
+    def evaluate(self, env):
+        return _CMP_OPS[self.op](self.left.evaluate(env),
+                                 self.right.evaluate(env))
+
+    def names(self):
+        return self.left.names() | self.right.names()
+
+    def __eq__(self, other):
+        return (isinstance(other, Cmp) and self.op == other.op
+                and self.left == other.left and self.right == other.right)
+
+    def __hash__(self):
+        return hash(("cmp", self.op, self.left, self.right))
+
+    def __repr__(self):
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+class GAnd(GuardExpr):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: GuardExpr):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("GuardExpr is immutable")
+
+    def evaluate(self, env):
+        return all(part.evaluate(env) for part in self.parts)
+
+    def names(self):
+        result: frozenset[str] = frozenset()
+        for part in self.parts:
+            result |= part.names()
+        return result
+
+    def __eq__(self, other):
+        return isinstance(other, GAnd) and self.parts == other.parts
+
+    def __hash__(self):
+        return hash(("gand", self.parts))
+
+    def __repr__(self):
+        return " and ".join(f"({p!r})" for p in self.parts)
+
+
+class GOr(GuardExpr):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: GuardExpr):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("GuardExpr is immutable")
+
+    def evaluate(self, env):
+        return any(part.evaluate(env) for part in self.parts)
+
+    def names(self):
+        result: frozenset[str] = frozenset()
+        for part in self.parts:
+            result |= part.names()
+        return result
+
+    def __eq__(self, other):
+        return isinstance(other, GOr) and self.parts == other.parts
+
+    def __hash__(self):
+        return hash(("gor", self.parts))
+
+    def __repr__(self):
+        return " or ".join(f"({p!r})" for p in self.parts)
+
+
+class GNot(GuardExpr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: GuardExpr):
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("GuardExpr is immutable")
+
+    def evaluate(self, env):
+        return not self.operand.evaluate(env)
+
+    def names(self):
+        return self.operand.names()
+
+    def __eq__(self, other):
+        return isinstance(other, GNot) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("gnot", self.operand))
+
+    def __repr__(self):
+        return f"not ({self.operand!r})"
+
+
+# ---------------------------------------------------------------------------
+# actions
+# ---------------------------------------------------------------------------
+
+_ASSIGN_OPS = {"=", "+=", "-="}
+
+
+class Assign:
+    """An assignment action executed when a transition fires.
+
+    Supports the three forms the paper's examples use: plain assignment
+    (``size = itsDelay``), increment (``size += pushRate``) and decrement
+    (``size -= popRate``).
+    """
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, target: str, op: str, value: IntExpr):
+        if op not in _ASSIGN_OPS:
+            raise GuardTypeError(f"unknown assignment operator {op!r}")
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_args):  # pragma: no cover - defensive
+        raise AttributeError("Assign is immutable")
+
+    def apply(self, env: dict[str, int]) -> None:
+        """Execute the assignment in place on *env*.
+
+        The target must already exist in *env* (it is an automaton local
+        variable); parameters are read-only and must not be assigned.
+        """
+        if self.target not in env:
+            raise GuardTypeError(
+                f"assignment to unknown variable {self.target!r}")
+        amount = self.value.evaluate(env)
+        if self.op == "=":
+            env[self.target] = amount
+        elif self.op == "+=":
+            env[self.target] += amount
+        else:
+            env[self.target] -= amount
+
+    def names(self) -> frozenset[str]:
+        return frozenset((self.target,)) | self.value.names()
+
+    def __eq__(self, other):
+        return (isinstance(other, Assign) and self.target == other.target
+                and self.op == other.op and self.value == other.value)
+
+    def __hash__(self):
+        return hash(("assign", self.target, self.op, self.value))
+
+    def __repr__(self):
+        return f"{self.target} {self.op} {self.value!r}"

@@ -1,0 +1,250 @@
+"""Recursive-descent parser for integer expressions, guards and actions.
+
+Grammar (precedence from loosest to tightest)::
+
+    guard    := gterm ('or' gterm)*
+    gterm    := gfactor ('and' gfactor)*
+    gfactor  := 'not' gfactor | 'true' | 'false'
+              | '(' guard ')' | comparison
+    compare  := iexpr ('<'|'<='|'>'|'>='|'=='|'!=') iexpr
+    iexpr    := term (('+'|'-') term)*
+    term     := unary (('*'|'/'|'%') unary)*
+    unary    := '-' unary | atom
+    atom     := INT | NAME | '(' iexpr ')'
+    actions  := action (';' action)* [';']
+    action   := NAME ('='|'+='|'-=') iexpr
+
+Disambiguation note: ``( ... )`` after 'not'/start of a gfactor could
+open either a nested guard or a parenthesised integer expression that
+starts a comparison. The parser backtracks over that single decision.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.iexpr.ast import (
+    Add,
+    Assign,
+    Cmp,
+    Div,
+    GAnd,
+    GConst,
+    GNot,
+    GOr,
+    GuardExpr,
+    IntConst,
+    IntExpr,
+    IntVar,
+    Mod,
+    Mul,
+    Neg,
+    Sub,
+)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><=|>=|==|!=|\+=|-=|[-+*/%<>=();])
+""", re.VERBOSE)
+
+_KEYWORDS = {"and", "or", "not", "true", "false"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} in expression "
+                f"{text!r}", column=position)
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "name" and value in _KEYWORDS:
+            tokens.append(("kw", value))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple[str, str]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token[0] == kind and (value is None or token[1] == value):
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        token = self.peek()
+        if token[0] != kind or (value is not None and token[1] != value):
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token[1] or 'end of input'!r} "
+                f"in {self.text!r}")
+        self.index += 1
+        return token[1]
+
+    def at_end(self) -> bool:
+        return self.peek()[0] == "eof"
+
+    # -- integer expressions -------------------------------------------------
+
+    def int_expr(self) -> IntExpr:
+        node = self.term()
+        while True:
+            if self.accept("op", "+"):
+                node = Add(node, self.term())
+            elif self.accept("op", "-"):
+                node = Sub(node, self.term())
+            else:
+                return node
+
+    def term(self) -> IntExpr:
+        node = self.unary()
+        while True:
+            if self.accept("op", "*"):
+                node = Mul(node, self.unary())
+            elif self.accept("op", "/"):
+                node = Div(node, self.unary())
+            elif self.accept("op", "%"):
+                node = Mod(node, self.unary())
+            else:
+                return node
+
+    def unary(self) -> IntExpr:
+        if self.accept("op", "-"):
+            return Neg(self.unary())
+        return self.atom()
+
+    def atom(self) -> IntExpr:
+        kind, value = self.peek()
+        if kind == "int":
+            self.advance()
+            return IntConst(int(value))
+        if kind == "name":
+            self.advance()
+            return IntVar(value)
+        if self.accept("op", "("):
+            node = self.int_expr()
+            self.expect("op", ")")
+            return node
+        raise ParseError(
+            f"expected an integer expression, found {value!r} "
+            f"in {self.text!r}")
+
+    # -- guards ------------------------------------------------------------------
+
+    def guard(self) -> GuardExpr:
+        parts = [self.gterm()]
+        while self.accept("kw", "or"):
+            parts.append(self.gterm())
+        return parts[0] if len(parts) == 1 else GOr(*parts)
+
+    def gterm(self) -> GuardExpr:
+        parts = [self.gfactor()]
+        while self.accept("kw", "and"):
+            parts.append(self.gfactor())
+        return parts[0] if len(parts) == 1 else GAnd(*parts)
+
+    def gfactor(self) -> GuardExpr:
+        if self.accept("kw", "not"):
+            return GNot(self.gfactor())
+        if self.accept("kw", "true"):
+            return GConst(True)
+        if self.accept("kw", "false"):
+            return GConst(False)
+        if self.peek() == ("op", "("):
+            # Either a parenthesised guard or a parenthesised int expr that
+            # begins a comparison. Try the guard reading first, backtrack.
+            saved = self.index
+            try:
+                self.advance()
+                inner = self.guard()
+                self.expect("op", ")")
+                if self.peek()[1] in ("<", "<=", ">", ">=", "==", "!="):
+                    raise ParseError("comparison follows: backtrack")
+                return inner
+            except ParseError:
+                self.index = saved
+        return self.comparison()
+
+    def comparison(self) -> GuardExpr:
+        left = self.int_expr()
+        kind, value = self.peek()
+        if kind == "op" and value in ("<", "<=", ">", ">=", "==", "!="):
+            self.advance()
+            right = self.int_expr()
+            return Cmp(value, left, right)
+        raise ParseError(
+            f"expected a comparison operator after {left!r} in {self.text!r}")
+
+    # -- actions --------------------------------------------------------------------
+
+    def actions(self) -> list[Assign]:
+        result = []
+        while not self.at_end():
+            result.append(self.action())
+            if not self.accept("op", ";"):
+                break
+        return result
+
+    def action(self) -> Assign:
+        target = self.expect("name")
+        kind, value = self.peek()
+        if kind == "op" and value in ("=", "+=", "-="):
+            self.advance()
+            return Assign(target, value, self.int_expr())
+        raise ParseError(
+            f"expected '=', '+=' or '-=' after {target!r} in {self.text!r}")
+
+
+def parse_int_expr(text: str) -> IntExpr:
+    """Parse an integer expression like ``itsCapacity - pushRate``."""
+    parser = _Parser(text)
+    node = parser.int_expr()
+    if not parser.at_end():
+        raise ParseError(
+            f"trailing input after integer expression in {text!r}")
+    return node
+
+
+def parse_guard(text: str) -> GuardExpr:
+    """Parse a guard like ``size <= itsCapacity - pushRate and size >= 0``."""
+    parser = _Parser(text)
+    node = parser.guard()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after guard in {text!r}")
+    return node
+
+
+def parse_actions(text: str) -> list[Assign]:
+    """Parse a ';'-separated action list like ``size += pushRate``."""
+    parser = _Parser(text)
+    result = parser.actions()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after actions in {text!r}")
+    return result

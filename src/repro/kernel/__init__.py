@@ -1,0 +1,59 @@
+"""MOF-lite metamodeling kernel.
+
+The paper's tooling lives inside the Eclipse Modeling Framework: DSL
+abstract syntaxes are Ecore metamodels and models are EMF object graphs.
+This package is the pure-Python substitute: it provides metaclasses with
+attributes and references, model elements (:class:`MObject`) that conform
+to them, model containers, conformance validation, dotted-path navigation
+(the fragment of OCL that ECL mappings need) and JSON serialization.
+
+Quick tour::
+
+    from repro.kernel import MetamodelBuilder
+
+    b = MetamodelBuilder("Library")
+    b.metaclass("Book", attributes={"title": "str", "pages": "int"})
+    b.metaclass("Shelf", references={"books": ("Book", "many")})
+    mm = b.build()
+
+    shelf = mm.instantiate("Shelf")
+    book = mm.instantiate("Book", title="SICP", pages=657)
+    shelf.add("books", book)
+"""
+
+from repro.kernel.metamodel import (
+    MetaAttribute,
+    MetaClass,
+    MetaModel,
+    MetaReference,
+    PRIMITIVE_TYPES,
+)
+from repro.kernel.mobject import MObject
+from repro.kernel.model import Model
+from repro.kernel.builder import MetamodelBuilder
+from repro.kernel.navigation import navigate, navigate_path
+from repro.kernel.validation import check_conformance
+from repro.kernel.serialize import (
+    metamodel_from_json,
+    metamodel_to_json,
+    model_from_json,
+    model_to_json,
+)
+
+__all__ = [
+    "MetaAttribute",
+    "MetaClass",
+    "MetaModel",
+    "MetaReference",
+    "MObject",
+    "Model",
+    "MetamodelBuilder",
+    "PRIMITIVE_TYPES",
+    "navigate",
+    "navigate_path",
+    "check_conformance",
+    "metamodel_to_json",
+    "metamodel_from_json",
+    "model_to_json",
+    "model_from_json",
+]

@@ -1,0 +1,112 @@
+"""Fluent construction of metamodels.
+
+:class:`MetamodelBuilder` turns the verbose MetaClass/MetaAttribute/
+MetaReference plumbing into compact declarations::
+
+    b = MetamodelBuilder("SigPML")
+    b.metaclass("NamedElement", attributes={"name": "str"}, abstract=True)
+    b.metaclass("Agent", supertypes=["NamedElement"],
+                references={"inputs": ("InputPort", "many", "containment")})
+    mm = b.build()   # resolves and validates cross-references
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MetamodelError
+from repro.kernel.metamodel import (
+    MetaAttribute,
+    MetaClass,
+    MetaModel,
+    MetaReference,
+    PRIMITIVE_TYPES,
+)
+
+#: Flags understood in attribute/reference shorthand tuples.
+_FLAGS = {"many", "containment", "optional", "required"}
+
+
+def _parse_attribute(name: str, spec: object) -> MetaAttribute:
+    """Build a MetaAttribute from shorthand.
+
+    Accepted forms: ``"int"`` — plain typed attribute;
+    ``("int", "many")`` — flags after the type;
+    ``("int", 0)`` — default value after the type;
+    an explicit :class:`MetaAttribute` passes through.
+    """
+    if isinstance(spec, MetaAttribute):
+        return spec
+    if isinstance(spec, str):
+        return MetaAttribute(name, spec)
+    if isinstance(spec, tuple) and spec and isinstance(spec[0], str):
+        type_name = spec[0]
+        many = False
+        optional = False
+        default = None
+        for extra in spec[1:]:
+            if isinstance(extra, str) and extra in _FLAGS:
+                many = many or extra == "many"
+                optional = optional or extra == "optional"
+            elif extra is None or isinstance(extra, (int, str, bool, float)):
+                default = extra
+            else:
+                raise MetamodelError(
+                    f"bad attribute shorthand for {name!r}: {spec!r}")
+        return MetaAttribute(name, type_name, default=default, many=many,
+                             optional=optional)
+    raise MetamodelError(f"bad attribute shorthand for {name!r}: {spec!r}")
+
+
+def _parse_reference(name: str, spec: object) -> MetaReference:
+    """Build a MetaReference from shorthand.
+
+    Accepted forms: ``"Target"``; ``("Target", "many")``;
+    ``("Target", "many", "containment")``; ``("Target", "required")``;
+    an explicit :class:`MetaReference` passes through.
+    """
+    if isinstance(spec, MetaReference):
+        return spec
+    if isinstance(spec, str):
+        return MetaReference(name, spec)
+    if isinstance(spec, tuple) and spec and isinstance(spec[0], str):
+        target = spec[0]
+        many = False
+        containment = False
+        optional = True
+        for extra in spec[1:]:
+            if extra not in _FLAGS:
+                raise MetamodelError(
+                    f"bad reference shorthand for {name!r}: {spec!r}")
+            many = many or extra == "many"
+            containment = containment or extra == "containment"
+            if extra == "required":
+                optional = False
+        return MetaReference(name, target, many=many, containment=containment,
+                             optional=optional)
+    raise MetamodelError(f"bad reference shorthand for {name!r}: {spec!r}")
+
+
+class MetamodelBuilder:
+    """Accumulates metaclass declarations, then resolves them in one go."""
+
+    def __init__(self, name: str):
+        self._metamodel = MetaModel(name)
+
+    def metaclass(self, name: str,
+                  attributes: Optional[dict[str, object]] = None,
+                  references: Optional[dict[str, object]] = None,
+                  supertypes: Optional[list[str]] = None,
+                  abstract: bool = False) -> MetaClass:
+        """Declare a metaclass from shorthand feature specs (see module doc)."""
+        cls = MetaClass(name, supertypes=supertypes, abstract=abstract)
+        for attr_name, spec in (attributes or {}).items():
+            cls.add_attribute(_parse_attribute(attr_name, spec))
+        for ref_name, spec in (references or {}).items():
+            cls.add_reference(_parse_reference(ref_name, spec))
+        return self._metamodel.add(cls)
+
+    def build(self) -> MetaModel:
+        """Resolve supertypes/targets and return the finished metamodel."""
+        self._metamodel.resolve()
+        return self._metamodel

@@ -1,0 +1,284 @@
+"""Metaclasses, attributes and references — the MOF-lite core.
+
+A :class:`MetaModel` is a named set of :class:`MetaClass` definitions.
+Each metaclass owns typed :class:`MetaAttribute` slots (primitive values)
+and :class:`MetaReference` slots (links to other model elements), and may
+inherit features from supertypes. This is the minimal fragment of
+MOF/Ecore the paper's pipeline relies on: enough to define the abstract
+syntax of a DSL (Fig. 2 of the paper is itself such a metamodel) and to
+navigate models from ECL mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import MetamodelError
+from repro.kernel.names import check_identifier
+
+#: Primitive attribute types supported by the kernel, mapped to the Python
+#: types a conforming value must have. ``bool`` is checked before ``int``
+#: because Python's bool is an int subclass.
+PRIMITIVE_TYPES: dict[str, type] = {
+    "str": str,
+    "int": int,
+    "bool": bool,
+    "float": float,
+}
+
+
+def _check_primitive(type_name: str, value: object) -> bool:
+    """Return True when *value* is acceptable for primitive *type_name*."""
+    expected = PRIMITIVE_TYPES[type_name]
+    if expected is int and isinstance(value, bool):
+        return False
+    if expected is float and isinstance(value, int) and not isinstance(value, bool):
+        return True  # int widens to float
+    return isinstance(value, expected)
+
+
+class MetaAttribute:
+    """A primitive-typed feature of a metaclass.
+
+    Parameters
+    ----------
+    name:
+        Feature name, a simple identifier.
+    type_name:
+        One of :data:`PRIMITIVE_TYPES`.
+    default:
+        Value used when an instance is created without this attribute.
+        ``None`` means "unset" (allowed only if *optional*).
+    many:
+        When True the slot holds an ordered list of values.
+    optional:
+        When True the slot may be left unset.
+    """
+
+    kind = "attribute"
+
+    def __init__(self, name: str, type_name: str, default: object = None,
+                 many: bool = False, optional: bool = False):
+        self.name = check_identifier(name, "attribute name")
+        if type_name not in PRIMITIVE_TYPES:
+            raise MetamodelError(
+                f"unknown attribute type {type_name!r} for {name!r}; "
+                f"expected one of {sorted(PRIMITIVE_TYPES)}")
+        self.type_name = type_name
+        self.many = bool(many)
+        self.optional = bool(optional)
+        if default is not None and not many:
+            if not _check_primitive(type_name, default):
+                raise MetamodelError(
+                    f"default {default!r} is not a valid {type_name} "
+                    f"for attribute {name!r}")
+        self.default = default
+
+    def accepts(self, value: object) -> bool:
+        """Return True when *value* conforms to this attribute's type."""
+        return _check_primitive(self.type_name, value)
+
+    def __repr__(self) -> str:
+        many = "[*]" if self.many else ""
+        return f"MetaAttribute({self.name}: {self.type_name}{many})"
+
+
+class MetaReference:
+    """A link feature of a metaclass, targeting another metaclass.
+
+    ``containment`` references own their targets (a model element has at
+    most one container); plain references are cross-links.
+    """
+
+    kind = "reference"
+
+    def __init__(self, name: str, target: str, many: bool = False,
+                 containment: bool = False, optional: bool = True):
+        self.name = check_identifier(name, "reference name")
+        self.target = check_identifier(target, "reference target")
+        self.many = bool(many)
+        self.containment = bool(containment)
+        self.optional = bool(optional)
+
+    def __repr__(self) -> str:
+        many = "[*]" if self.many else ""
+        kind = " (containment)" if self.containment else ""
+        return f"MetaReference({self.name}: {self.target}{many}{kind})"
+
+
+class MetaClass:
+    """A metaclass: named features plus inheritance.
+
+    Instances are created through :meth:`MetaModel.instantiate` so that the
+    metaclass is always attached to a resolved metamodel.
+    """
+
+    def __init__(self, name: str, attributes: Optional[list[MetaAttribute]] = None,
+                 references: Optional[list[MetaReference]] = None,
+                 supertypes: Optional[list[str]] = None, abstract: bool = False):
+        self.name = check_identifier(name, "metaclass name")
+        self.attributes: dict[str, MetaAttribute] = {}
+        self.references: dict[str, MetaReference] = {}
+        self.supertypes: list[str] = list(supertypes or [])
+        self.abstract = bool(abstract)
+        self.metamodel: Optional["MetaModel"] = None
+        for attr in attributes or []:
+            self.add_attribute(attr)
+        for ref in references or []:
+            self.add_reference(ref)
+
+    # -- construction -------------------------------------------------------
+
+    def add_attribute(self, attribute: MetaAttribute) -> MetaAttribute:
+        """Attach *attribute*; feature names must be unique within the class."""
+        self._check_fresh(attribute.name)
+        self.attributes[attribute.name] = attribute
+        return attribute
+
+    def add_reference(self, reference: MetaReference) -> MetaReference:
+        """Attach *reference*; feature names must be unique within the class."""
+        self._check_fresh(reference.name)
+        self.references[reference.name] = reference
+        return reference
+
+    def _check_fresh(self, feature_name: str) -> None:
+        if feature_name in self.attributes or feature_name in self.references:
+            raise MetamodelError(
+                f"duplicate feature {feature_name!r} in metaclass {self.name!r}")
+
+    # -- resolved queries (require an owning metamodel) ----------------------
+
+    def _require_metamodel(self) -> "MetaModel":
+        if self.metamodel is None:
+            raise MetamodelError(
+                f"metaclass {self.name!r} is not attached to a metamodel")
+        return self.metamodel
+
+    def all_supertypes(self) -> list["MetaClass"]:
+        """All transitive supertypes, nearest first, without duplicates."""
+        mm = self._require_metamodel()
+        seen: dict[str, MetaClass] = {}
+        stack = list(self.supertypes)
+        while stack:
+            name = stack.pop(0)
+            if name in seen:
+                continue
+            super_class = mm.metaclass(name)
+            seen[name] = super_class
+            stack.extend(super_class.supertypes)
+        return list(seen.values())
+
+    def conforms_to(self, other: "MetaClass | str") -> bool:
+        """True when this class is *other* or a (transitive) subtype of it."""
+        other_name = other if isinstance(other, str) else other.name
+        if self.name == other_name:
+            return True
+        return any(sup.name == other_name for sup in self.all_supertypes())
+
+    def all_attributes(self) -> dict[str, MetaAttribute]:
+        """Own plus inherited attributes (own definitions win)."""
+        merged: dict[str, MetaAttribute] = {}
+        for sup in reversed(self.all_supertypes()):
+            merged.update(sup.attributes)
+        merged.update(self.attributes)
+        return merged
+
+    def all_references(self) -> dict[str, MetaReference]:
+        """Own plus inherited references (own definitions win)."""
+        merged: dict[str, MetaReference] = {}
+        for sup in reversed(self.all_supertypes()):
+            merged.update(sup.references)
+        merged.update(self.references)
+        return merged
+
+    def feature(self, name: str) -> MetaAttribute | MetaReference | None:
+        """Look up an attribute or reference (including inherited), or None."""
+        attrs = self.all_attributes()
+        if name in attrs:
+            return attrs[name]
+        refs = self.all_references()
+        return refs.get(name)
+
+    def __repr__(self) -> str:
+        return f"MetaClass({self.name})"
+
+
+class MetaModel:
+    """A named collection of metaclasses forming a DSL abstract syntax."""
+
+    def __init__(self, name: str):
+        self.name = check_identifier(name, "metamodel name")
+        self._classes: dict[str, MetaClass] = {}
+
+    def add(self, metaclass: MetaClass) -> MetaClass:
+        """Register *metaclass* under its name; names must be unique."""
+        if metaclass.name in self._classes:
+            raise MetamodelError(
+                f"duplicate metaclass {metaclass.name!r} in {self.name!r}")
+        metaclass.metamodel = self
+        self._classes[metaclass.name] = metaclass
+        return metaclass
+
+    def metaclass(self, name: str) -> MetaClass:
+        """Return the metaclass named *name*; raise if unknown."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise MetamodelError(
+                f"unknown metaclass {name!r} in metamodel {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[MetaClass]:
+        return iter(self._classes.values())
+
+    def classes(self) -> list[MetaClass]:
+        """All metaclasses in registration order."""
+        return list(self._classes.values())
+
+    def resolve(self) -> None:
+        """Check cross-references: supertypes and reference targets exist,
+        inheritance is acyclic. Call once after all classes are added."""
+        for cls in self:
+            for sup in cls.supertypes:
+                if sup not in self._classes:
+                    raise MetamodelError(
+                        f"metaclass {cls.name!r} extends unknown {sup!r}")
+            for ref in cls.references.values():
+                if ref.target not in self._classes:
+                    raise MetamodelError(
+                        f"reference {cls.name}.{ref.name} targets unknown "
+                        f"metaclass {ref.target!r}")
+        for cls in self:
+            self._check_acyclic(cls)
+
+    def _check_acyclic(self, cls: MetaClass) -> None:
+        seen: set[str] = set()
+        stack = list(cls.supertypes)
+        while stack:
+            name = stack.pop()
+            if name == cls.name:
+                raise MetamodelError(
+                    f"inheritance cycle through metaclass {cls.name!r}")
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.metaclass(name).supertypes)
+
+    def instantiate(self, class_name: str, **values: object):
+        """Create a fresh :class:`~repro.kernel.mobject.MObject` of
+        *class_name*, initialising slots from keyword arguments."""
+        from repro.kernel.mobject import MObject
+
+        cls = self.metaclass(class_name)
+        if cls.abstract:
+            raise MetamodelError(
+                f"cannot instantiate abstract metaclass {class_name!r}")
+        obj = MObject(cls)
+        for key, value in values.items():
+            obj.set(key, value)
+        return obj
+
+    def __repr__(self) -> str:
+        return f"MetaModel({self.name}, {len(self._classes)} classes)"

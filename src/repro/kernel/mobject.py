@@ -1,0 +1,175 @@
+"""Model elements: typed instances of metaclasses.
+
+An :class:`MObject` stores one slot per feature of its metaclass. Slot
+access is checked eagerly: assigning a value of the wrong primitive type,
+or linking an element of a non-conforming metaclass, raises
+:class:`~repro.errors.ConformanceError` at the assignment site rather
+than at validation time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from repro.errors import ConformanceError
+from repro.kernel.metamodel import MetaAttribute, MetaClass, MetaReference
+
+_ids = itertools.count(1)
+
+
+class MObject:
+    """An instance of a :class:`~repro.kernel.metamodel.MetaClass`.
+
+    Elements are identified by an auto-assigned ``uid`` plus, when the
+    metaclass has a ``name`` attribute, by that name — which is how ECL
+    mappings and diagnostics refer to them.
+    """
+
+    __slots__ = ("meta", "uid", "_slots", "_container")
+
+    def __init__(self, meta: MetaClass):
+        self.meta = meta
+        self.uid = next(_ids)
+        self._slots: dict[str, object] = {}
+        self._container: Optional[MObject] = None
+        for attr in meta.all_attributes().values():
+            if attr.many:
+                self._slots[attr.name] = []
+            elif attr.default is not None:
+                self._slots[attr.name] = attr.default
+        for ref in meta.all_references().values():
+            if ref.many:
+                self._slots[ref.name] = []
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str | None:
+        """The ``name`` attribute value if the metaclass defines one."""
+        value = self._slots.get("name")
+        return value if isinstance(value, str) else None
+
+    @property
+    def container(self) -> Optional["MObject"]:
+        """The element owning this one through a containment reference."""
+        return self._container
+
+    def label(self) -> str:
+        """A human-readable identification used in diagnostics."""
+        if self.name is not None:
+            return f"{self.meta.name}:{self.name}"
+        return f"{self.meta.name}#{self.uid}"
+
+    # -- feature access -------------------------------------------------------
+
+    def _feature(self, feature_name: str) -> MetaAttribute | MetaReference:
+        feature = self.meta.feature(feature_name)
+        if feature is None:
+            raise ConformanceError(
+                f"{self.label()} has no feature {feature_name!r}")
+        return feature
+
+    def get(self, feature_name: str) -> object:
+        """Return the slot value (a list for *many* features, possibly None)."""
+        feature = self._feature(feature_name)
+        if feature.many:
+            return list(self._slots.get(feature_name, []))
+        return self._slots.get(feature_name)
+
+    def set(self, feature_name: str, value: object) -> None:
+        """Assign a slot. For *many* features pass the full list."""
+        feature = self._feature(feature_name)
+        if feature.many:
+            if not isinstance(value, (list, tuple)):
+                raise ConformanceError(
+                    f"{self.label()}.{feature_name} is many-valued; "
+                    f"expected a list, got {type(value).__name__}")
+            current = list(self._slots.get(feature_name, []))
+            for item in current:
+                self._unlink(feature, item)
+            self._slots[feature_name] = []
+            for item in value:
+                self.add(feature_name, item)
+            return
+        self._check_value(feature, value)
+        if feature.kind == "reference":
+            old = self._slots.get(feature_name)
+            if old is not None:
+                self._unlink(feature, old)
+            if value is not None:
+                self._link(feature, value)
+        self._slots[feature_name] = value
+
+    def add(self, feature_name: str, value: object) -> None:
+        """Append *value* to a many-valued slot."""
+        feature = self._feature(feature_name)
+        if not feature.many:
+            raise ConformanceError(
+                f"{self.label()}.{feature_name} is single-valued; use set()")
+        self._check_value(feature, value)
+        if feature.kind == "reference":
+            self._link(feature, value)
+        self._slots.setdefault(feature_name, [])
+        self._slots[feature_name].append(value)  # type: ignore[union-attr]
+
+    def is_set(self, feature_name: str) -> bool:
+        """True when the slot holds a value (non-empty list for many)."""
+        feature = self._feature(feature_name)
+        value = self._slots.get(feature_name)
+        if feature.many:
+            return bool(value)
+        return value is not None
+
+    def _check_value(self, feature, value: object) -> None:
+        if value is None:
+            return
+        if feature.kind == "attribute":
+            if not feature.accepts(value):
+                raise ConformanceError(
+                    f"{self.label()}.{feature.name} expects {feature.type_name}, "
+                    f"got {value!r}")
+        else:
+            if not isinstance(value, MObject):
+                raise ConformanceError(
+                    f"{self.label()}.{feature.name} expects a model element, "
+                    f"got {value!r}")
+            if not value.meta.conforms_to(feature.target):
+                raise ConformanceError(
+                    f"{self.label()}.{feature.name} expects {feature.target}, "
+                    f"got {value.label()}")
+
+    def _link(self, reference: MetaReference, target: "MObject") -> None:
+        if reference.containment:
+            if target._container is not None and target._container is not self:
+                raise ConformanceError(
+                    f"{target.label()} is already contained in "
+                    f"{target._container.label()}")
+            target._container = self
+
+    def _unlink(self, reference, target: object) -> None:
+        if reference.kind == "reference" and reference.containment:
+            if isinstance(target, MObject) and target._container is self:
+                target._container = None
+
+    # -- traversal -------------------------------------------------------------
+
+    def contents(self) -> Iterator["MObject"]:
+        """Directly contained elements (containment references only)."""
+        for ref in self.meta.all_references().values():
+            if not ref.containment:
+                continue
+            value = self._slots.get(ref.name)
+            if ref.many:
+                yield from value  # type: ignore[misc]
+            elif value is not None:
+                yield value  # type: ignore[misc]
+
+    def all_contents(self) -> Iterator["MObject"]:
+        """Transitively contained elements, depth first."""
+        for child in self.contents():
+            yield child
+            yield from child.all_contents()
+
+    def __repr__(self) -> str:
+        return f"<{self.label()}>"

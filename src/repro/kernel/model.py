@@ -1,0 +1,109 @@
+"""Model containers: a set of root elements conforming to one metamodel."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.errors import ConformanceError
+from repro.kernel.metamodel import MetaModel
+from repro.kernel.mobject import MObject
+
+
+class Model:
+    """A model: root elements plus everything they transitively contain.
+
+    This mirrors an EMF *resource*. Lookup helpers cover the queries the
+    rest of the pipeline needs: all instances of a metaclass (the ECL
+    weaver iterates contexts this way) and lookup by name.
+    """
+
+    def __init__(self, metamodel: MetaModel, name: str = "model"):
+        self.metamodel = metamodel
+        self.name = name
+        self._roots: list[MObject] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def add_root(self, element: MObject) -> MObject:
+        """Add a root element; it must conform to this model's metamodel."""
+        if element.meta.metamodel is not self.metamodel:
+            raise ConformanceError(
+                f"{element.label()} belongs to metamodel "
+                f"{element.meta.metamodel.name if element.meta.metamodel else '?'!r}, "
+                f"not {self.metamodel.name!r}")
+        self._roots.append(element)
+        return element
+
+    def create(self, class_name: str, **values: object) -> MObject:
+        """Instantiate *class_name* and register it as a root element."""
+        element = self.metamodel.instantiate(class_name, **values)
+        return self.add_root(element)
+
+    # -- traversal --------------------------------------------------------------
+
+    @property
+    def roots(self) -> list[MObject]:
+        return list(self._roots)
+
+    def __iter__(self) -> Iterator[MObject]:
+        """Iterate every element: roots and transitive contents."""
+        for root in self._roots:
+            yield root
+            yield from root.all_contents()
+
+    def all_instances(self, class_name: str,
+                      include_subtypes: bool = True) -> list[MObject]:
+        """All elements whose metaclass is (or conforms to) *class_name*."""
+        result = []
+        for element in self:
+            if include_subtypes:
+                if element.meta.conforms_to(class_name):
+                    result.append(element)
+            elif element.meta.name == class_name:
+                result.append(element)
+        return result
+
+    def find(self, class_name: str, name: str) -> Optional[MObject]:
+        """First instance of *class_name* whose ``name`` attribute matches."""
+        for element in self.all_instances(class_name):
+            if element.name == name:
+                return element
+        return None
+
+    def select(self, predicate: Callable[[MObject], bool]) -> list[MObject]:
+        """All elements satisfying *predicate*."""
+        return [element for element in self if predicate(element)]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def copy(self, name: str | None = None) -> "Model":
+        """A structural deep copy: fresh elements, same metamodel.
+
+        Containment and cross-references are rebuilt between the copies;
+        attribute values are shared (they are immutable primitives).
+        """
+        twins: dict[int, MObject] = {}
+        originals = list(self)
+        for element in originals:
+            twins[id(element)] = self.metamodel.instantiate(
+                element.meta.name)
+        for element in originals:
+            twin = twins[id(element)]
+            for attr in element.meta.all_attributes().values():
+                if element.is_set(attr.name):
+                    twin.set(attr.name, element.get(attr.name))
+            for ref in element.meta.all_references().values():
+                value = element.get(ref.name)
+                if ref.many:
+                    twin.set(ref.name,
+                             [twins[id(target)] for target in value])
+                elif value is not None:
+                    twin.set(ref.name, twins[id(value)])
+        duplicate = Model(self.metamodel, name or self.name)
+        for root in self._roots:
+            duplicate.add_root(twins[id(root)])
+        return duplicate
+
+    def __repr__(self) -> str:
+        return f"Model({self.name!r}, {len(self._roots)} roots)"

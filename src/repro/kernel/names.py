@@ -1,0 +1,33 @@
+"""Identifier and qualified-name helpers shared by the kernel and parsers."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import MetamodelError
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def is_identifier(name: str) -> bool:
+    """Return True when *name* is a valid simple identifier."""
+    return bool(_IDENTIFIER_RE.match(name))
+
+
+def check_identifier(name: str, what: str = "identifier") -> str:
+    """Validate *name* and return it; raise :class:`MetamodelError` otherwise."""
+    if not isinstance(name, str) or not is_identifier(name):
+        raise MetamodelError(f"invalid {what}: {name!r}")
+    return name
+
+
+def qualify(*parts: str) -> str:
+    """Join name parts into a dotted qualified name, skipping empty parts."""
+    return ".".join(p for p in parts if p)
+
+
+def split_qualified(name: str) -> list[str]:
+    """Split a dotted qualified name into its parts."""
+    if not name:
+        return []
+    return name.split(".")

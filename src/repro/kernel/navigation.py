@@ -1,0 +1,59 @@
+"""Dotted-path navigation over model elements.
+
+This is the fragment of OCL the ECL mapping language needs: starting
+from ``self`` (a model element), follow attribute and reference names,
+flattening over collections. ``self.outputPort.rate`` on a Place yields
+the producing port's rate; ``self.agents.inputs`` on an Application
+yields every input port of every agent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NavigationError
+from repro.kernel.mobject import MObject
+
+
+def navigate(element: MObject, path: str) -> object:
+    """Evaluate dotted *path* from *element*.
+
+    A leading ``self`` segment is accepted and ignored. Navigation over a
+    many-valued feature flattens: the remainder of the path is applied to
+    each item and results are concatenated, mirroring OCL's implicit
+    ``collect``. Scalars pass through unchanged.
+    """
+    segments = [seg for seg in path.split(".") if seg]
+    if segments and segments[0] == "self":
+        segments = segments[1:]
+    return navigate_path(element, segments)
+
+
+def navigate_path(element: MObject, segments: list[str]) -> object:
+    """Evaluate a pre-split navigation path (see :func:`navigate`)."""
+    current: object = element
+    for index, segment in enumerate(segments):
+        current = _step(current, segment, segments, index)
+    return current
+
+
+def _step(value: object, segment: str, segments: list[str], index: int) -> object:
+    if isinstance(value, list):
+        collected: list[object] = []
+        for item in value:
+            result = _step(item, segment, segments, index)
+            if isinstance(result, list):
+                collected.extend(result)
+            else:
+                collected.append(result)
+        return collected
+    if isinstance(value, MObject):
+        feature = value.meta.feature(segment)
+        if feature is None:
+            path = ".".join(segments)
+            raise NavigationError(
+                f"{value.label()} has no feature {segment!r} "
+                f"(while navigating {path!r})")
+        return value.get(segment)
+    path = ".".join(segments[: index + 1])
+    raise NavigationError(
+        f"cannot navigate {segment!r}: {path!r} reached the "
+        f"non-element value {value!r}")

@@ -1,0 +1,187 @@
+"""JSON (de)serialization for metamodels and models.
+
+The original tooling persists Ecore/XMI; we use a stable JSON form
+instead. Elements are identified by integer ids local to the document;
+cross-references are serialized as ``{"$ref": id}`` markers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.kernel.metamodel import (
+    MetaAttribute,
+    MetaClass,
+    MetaModel,
+    MetaReference,
+)
+from repro.kernel.mobject import MObject
+from repro.kernel.model import Model
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# metamodels
+# ---------------------------------------------------------------------------
+
+
+def metamodel_to_json(metamodel: MetaModel) -> str:
+    """Serialize *metamodel* to a JSON string."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "kind": "metamodel",
+        "name": metamodel.name,
+        "classes": [_class_to_dict(cls) for cls in metamodel],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def _class_to_dict(cls: MetaClass) -> dict[str, Any]:
+    return {
+        "name": cls.name,
+        "abstract": cls.abstract,
+        "supertypes": list(cls.supertypes),
+        "attributes": [
+            {
+                "name": attr.name,
+                "type": attr.type_name,
+                "many": attr.many,
+                "optional": attr.optional,
+                "default": attr.default,
+            }
+            for attr in cls.attributes.values()
+        ],
+        "references": [
+            {
+                "name": ref.name,
+                "target": ref.target,
+                "many": ref.many,
+                "containment": ref.containment,
+                "optional": ref.optional,
+            }
+            for ref in cls.references.values()
+        ],
+    }
+
+
+def metamodel_from_json(text: str) -> MetaModel:
+    """Parse a metamodel previously produced by :func:`metamodel_to_json`."""
+    doc = _load(text, expected_kind="metamodel")
+    metamodel = MetaModel(doc["name"])
+    for cls_doc in doc["classes"]:
+        cls = MetaClass(
+            cls_doc["name"],
+            supertypes=list(cls_doc.get("supertypes", [])),
+            abstract=bool(cls_doc.get("abstract", False)),
+        )
+        for attr_doc in cls_doc.get("attributes", []):
+            cls.add_attribute(MetaAttribute(
+                attr_doc["name"], attr_doc["type"],
+                default=attr_doc.get("default"),
+                many=bool(attr_doc.get("many", False)),
+                optional=bool(attr_doc.get("optional", False))))
+        for ref_doc in cls_doc.get("references", []):
+            cls.add_reference(MetaReference(
+                ref_doc["name"], ref_doc["target"],
+                many=bool(ref_doc.get("many", False)),
+                containment=bool(ref_doc.get("containment", False)),
+                optional=bool(ref_doc.get("optional", True))))
+        metamodel.add(cls)
+    metamodel.resolve()
+    return metamodel
+
+
+# ---------------------------------------------------------------------------
+# models
+# ---------------------------------------------------------------------------
+
+
+def model_to_json(model: Model) -> str:
+    """Serialize *model* (roots plus contents) to a JSON string."""
+    elements = list(model)
+    ids = {id(element): index for index, element in enumerate(elements)}
+
+    def encode(value: object) -> object:
+        if isinstance(value, MObject):
+            if id(value) not in ids:
+                raise SerializationError(
+                    f"{value.label()} referenced but not inside the model")
+            return {"$ref": ids[id(value)]}
+        if isinstance(value, list):
+            return [encode(item) for item in value]
+        return value
+
+    element_docs = []
+    for element in elements:
+        slots: dict[str, object] = {}
+        for attr in element.meta.all_attributes().values():
+            if element.is_set(attr.name):
+                slots[attr.name] = encode(element.get(attr.name))
+        for ref in element.meta.all_references().values():
+            if element.is_set(ref.name):
+                slots[ref.name] = encode(element.get(ref.name))
+        element_docs.append({
+            "id": ids[id(element)],
+            "class": element.meta.name,
+            "slots": slots,
+        })
+
+    doc = {
+        "format": FORMAT_VERSION,
+        "kind": "model",
+        "name": model.name,
+        "metamodel": model.metamodel.name,
+        "roots": [ids[id(root)] for root in model.roots],
+        "elements": element_docs,
+    }
+    return json.dumps(doc, indent=2)
+
+
+def model_from_json(text: str, metamodel: MetaModel) -> Model:
+    """Parse a model document against *metamodel*."""
+    doc = _load(text, expected_kind="model")
+    if doc.get("metamodel") != metamodel.name:
+        raise SerializationError(
+            f"document was saved against metamodel {doc.get('metamodel')!r}, "
+            f"not {metamodel.name!r}")
+    model = Model(metamodel, doc.get("name", "model"))
+
+    instances: dict[int, MObject] = {}
+    for element_doc in doc["elements"]:
+        instances[element_doc["id"]] = metamodel.instantiate(element_doc["class"])
+
+    def decode(value: object) -> object:
+        if isinstance(value, dict) and "$ref" in value:
+            try:
+                return instances[value["$ref"]]
+            except KeyError:
+                raise SerializationError(
+                    f"dangling reference id {value['$ref']}") from None
+        if isinstance(value, list):
+            return [decode(item) for item in value]
+        return value
+
+    for element_doc in doc["elements"]:
+        element = instances[element_doc["id"]]
+        for slot_name, raw in element_doc["slots"].items():
+            element.set(slot_name, decode(raw))
+
+    for root_id in doc["roots"]:
+        model.add_root(instances[root_id])
+    return model
+
+
+def _load(text: str, expected_kind: str) -> dict[str, Any]:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != expected_kind:
+        raise SerializationError(f"expected a {expected_kind} document")
+    if doc.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {doc.get('format')!r}")
+    return doc

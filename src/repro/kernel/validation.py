@@ -1,0 +1,94 @@
+"""Model-to-metamodel conformance checking.
+
+Slot assignment already performs eager type checks; this module adds the
+whole-model checks that can only run once a model is complete: required
+features are set, containment is well-formed (single container, no
+cycles) and every referenced element is reachable from the model roots.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConformanceError
+from repro.kernel.mobject import MObject
+from repro.kernel.model import Model
+
+
+def check_conformance(model: Model, strict_closure: bool = True) -> list[str]:
+    """Validate *model*; return the list of diagnostics (empty when valid).
+
+    With ``strict_closure`` every element referenced by a cross-link must
+    itself be part of the model (reachable from a root), mirroring EMF's
+    single-resource assumption used throughout this reproduction.
+    """
+    issues: list[str] = []
+    elements = list(model)
+    element_set = {id(element) for element in elements}
+
+    for element in elements:
+        issues.extend(_check_required(element))
+        issues.extend(_check_abstract(element))
+        if strict_closure:
+            issues.extend(_check_closure(element, element_set))
+    issues.extend(_check_containment(elements))
+    return issues
+
+
+def assert_conformance(model: Model) -> None:
+    """Raise :class:`ConformanceError` when *model* has any diagnostic."""
+    issues = check_conformance(model)
+    if issues:
+        raise ConformanceError("; ".join(issues))
+
+
+def _check_required(element: MObject) -> list[str]:
+    issues = []
+    for attr in element.meta.all_attributes().values():
+        if attr.optional or attr.many:
+            continue
+        if not element.is_set(attr.name):
+            issues.append(
+                f"{element.label()}: required attribute {attr.name!r} unset")
+    for ref in element.meta.all_references().values():
+        if ref.optional or ref.many:
+            continue
+        if not element.is_set(ref.name):
+            issues.append(
+                f"{element.label()}: required reference {ref.name!r} unset")
+    return issues
+
+
+def _check_abstract(element: MObject) -> list[str]:
+    if element.meta.abstract:
+        return [f"{element.label()}: instance of abstract metaclass"]
+    return []
+
+
+def _check_closure(element: MObject, element_set: set[int]) -> list[str]:
+    issues = []
+    for ref in element.meta.all_references().values():
+        value = element.get(ref.name)
+        targets = value if isinstance(value, list) else [value]
+        for target in targets:
+            if target is None:
+                continue
+            if id(target) not in element_set:
+                issues.append(
+                    f"{element.label()}.{ref.name} points outside the model "
+                    f"({target.label()})")
+    return issues
+
+
+def _check_containment(elements: list[MObject]) -> list[str]:
+    """Detect containment cycles by walking container chains."""
+    issues = []
+    for element in elements:
+        seen: set[int] = set()
+        cursor = element
+        while cursor is not None:
+            if id(cursor) in seen:
+                issues.append(
+                    f"{element.label()}: containment cycle detected")
+                break
+            seen.add(id(cursor))
+            cursor = cursor.container
+    return issues

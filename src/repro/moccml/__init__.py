@@ -1,0 +1,58 @@
+"""MoCCML — the meta-language for the concurrency concern.
+
+This package implements the paper's contribution: the MoCCML abstract
+syntax (Fig. 2), its textual concrete syntax, static validation, and the
+operational semantics (§II-C) that turns every constraint into a boolean
+expression over the step's event variables.
+
+Layout:
+
+* :mod:`repro.moccml.declarations` — constraint prototypes (name + typed
+  parameters: Event or Integer);
+* :mod:`repro.moccml.automata` — constraint automata definitions
+  (states, transitions, true/false triggers, guards, actions);
+* :mod:`repro.moccml.declarative` — declarative definitions composed of
+  constraint instantiations (the CCSL-inspired kind);
+* :mod:`repro.moccml.library` — relation libraries and the registry that
+  resolves declarations to definitions or builtin runtimes;
+* :mod:`repro.moccml.validate` — static well-formedness checks;
+* :mod:`repro.moccml.semantics` — runtime instances producing the
+  per-step boolean formulas;
+* :mod:`repro.moccml.text` — the textual concrete syntax;
+* :mod:`repro.moccml.draw` — DOT rendering of automata (the "graphical
+  syntax" stand-in).
+"""
+
+from repro.moccml.declarations import ConstraintDeclaration, Parameter
+from repro.moccml.automata import (
+    ConstraintAutomataDefinition,
+    State,
+    Transition,
+    Trigger,
+    VariableDecl,
+)
+from repro.moccml.declarative import ConstraintInstantiation, DeclarativeDefinition
+from repro.moccml.library import LibraryRegistry, RelationLibrary
+from repro.moccml.validate import validate_definition, validate_library
+from repro.moccml.serialize import library_from_json, library_to_json
+from repro.moccml.product import ProductReport, product_report
+
+__all__ = [
+    "Parameter",
+    "ConstraintDeclaration",
+    "State",
+    "Trigger",
+    "Transition",
+    "VariableDecl",
+    "ConstraintAutomataDefinition",
+    "ConstraintInstantiation",
+    "DeclarativeDefinition",
+    "RelationLibrary",
+    "LibraryRegistry",
+    "validate_definition",
+    "validate_library",
+    "library_to_json",
+    "library_from_json",
+    "product_report",
+    "ProductReport",
+]

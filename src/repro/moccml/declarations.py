@@ -1,0 +1,87 @@
+"""Constraint declarations: the prototypes of MoCCML constraints.
+
+A :class:`ConstraintDeclaration` plays the role the paper's metamodel
+gives it (Fig. 2): it names a constraint and fixes its parameters. The
+paper restricts parameter types to ``Event`` and ``Integer`` (§II-B1);
+the event parameters are the *constrained events* of the declaration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MoccmlError
+from repro.kernel.names import check_identifier
+
+#: Allowed parameter kinds.
+PARAM_KINDS = ("event", "int")
+
+
+class Parameter:
+    """A typed parameter of a constraint declaration."""
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: str):
+        if kind not in PARAM_KINDS:
+            raise MoccmlError(
+                f"parameter {name!r} has unknown kind {kind!r}; "
+                f"expected one of {PARAM_KINDS}")
+        self.name = check_identifier(name, "parameter name")
+        self.kind = kind
+
+    def __eq__(self, other):
+        return (isinstance(other, Parameter) and self.name == other.name
+                and self.kind == other.kind)
+
+    def __hash__(self):
+        return hash((self.name, self.kind))
+
+    def __repr__(self):
+        return f"{self.name}: {self.kind}"
+
+
+class ConstraintDeclaration:
+    """The prototype of a constraint: a name and an ordered parameter list.
+
+    Example — the paper's Fig. 3 declaration::
+
+        ConstraintDeclaration("PlaceConstraint", [
+            Parameter("write", "event"), Parameter("read", "event"),
+            Parameter("pushRate", "int"), Parameter("popRate", "int"),
+            Parameter("itsDelay", "int"), Parameter("itsCapacity", "int")])
+    """
+
+    def __init__(self, name: str, parameters: list[Parameter]):
+        self.name = check_identifier(name, "constraint declaration name")
+        self.parameters = list(parameters)
+        seen: set[str] = set()
+        for param in self.parameters:
+            if param.name in seen:
+                raise MoccmlError(
+                    f"duplicate parameter {param.name!r} in declaration "
+                    f"{name!r}")
+            seen.add(param.name)
+
+    def event_parameters(self) -> list[Parameter]:
+        """The constrained-event parameters, in declaration order."""
+        return [p for p in self.parameters if p.kind == "event"]
+
+    def int_parameters(self) -> list[Parameter]:
+        """The integer parameters, in declaration order."""
+        return [p for p in self.parameters if p.kind == "int"]
+
+    def parameter(self, name: str) -> Parameter | None:
+        for param in self.parameters:
+            if param.name == name:
+                return param
+        return None
+
+    def check_arity(self, n_args: int) -> None:
+        """Raise when an instantiation passes the wrong number of args."""
+        if n_args != len(self.parameters):
+            raise MoccmlError(
+                f"constraint {self.name!r} expects {len(self.parameters)} "
+                f"argument(s), got {n_args}")
+
+    def __repr__(self):
+        params = ", ".join(repr(p) for p in self.parameters)
+        return f"{self.name}({params})"

@@ -1,0 +1,63 @@
+"""Declarative constraint definitions (paper §II-B1, left-hand kind).
+
+A :class:`DeclarativeDefinition` is "a set of constraint instances": it
+implements its declaration by instantiating other declared constraints,
+passing along its own parameters. This is the CCSL-library style of
+definition — e.g. ``Alternates(a, b)`` defined as a bounded precedence
+of depth one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.errors import MoccmlError
+from repro.iexpr.ast import IntExpr
+from repro.kernel.names import check_identifier
+from repro.moccml.declarations import ConstraintDeclaration
+
+#: An instantiation argument: the name of an event parameter of the
+#: enclosing definition (str) or an integer expression over its integer
+#: parameters.
+Argument = Union[str, IntExpr, int]
+
+
+class ConstraintInstantiation:
+    """One constraint instance inside a declarative definition.
+
+    ``declaration_name`` may be qualified (``lib.Name``) or simple; the
+    registry resolves it at instantiation time.
+    """
+
+    __slots__ = ("declaration_name", "arguments")
+
+    def __init__(self, declaration_name: str, arguments: Iterable[Argument]):
+        if not declaration_name:
+            raise MoccmlError("instantiation needs a declaration name")
+        self.declaration_name = declaration_name
+        self.arguments = tuple(arguments)
+
+    def __repr__(self):
+        args = ", ".join(str(a) for a in self.arguments)
+        return f"{self.declaration_name}({args})"
+
+
+class DeclarativeDefinition:
+    """A definition composed of constraint instantiations (conjunction)."""
+
+    def __init__(self, name: str, declaration: ConstraintDeclaration,
+                 instantiations: Iterable[ConstraintInstantiation]):
+        self.name = check_identifier(name, "definition name")
+        self.declaration = declaration
+        self.instantiations = list(instantiations)
+        if not self.instantiations:
+            raise MoccmlError(
+                f"declarative definition {name!r} has no constraint "
+                f"instances; it would constrain nothing")
+
+    kind = "declarative"
+
+    def __repr__(self):
+        return (f"DeclarativeDefinition({self.name} implements "
+                f"{self.declaration.name}, "
+                f"{len(self.instantiations)} instances)")

@@ -1,0 +1,190 @@
+"""Relation libraries and the registry resolving declarations.
+
+A :class:`RelationLibrary` groups constraint declarations with their
+definitions, exactly as the paper's ``RelationLibrary`` metaclass does
+(Fig. 2). A :class:`LibraryRegistry` holds several libraries — typically
+the CCSL kernel library plus domain libraries such as
+``SimpleSDFRelationLibrary`` — and is the factory that instantiates
+runtime constraints for the execution model.
+
+Builtin definitions: some kernel relations (unbounded precedence, for
+instance) are implemented directly in Python rather than as automata;
+they are registered with :meth:`RelationLibrary.define_builtin` and
+behave like any other definition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Union
+
+from repro.errors import MoccmlError
+from repro.iexpr.ast import IntExpr
+from repro.kernel.names import check_identifier
+from repro.moccml.automata import ConstraintAutomataDefinition
+from repro.moccml.declarations import ConstraintDeclaration
+from repro.moccml.declarative import DeclarativeDefinition
+
+#: A top-level instantiation argument: an engine event name or an int.
+Binding = Union[str, int]
+
+#: Factory signature for builtin definitions: receives the parameter
+#: bindings (param name -> engine event name or int) and an instance
+#: label, returns a ConstraintRuntime.
+BuiltinFactory = Callable[..., "object"]
+
+Definition = Union[ConstraintAutomataDefinition, DeclarativeDefinition]
+
+
+class _BuiltinDefinition:
+    """Wrapper marking a Python-implemented definition."""
+
+    kind = "builtin"
+
+    def __init__(self, name: str, declaration: ConstraintDeclaration,
+                 factory: BuiltinFactory):
+        self.name = name
+        self.declaration = declaration
+        self.factory = factory
+
+    def __repr__(self):
+        return f"BuiltinDefinition({self.name})"
+
+
+class RelationLibrary:
+    """A named set of constraint declarations and their definitions."""
+
+    def __init__(self, name: str):
+        self.name = check_identifier(name, "library name")
+        self._declarations: dict[str, ConstraintDeclaration] = {}
+        self._definitions: dict[str, object] = {}  # keyed by declaration name
+
+    # -- construction ---------------------------------------------------------
+
+    def declare(self, declaration: ConstraintDeclaration) -> ConstraintDeclaration:
+        if declaration.name in self._declarations:
+            raise MoccmlError(
+                f"duplicate declaration {declaration.name!r} in library "
+                f"{self.name!r}")
+        self._declarations[declaration.name] = declaration
+        return declaration
+
+    def define(self, definition: Definition) -> Definition:
+        """Attach an automaton or declarative definition to its declaration."""
+        decl = definition.declaration
+        if decl.name not in self._declarations:
+            # declaring on the fly keeps single-shot library building terse
+            self._declarations[decl.name] = decl
+        elif self._declarations[decl.name] is not decl:
+            raise MoccmlError(
+                f"definition {definition.name!r} implements a declaration "
+                f"object different from the registered {decl.name!r}")
+        if decl.name in self._definitions:
+            raise MoccmlError(
+                f"declaration {decl.name!r} already has a definition in "
+                f"library {self.name!r}")
+        self._definitions[decl.name] = definition
+        return definition
+
+    def define_builtin(self, declaration: ConstraintDeclaration,
+                       factory: BuiltinFactory) -> None:
+        """Register a Python-implemented definition for *declaration*."""
+        if declaration.name not in self._declarations:
+            self._declarations[declaration.name] = declaration
+        if declaration.name in self._definitions:
+            raise MoccmlError(
+                f"declaration {declaration.name!r} already has a definition "
+                f"in library {self.name!r}")
+        self._definitions[declaration.name] = _BuiltinDefinition(
+            declaration.name + "Builtin", declaration, factory)
+
+    # -- lookup --------------------------------------------------------------------
+
+    def declarations(self) -> list[ConstraintDeclaration]:
+        return list(self._declarations.values())
+
+    def declaration(self, name: str) -> ConstraintDeclaration:
+        try:
+            return self._declarations[name]
+        except KeyError:
+            raise MoccmlError(
+                f"unknown declaration {name!r} in library {self.name!r}"
+            ) from None
+
+    def definition_for(self, declaration_name: str):
+        """The definition implementing *declaration_name*, or None."""
+        return self._definitions.get(declaration_name)
+
+    def definitions(self) -> list[object]:
+        return list(self._definitions.values())
+
+    def __contains__(self, declaration_name: str) -> bool:
+        return declaration_name in self._declarations
+
+    def __repr__(self):
+        return (f"RelationLibrary({self.name}, "
+                f"{len(self._declarations)} declarations)")
+
+
+class LibraryRegistry:
+    """Resolves constraint names across a set of libraries.
+
+    Names may be qualified (``SimpleSDFRelationLibrary.PlaceConstraint``)
+    or simple; simple names resolve in registration order and must be
+    unambiguous.
+    """
+
+    def __init__(self, libraries: Iterable[RelationLibrary] = ()):
+        self._libraries: dict[str, RelationLibrary] = {}
+        for library in libraries:
+            self.register(library)
+
+    def register(self, library: RelationLibrary) -> RelationLibrary:
+        if library.name in self._libraries:
+            raise MoccmlError(f"duplicate library {library.name!r}")
+        self._libraries[library.name] = library
+        return library
+
+    def library(self, name: str) -> RelationLibrary:
+        try:
+            return self._libraries[name]
+        except KeyError:
+            raise MoccmlError(f"unknown library {name!r}") from None
+
+    def libraries(self) -> list[RelationLibrary]:
+        return list(self._libraries.values())
+
+    def resolve(self, name: str) -> tuple[RelationLibrary, ConstraintDeclaration]:
+        """Resolve a (possibly qualified) declaration name."""
+        if "." in name:
+            library_name, simple = name.rsplit(".", 1)
+            library = self.library(library_name)
+            return library, library.declaration(simple)
+        matches = [
+            (library, library.declaration(name))
+            for library in self._libraries.values() if name in library
+        ]
+        if not matches:
+            raise MoccmlError(f"unknown constraint declaration {name!r}")
+        if len(matches) > 1:
+            owners = ", ".join(library.name for library, _ in matches)
+            raise MoccmlError(
+                f"ambiguous constraint declaration {name!r} (in {owners}); "
+                f"qualify it")
+        return matches[0]
+
+    # -- runtime instantiation ----------------------------------------------------
+
+    def instantiate(self, name: str, arguments: list[Binding],
+                    label: str | None = None):
+        """Create a runtime constraint instance.
+
+        *arguments* bind the declaration parameters positionally: engine
+        event names (str) for event parameters, ints for integer
+        parameters. Returns a
+        :class:`~repro.moccml.semantics.runtime.ConstraintRuntime`.
+        """
+        from repro.moccml.semantics.instantiate import instantiate_constraint
+
+        library, declaration = self.resolve(name)
+        return instantiate_constraint(self, library, declaration,
+                                      list(arguments), label)

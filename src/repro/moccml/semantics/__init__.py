@@ -1,0 +1,23 @@
+"""Operational semantics of MoCCML (paper §II-C).
+
+Every constraint instance is a :class:`ConstraintRuntime`: at each step
+it produces a boolean expression over the event variables; the engine
+conjoins those expressions, enumerates the acceptable steps, picks one,
+and tells every runtime to ``advance``.
+"""
+
+from repro.moccml.semantics.runtime import (
+    CompositeRuntime,
+    ConstraintRuntime,
+    FormulaRuntime,
+)
+from repro.moccml.semantics.automata_rt import AutomatonRuntime
+from repro.moccml.semantics.instantiate import instantiate_constraint
+
+__all__ = [
+    "ConstraintRuntime",
+    "FormulaRuntime",
+    "CompositeRuntime",
+    "AutomatonRuntime",
+    "instantiate_constraint",
+]

@@ -1,0 +1,191 @@
+"""Runtime semantics of constraint automata (paper §II-C).
+
+The boolean expression of an automaton instance is the disjunction, over
+the outgoing transitions of the current state whose guard holds, of::
+
+    /\\ trueTriggers  /\\  /\\ ¬falseTriggers
+
+plus — unless ``allow_stutter`` is disabled — a stutter disjunct in
+which every constrained event is absent and the state is unchanged
+(DESIGN.md, semantic clarification 1).
+
+When the chosen step enables a transition, the automaton moves to its
+target and runs its actions; ties between simultaneously enabled
+transitions are broken by declaration order (a diagnostic for such
+nondeterminism is available in :mod:`repro.moccml.validate`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.boolalg.expr import And, BExpr, FALSE, Not, Or, Var
+from repro.errors import MoccmlError, SemanticsError
+from repro.moccml.automata import ConstraintAutomataDefinition, Transition
+
+
+class AutomatonRuntime:
+    """One live instance of a constraint automaton definition."""
+
+    def __init__(self, definition: ConstraintAutomataDefinition,
+                 bindings: Mapping[str, str | int],
+                 label: str | None = None):
+        from repro.moccml.semantics.runtime import ConstraintRuntime
+        # bind parameters -------------------------------------------------
+        self.definition = definition
+        declaration = definition.declaration
+        self._event_map: dict[str, str] = {}
+        self._params: dict[str, int] = {}
+        for param in declaration.parameters:
+            if param.name not in bindings:
+                raise MoccmlError(
+                    f"missing binding for parameter {param.name!r} of "
+                    f"{declaration.name!r}")
+            value = bindings[param.name]
+            if param.kind == "event":
+                if not isinstance(value, str):
+                    raise MoccmlError(
+                        f"parameter {param.name!r} expects an event name, "
+                        f"got {value!r}")
+                self._event_map[param.name] = value
+            else:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise MoccmlError(
+                        f"parameter {param.name!r} expects an int, "
+                        f"got {value!r}")
+                self._params[param.name] = value
+        extra = set(bindings) - {p.name for p in declaration.parameters}
+        if extra:
+            raise MoccmlError(
+                f"unknown parameter(s) {sorted(extra)} for "
+                f"{declaration.name!r}")
+
+        self.label = label or f"{definition.name}@{id(self):x}"
+        self.constrained_events = frozenset(self._event_map.values())
+
+        # initial state ----------------------------------------------------
+        self.current_state = definition.initial_state
+        self._vars: dict[str, int] = {}
+        init_env = dict(self._params)
+        for var in definition.variables:
+            self._vars[var.name] = var.init.evaluate(init_env)
+            init_env[var.name] = self._vars[var.name]
+        for action in definition.initial_actions:
+            env = self._environment()
+            action.apply(env)
+            self._writeback(env)
+
+    # ConstraintRuntime duck-type; not inheriting keeps __init__ simple but
+    # we register as a virtual subclass for isinstance checks.
+
+    # -- environment helpers ---------------------------------------------------
+
+    def _environment(self) -> dict[str, int]:
+        env = dict(self._params)
+        env.update(self._vars)
+        return env
+
+    def _writeback(self, env: dict[str, int]) -> None:
+        for name in self._vars:
+            self._vars[name] = env[name]
+
+    def event_of(self, param_name: str) -> str:
+        """Engine event name bound to an event parameter."""
+        try:
+            return self._event_map[param_name]
+        except KeyError:
+            raise MoccmlError(
+                f"{self.label}: no event parameter {param_name!r}") from None
+
+    @property
+    def variables(self) -> dict[str, int]:
+        """Current values of the local variables (copy)."""
+        return dict(self._vars)
+
+    # -- semantics --------------------------------------------------------------
+
+    def _guard_holds(self, transition: Transition) -> bool:
+        if transition.guard is None:
+            return True
+        return transition.guard.evaluate(self._environment())
+
+    def _transition_formula(self, transition: Transition) -> BExpr:
+        literals: list[BExpr] = []
+        for event_param in transition.trigger.true_triggers:
+            literals.append(Var(self.event_of(event_param)))
+        for event_param in transition.trigger.false_triggers:
+            literals.append(Not(Var(self.event_of(event_param))))
+        return And(*literals)
+
+    def _stutter_formula(self) -> BExpr:
+        return And(*(Not(Var(name)) for name in sorted(self.constrained_events)))
+
+    def step_formula(self) -> BExpr:
+        """Disjunction over enabled outgoing transitions (+ stutter)."""
+        disjuncts: list[BExpr] = []
+        for transition in self.definition.outgoing(self.current_state):
+            if self._guard_holds(transition):
+                disjuncts.append(self._transition_formula(transition))
+        if self.definition.allow_stutter:
+            disjuncts.append(self._stutter_formula())
+        if not disjuncts:
+            return FALSE
+        return Or(*disjuncts)
+
+    def _enabled_by(self, transition: Transition,
+                    step: frozenset[str]) -> bool:
+        if not self._guard_holds(transition):
+            return False
+        for event_param in transition.trigger.true_triggers:
+            if self.event_of(event_param) not in step:
+                return False
+        for event_param in transition.trigger.false_triggers:
+            if self.event_of(event_param) in step:
+                return False
+        return True
+
+    def enabled_transitions(self, step: frozenset[str]) -> list[Transition]:
+        """All transitions of the current state enabled by *step*."""
+        return [t for t in self.definition.outgoing(self.current_state)
+                if self._enabled_by(t, step)]
+
+    def advance(self, step: frozenset[str]) -> None:
+        """Fire the first enabled transition, or stutter."""
+        enabled = self.enabled_transitions(step)
+        if enabled:
+            transition = enabled[0]
+            env = self._environment()
+            for action in transition.actions:
+                action.apply(env)
+            self._writeback(env)
+            self.current_state = transition.target
+            return
+        if self.definition.allow_stutter and not (step & self.constrained_events):
+            return
+        raise SemanticsError(
+            f"{self.label}: step {sorted(step)} is not acceptable in state "
+            f"{self.current_state!r} (vars {self._vars})")
+
+    # -- exploration support ------------------------------------------------------
+
+    def state_key(self) -> Hashable:
+        return (self.label, self.current_state,
+                tuple(sorted(self._vars.items())))
+
+    def clone(self) -> "AutomatonRuntime":
+        copy = object.__new__(AutomatonRuntime)
+        copy.definition = self.definition
+        copy._event_map = self._event_map  # immutable after init
+        copy._params = self._params
+        copy.label = self.label
+        copy.constrained_events = self.constrained_events
+        copy.current_state = self.current_state
+        copy._vars = dict(self._vars)
+        return copy
+
+    def is_accepting(self) -> bool:
+        return self.current_state in self.definition.effective_final_states()
+
+    def __repr__(self):
+        return (f"AutomatonRuntime({self.label}, state={self.current_state}, "
+                f"vars={self._vars})")

@@ -1,0 +1,108 @@
+"""Turning declarations + arguments into runtime constraint instances.
+
+This is the instantiation process the paper describes under Fig. 1:
+constraints from libraries "are eventually instantiated to define the
+execution model of a specific model". The registry resolves a
+declaration to its definition:
+
+* automaton definition → :class:`AutomatonRuntime`;
+* declarative definition → :class:`CompositeRuntime` of recursively
+  instantiated children;
+* builtin definition → whatever the registered Python factory returns.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MoccmlError
+from repro.iexpr.ast import IntExpr
+from repro.moccml.declarations import ConstraintDeclaration
+from repro.moccml.library import LibraryRegistry, RelationLibrary
+
+
+def instantiate_constraint(registry: LibraryRegistry,
+                           library: RelationLibrary,
+                           declaration: ConstraintDeclaration,
+                           arguments: list[str | int],
+                           label: str | None = None):
+    """Instantiate *declaration* with positional *arguments*.
+
+    Event parameters take engine event names (str); integer parameters
+    take ints. Returns a ConstraintRuntime.
+    """
+    from repro.moccml.semantics.automata_rt import AutomatonRuntime
+    from repro.moccml.semantics.runtime import CompositeRuntime
+
+    declaration.check_arity(len(arguments))
+    bindings: dict[str, str | int] = {}
+    for param, arg in zip(declaration.parameters, arguments):
+        if param.kind == "event":
+            if not isinstance(arg, str):
+                raise MoccmlError(
+                    f"{declaration.name}: parameter {param.name!r} expects "
+                    f"an event name, got {arg!r}")
+        else:
+            if isinstance(arg, bool) or not isinstance(arg, int):
+                raise MoccmlError(
+                    f"{declaration.name}: parameter {param.name!r} expects "
+                    f"an int, got {arg!r}")
+        bindings[param.name] = arg
+
+    label = label or f"{declaration.name}({', '.join(map(str, arguments))})"
+    definition = library.definition_for(declaration.name)
+    if definition is None:
+        raise MoccmlError(
+            f"declaration {declaration.name!r} has no definition in "
+            f"library {library.name!r}")
+
+    if definition.kind == "automaton":
+        return AutomatonRuntime(definition, bindings, label=label)
+
+    if definition.kind == "builtin":
+        return definition.factory(label=label, **bindings)
+
+    if definition.kind == "declarative":
+        children = []
+        for index, instantiation in enumerate(definition.instantiations):
+            child_args = [
+                _resolve_argument(declaration, bindings, raw,
+                                  definition.name)
+                for raw in instantiation.arguments
+            ]
+            child_library, child_declaration = registry.resolve(
+                instantiation.declaration_name)
+            child = instantiate_constraint(
+                registry, child_library, child_declaration, child_args,
+                label=f"{label}.{index}:{child_declaration.name}")
+            children.append(child)
+        return CompositeRuntime(label, children)
+
+    raise MoccmlError(
+        f"unknown definition kind {definition.kind!r} for "
+        f"{declaration.name!r}")
+
+
+def _resolve_argument(declaration: ConstraintDeclaration,
+                      bindings: dict[str, str | int],
+                      raw: object, where: str) -> str | int:
+    """Resolve a declarative-definition argument against the bindings.
+
+    * str naming an event parameter → the bound engine event name;
+    * str naming an int parameter → its bound value;
+    * IntExpr → evaluated over the integer parameters;
+    * plain int → itself.
+    """
+    if isinstance(raw, bool):
+        raise MoccmlError(f"{where}: boolean argument {raw!r} not allowed")
+    if isinstance(raw, int):
+        return raw
+    if isinstance(raw, str):
+        if raw not in bindings:
+            raise MoccmlError(
+                f"{where}: argument {raw!r} is not a parameter of "
+                f"{declaration.name!r}")
+        return bindings[raw]
+    if isinstance(raw, IntExpr):
+        env = {name: value for name, value in bindings.items()
+               if isinstance(value, int)}
+        return raw.evaluate(env)
+    raise MoccmlError(f"{where}: unsupported argument {raw!r}")

@@ -1,0 +1,189 @@
+"""JSON persistence for MoCCML libraries.
+
+The textual syntax is the human-facing format; this module provides the
+machine-facing one (stable, versioned JSON) used to ship compiled
+libraries. Guards, actions and initializers are stored in their textual
+expression form and re-parsed on load, so both formats share one
+expression grammar. Builtin definitions carry no portable behaviour and
+are rejected (they are code, not data).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.iexpr.parser import parse_actions, parse_guard, parse_int_expr
+from repro.moccml.automata import (
+    ConstraintAutomataDefinition,
+    State,
+    Transition,
+    Trigger,
+    VariableDecl,
+)
+from repro.moccml.declarations import ConstraintDeclaration, Parameter
+from repro.moccml.declarative import ConstraintInstantiation, DeclarativeDefinition
+from repro.moccml.library import RelationLibrary
+
+FORMAT_VERSION = 1
+
+
+def library_to_json(library: RelationLibrary) -> str:
+    """Serialize *library* (automata and declarative definitions only)."""
+    declarations = []
+    definitions = []
+    for declaration in library.declarations():
+        declarations.append({
+            "name": declaration.name,
+            "parameters": [{"name": p.name, "kind": p.kind}
+                           for p in declaration.parameters],
+        })
+        definition = library.definition_for(declaration.name)
+        if definition is None:
+            continue
+        if definition.kind == "builtin":
+            raise SerializationError(
+                f"builtin definition for {declaration.name!r} cannot be "
+                f"serialized (it is Python code)")
+        if definition.kind == "automaton":
+            definitions.append(_automaton_to_dict(definition))
+        else:
+            definitions.append(_declarative_to_dict(definition))
+    doc = {
+        "format": FORMAT_VERSION,
+        "kind": "moccml-library",
+        "name": library.name,
+        "declarations": declarations,
+        "definitions": definitions,
+    }
+    return json.dumps(doc, indent=2)
+
+
+def _automaton_to_dict(definition: ConstraintAutomataDefinition) -> dict[str, Any]:
+    return {
+        "kind": "automaton",
+        "name": definition.name,
+        "declaration": definition.declaration.name,
+        "allow_stutter": definition.allow_stutter,
+        "states": definition.state_names(),
+        "initial_state": definition.initial_state,
+        "final_states": list(definition.final_states),
+        "variables": [{"name": v.name, "init": repr(v.init)}
+                      for v in definition.variables],
+        "initial_actions": [repr(a) for a in definition.initial_actions],
+        "transitions": [
+            {
+                "source": t.source,
+                "target": t.target,
+                "true_triggers": list(t.trigger.true_triggers),
+                "false_triggers": list(t.trigger.false_triggers),
+                "guard": repr(t.guard) if t.guard is not None else None,
+                "actions": [repr(a) for a in t.actions],
+            }
+            for t in definition.transitions
+        ],
+    }
+
+
+def _declarative_to_dict(definition: DeclarativeDefinition) -> dict[str, Any]:
+    instantiations = []
+    for instantiation in definition.instantiations:
+        arguments = []
+        for argument in instantiation.arguments:
+            if isinstance(argument, str):
+                arguments.append({"ref": argument})
+            elif isinstance(argument, int):
+                arguments.append({"int": argument})
+            else:
+                arguments.append({"expr": repr(argument)})
+        instantiations.append({
+            "declaration": instantiation.declaration_name,
+            "arguments": arguments,
+        })
+    return {
+        "kind": "declarative",
+        "name": definition.name,
+        "declaration": definition.declaration.name,
+        "instantiations": instantiations,
+    }
+
+
+def library_from_json(text: str) -> RelationLibrary:
+    """Load a library previously produced by :func:`library_to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != "moccml-library":
+        raise SerializationError("expected a moccml-library document")
+    if doc.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {doc.get('format')!r}")
+
+    library = RelationLibrary(doc["name"])
+    for decl_doc in doc["declarations"]:
+        library.declare(ConstraintDeclaration(
+            decl_doc["name"],
+            [Parameter(p["name"], p["kind"])
+             for p in decl_doc["parameters"]]))
+    for defn_doc in doc["definitions"]:
+        declaration = library.declaration(defn_doc["declaration"])
+        if defn_doc["kind"] == "automaton":
+            library.define(_automaton_from_dict(defn_doc, declaration))
+        elif defn_doc["kind"] == "declarative":
+            library.define(_declarative_from_dict(defn_doc, declaration))
+        else:
+            raise SerializationError(
+                f"unknown definition kind {defn_doc['kind']!r}")
+    return library
+
+
+def _automaton_from_dict(doc: dict[str, Any],
+                         declaration: ConstraintDeclaration
+                         ) -> ConstraintAutomataDefinition:
+    variables = [VariableDecl(v["name"], parse_int_expr(v["init"]))
+                 for v in doc.get("variables", [])]
+    initial_actions = []
+    for action_text in doc.get("initial_actions", []):
+        initial_actions.extend(parse_actions(action_text))
+    transitions = []
+    for t_doc in doc.get("transitions", []):
+        actions = []
+        for action_text in t_doc.get("actions", []):
+            actions.extend(parse_actions(action_text))
+        transitions.append(Transition(
+            t_doc["source"], t_doc["target"],
+            Trigger(t_doc.get("true_triggers", []),
+                    t_doc.get("false_triggers", [])),
+            parse_guard(t_doc["guard"]) if t_doc.get("guard") else None,
+            actions))
+    return ConstraintAutomataDefinition(
+        doc["name"], declaration,
+        states=[State(name) for name in doc["states"]],
+        initial_state=doc["initial_state"],
+        final_states=doc.get("final_states", []),
+        variables=variables,
+        transitions=transitions,
+        initial_actions=initial_actions,
+        allow_stutter=bool(doc.get("allow_stutter", True)))
+
+
+def _declarative_from_dict(doc: dict[str, Any],
+                           declaration: ConstraintDeclaration
+                           ) -> DeclarativeDefinition:
+    instantiations = []
+    for inst_doc in doc.get("instantiations", []):
+        arguments = []
+        for arg_doc in inst_doc.get("arguments", []):
+            if "ref" in arg_doc:
+                arguments.append(arg_doc["ref"])
+            elif "int" in arg_doc:
+                arguments.append(int(arg_doc["int"]))
+            elif "expr" in arg_doc:
+                arguments.append(parse_int_expr(arg_doc["expr"]))
+            else:
+                raise SerializationError(f"bad argument: {arg_doc!r}")
+        instantiations.append(ConstraintInstantiation(
+            inst_doc["declaration"], arguments))
+    return DeclarativeDefinition(doc["name"], declaration, instantiations)

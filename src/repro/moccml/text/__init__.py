@@ -1,0 +1,29 @@
+"""Textual concrete syntax of MoCCML.
+
+The original workbench combines graphical (Sirius) and textual (Xtext)
+editors; this package provides the textual half — a line-oriented
+syntax covering libraries, declarations, constraint automata and
+declarative definitions — plus a pretty-printer for round-tripping.
+
+Example (the paper's Fig. 3)::
+
+    library SimpleSDFRelationLibrary {
+      declaration PlaceConstraint(write: event, read: event,
+                                  pushRate: int, popRate: int,
+                                  itsDelay: int, itsCapacity: int)
+      automaton PlaceConstraintDef implements PlaceConstraint {
+        var size: int = 0
+        init size = itsDelay
+        initial state S1
+        transition S1 -> S1 when {write} unless {read}
+            [size <= itsCapacity - pushRate] / size += pushRate
+        transition S1 -> S1 when {read} unless {write}
+            [size >= popRate] / size -= popRate
+      }
+    }
+"""
+
+from repro.moccml.text.parser import parse_library
+from repro.moccml.text.printer import print_library
+
+__all__ = ["parse_library", "print_library"]

@@ -1,0 +1,83 @@
+"""Pretty-printer: MoCCML libraries back to their textual syntax.
+
+``parse_library(print_library(lib))`` round-trips (builtin definitions,
+which have no syntax, are printed as comments).
+"""
+
+from __future__ import annotations
+
+from repro.moccml.automata import ConstraintAutomataDefinition, Transition
+from repro.moccml.declarations import ConstraintDeclaration
+from repro.moccml.declarative import DeclarativeDefinition
+from repro.moccml.library import RelationLibrary
+
+
+def print_library(library: RelationLibrary) -> str:
+    """Render *library* as parseable MoCCML text."""
+    lines = [f"library {library.name} {{"]
+    for declaration in library.declarations():
+        lines.append(f"  {_declaration(declaration)}")
+    for definition in library.definitions():
+        lines.append("")
+        if definition.kind == "automaton":
+            lines.extend(_automaton(definition))
+        elif definition.kind == "declarative":
+            lines.extend(_declarative(definition))
+        else:
+            lines.append(
+                f"  // builtin definition for {definition.declaration.name}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _declaration(declaration: ConstraintDeclaration) -> str:
+    params = ", ".join(f"{p.name}: {p.kind}" for p in declaration.parameters)
+    return f"declaration {declaration.name}({params})"
+
+
+def _automaton(definition: ConstraintAutomataDefinition) -> list[str]:
+    suffix = "" if definition.allow_stutter else " nostutter"
+    lines = [f"  automaton {definition.name} implements "
+             f"{definition.declaration.name}{suffix} {{"]
+    for variable in definition.variables:
+        lines.append(f"    var {variable.name}: int = {variable.init!r}")
+    for action in definition.initial_actions:
+        lines.append(f"    init {action!r}")
+    final = set(definition.final_states)
+    for state in definition.states:
+        modifiers = ""
+        if state.name == definition.initial_state:
+            modifiers += "initial "
+        if state.name in final:
+            modifiers += "final "
+        lines.append(f"    {modifiers}state {state.name}")
+    for transition in definition.transitions:
+        lines.append(f"    {_transition(transition)}")
+    lines.append("  }")
+    return lines
+
+
+def _transition(transition: Transition) -> str:
+    parts = [f"transition {transition.source} -> {transition.target}"]
+    if transition.trigger.true_triggers:
+        parts.append("when {" + ", ".join(transition.trigger.true_triggers) + "}")
+    if transition.trigger.false_triggers:
+        parts.append("unless {" + ", ".join(transition.trigger.false_triggers) + "}")
+    if transition.guard is not None:
+        parts.append(f"[{transition.guard!r}]")
+    if transition.actions:
+        parts.append("/ " + "; ".join(repr(a) for a in transition.actions))
+    return " ".join(parts)
+
+
+def _declarative(definition: DeclarativeDefinition) -> list[str]:
+    lines = [f"  declarative {definition.name} implements "
+             f"{definition.declaration.name} {{"]
+    for instantiation in definition.instantiations:
+        rendered_args = ", ".join(
+            arg if isinstance(arg, str) else repr(arg)
+            for arg in instantiation.arguments)
+        lines.append(
+            f"    {instantiation.declaration_name}({rendered_args})")
+    lines.append("  }")
+    return lines

@@ -1,0 +1,200 @@
+"""Static well-formedness checks for MoCCML artifacts.
+
+These implement the structural rules the paper's metamodel encodes via
+multiplicities (single initial state, at least one state, triggers
+referencing declared events) plus the typing rules of §II-B1 (variables
+and parameters restricted to Event/Integer, guards over integers only).
+
+``validate_*`` functions return a list of diagnostic strings; the
+``assert_valid_*`` wrappers raise :class:`MoccmlValidationError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MoccmlValidationError
+from repro.moccml.automata import ConstraintAutomataDefinition
+from repro.moccml.declarative import DeclarativeDefinition
+from repro.moccml.library import LibraryRegistry, RelationLibrary
+
+
+def validate_definition(definition, registry: LibraryRegistry | None = None) -> list[str]:
+    """Validate an automaton or declarative definition."""
+    if isinstance(definition, ConstraintAutomataDefinition):
+        return _validate_automaton(definition)
+    if isinstance(definition, DeclarativeDefinition):
+        return _validate_declarative(definition, registry)
+    return [f"unknown definition kind: {definition!r}"]
+
+
+def assert_valid_definition(definition,
+                            registry: LibraryRegistry | None = None) -> None:
+    issues = validate_definition(definition, registry)
+    if issues:
+        raise MoccmlValidationError(issues)
+
+
+def validate_library(library: RelationLibrary,
+                     registry: LibraryRegistry | None = None) -> list[str]:
+    """Validate every definition of *library* and its completeness."""
+    issues: list[str] = []
+    for declaration in library.declarations():
+        if library.definition_for(declaration.name) is None:
+            issues.append(
+                f"{library.name}.{declaration.name}: declaration has no "
+                f"definition")
+    for definition in library.definitions():
+        if definition.kind == "builtin":
+            continue
+        prefix = f"{library.name}.{definition.name}: "
+        issues.extend(prefix + issue
+                      for issue in validate_definition(definition, registry))
+    return issues
+
+
+def assert_valid_library(library: RelationLibrary,
+                         registry: LibraryRegistry | None = None) -> None:
+    issues = validate_library(library, registry)
+    if issues:
+        raise MoccmlValidationError(issues)
+
+
+# ---------------------------------------------------------------------------
+# automaton checks
+# ---------------------------------------------------------------------------
+
+
+def _validate_automaton(definition: ConstraintAutomataDefinition) -> list[str]:
+    issues: list[str] = []
+    state_names = definition.state_names()
+    seen_states: set[str] = set()
+    for name in state_names:
+        if name in seen_states:
+            issues.append(f"duplicate state {name!r}")
+        seen_states.add(name)
+    if not state_names:
+        issues.append("automaton has no states (metamodel requires 1..*)")
+    if definition.initial_state not in seen_states:
+        issues.append(
+            f"initial state {definition.initial_state!r} is not a state")
+    for final in definition.final_states:
+        if final not in seen_states:
+            issues.append(f"final state {final!r} is not a state")
+
+    declaration = definition.declaration
+    event_params = {p.name for p in declaration.event_parameters()}
+    int_params = {p.name for p in declaration.int_parameters()}
+    var_names: set[str] = set()
+    for var in definition.variables:
+        if var.name in var_names:
+            issues.append(f"duplicate variable {var.name!r}")
+        if var.name in int_params or var.name in event_params:
+            issues.append(
+                f"variable {var.name!r} shadows a declaration parameter")
+        var_names.add(var.name)
+        unknown = var.init.names() - int_params
+        if unknown:
+            issues.append(
+                f"variable {var.name!r} initializer uses unknown name(s) "
+                f"{sorted(unknown)}")
+
+    int_scope = int_params | var_names
+    for action in definition.initial_actions:
+        issues.extend(_check_action(action, var_names, int_scope,
+                                    "initial action"))
+
+    for index, transition in enumerate(definition.transitions):
+        where = f"transition #{index} ({transition.source}->{transition.target})"
+        if transition.source not in seen_states:
+            issues.append(f"{where}: unknown source state")
+        if transition.target not in seen_states:
+            issues.append(f"{where}: unknown target state")
+        for event in transition.trigger.events():
+            if event not in event_params:
+                issues.append(
+                    f"{where}: trigger references unknown event {event!r}")
+        if transition.guard is not None:
+            unknown = transition.guard.names() - int_scope
+            if unknown:
+                issues.append(
+                    f"{where}: guard uses unknown name(s) {sorted(unknown)}")
+        for action in transition.actions:
+            issues.extend(_check_action(action, var_names, int_scope, where))
+    return issues
+
+
+def _check_action(action, var_names: set[str], int_scope: set[str],
+                  where: str) -> list[str]:
+    issues = []
+    if action.target not in var_names:
+        issues.append(
+            f"{where}: action assigns {action.target!r}, which is not a "
+            f"local variable (parameters are read-only)")
+    unknown = action.value.names() - int_scope
+    if unknown:
+        issues.append(
+            f"{where}: action expression uses unknown name(s) "
+            f"{sorted(unknown)}")
+    return issues
+
+
+def find_nondeterminism(definition: ConstraintAutomataDefinition) -> list[str]:
+    """Report pairs of same-source transitions that can fire on the same
+    step (trigger sets compatible). Guards are not statically compared,
+    so overlapping guarded pairs are reported conservatively."""
+    reports = []
+    for state in definition.state_names():
+        outgoing = definition.outgoing(state)
+        for i, first in enumerate(outgoing):
+            for second in outgoing[i + 1:]:
+                true_one = set(first.trigger.true_triggers)
+                false_one = set(first.trigger.false_triggers)
+                true_two = set(second.trigger.true_triggers)
+                false_two = set(second.trigger.false_triggers)
+                if true_one & false_two or true_two & false_one:
+                    continue  # mutually exclusive triggers
+                reports.append(
+                    f"state {state!r}: transitions to {first.target!r} and "
+                    f"{second.target!r} may both fire on a step containing "
+                    f"{sorted(true_one | true_two)}")
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# declarative checks
+# ---------------------------------------------------------------------------
+
+
+def _validate_declarative(definition: DeclarativeDefinition,
+                          registry: LibraryRegistry | None) -> list[str]:
+    issues: list[str] = []
+    declaration = definition.declaration
+    event_params = {p.name for p in declaration.event_parameters()}
+    int_params = {p.name for p in declaration.int_parameters()}
+
+    for index, instantiation in enumerate(definition.instantiations):
+        where = f"instance #{index} ({instantiation.declaration_name})"
+        child_declaration = None
+        if registry is not None:
+            try:
+                _library, child_declaration = registry.resolve(
+                    instantiation.declaration_name)
+            except Exception as exc:  # MoccmlError
+                issues.append(f"{where}: {exc}")
+        if child_declaration is not None:
+            try:
+                child_declaration.check_arity(len(instantiation.arguments))
+            except Exception as exc:
+                issues.append(f"{where}: {exc}")
+        for argument in instantiation.arguments:
+            if isinstance(argument, str):
+                if argument not in event_params and argument not in int_params:
+                    issues.append(
+                        f"{where}: argument {argument!r} is not a parameter "
+                        f"of {declaration.name!r}")
+            elif hasattr(argument, "names"):
+                unknown = argument.names() - int_params
+                if unknown:
+                    issues.append(
+                        f"{where}: expression uses unknown name(s) "
+                        f"{sorted(unknown)}")
+    return issues

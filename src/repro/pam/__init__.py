@@ -1,0 +1,30 @@
+"""Passive Acoustic Monitoring: the companion-website case study.
+
+The paper's conclusion: "the SDF extension is used to model and validate
+an application from the Passive Acoustic Monitoring (PAM) domain. We
+first model a PAM system under an infinite resource assumption before
+studying three different deployments on different platforms."
+
+The original models are not public; this package rebuilds the study with
+a synthetic PAM processing chain of the kind the domain uses
+(hydrophone sampling → framing → FFT → detection/spectrogram →
+classification → track fusion → logging), one infinite-resource
+configuration and three platforms, and reruns the simulation-trace and
+exhaustive-exploration comparison.
+"""
+
+from repro.pam.application import build_pam_application, PAM_AGENTS
+from repro.pam.platforms import (
+    allocation_for,
+    dual_processor_platform,
+    mono_processor_platform,
+    quad_processor_platform,
+)
+from repro.pam.experiments import DeploymentRow, run_deployment_study
+
+__all__ = [
+    "build_pam_application", "PAM_AGENTS",
+    "mono_processor_platform", "dual_processor_platform",
+    "quad_processor_platform", "allocation_for",
+    "run_deployment_study", "DeploymentRow",
+]

@@ -1,0 +1,65 @@
+"""The synthetic PAM application graph.
+
+A passive acoustic monitoring chain: a hydrophone produces sample
+blocks; a framer assembles analysis frames (2 blocks per frame, the
+multirate stage); an FFT transforms each frame and feeds both a
+transient detector and a spectrogram builder; detections are classified;
+classification and spectrogram summaries are fused into tracks; tracks
+are logged.
+
+Rates are kept small so the scheduling state space stays exactly
+explorable, which is what the companion study needs; the *structure*
+(a multirate source stage, a fork after the FFT, a join at the fusion)
+is what exercises the deployment effects.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.mobject import MObject
+from repro.kernel.model import Model
+from repro.sdf.builder import SdfBuilder
+
+#: Agents of the PAM chain, in topological order.
+PAM_AGENTS = ("hydro", "framer", "fft", "detect", "spectro", "classify",
+              "fusion", "logger")
+
+
+def build_pam_application(capacity: int = 2, cycles: dict[str, int] | None = None
+                          ) -> tuple[Model, MObject]:
+    """Build the PAM SigPML model.
+
+    Parameters
+    ----------
+    capacity:
+        Default place capacity (the framer input gets 2x to hold a full
+        frame's worth of blocks).
+    cycles:
+        Optional per-agent processing cycles; default is the pure SDF
+        abstraction (0 everywhere), execution times being a deployment
+        concern.
+    """
+    cycles = cycles or {}
+    builder = SdfBuilder("pam")
+    for name in PAM_AGENTS:
+        builder.agent(name, cycles=cycles.get(name, 0))
+
+    # hydrophone emits sample blocks; the framer needs 2 blocks per frame
+    builder.connect("hydro", "framer", push=1, pop=2,
+                    capacity=max(2, capacity), name="blocks")
+    builder.connect("framer", "fft", push=1, pop=1, capacity=capacity,
+                    name="frames")
+    # fork after the FFT: detector and spectrogram both consume spectra
+    builder.connect("fft", "detect", push=1, pop=1, capacity=capacity,
+                    name="spectra_d")
+    builder.connect("fft", "spectro", push=1, pop=1, capacity=capacity,
+                    name="spectra_s")
+    builder.connect("detect", "classify", push=1, pop=1, capacity=capacity,
+                    name="detections")
+    # join at the fusion
+    builder.connect("classify", "fusion", push=1, pop=1, capacity=capacity,
+                    name="classes")
+    builder.connect("spectro", "fusion", push=1, pop=1, capacity=capacity,
+                    name="summaries")
+    builder.connect("fusion", "logger", push=1, pop=1, capacity=capacity,
+                    name="tracks")
+    return builder.build()

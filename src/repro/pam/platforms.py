@@ -1,0 +1,71 @@
+"""The three deployment platforms of the PAM study.
+
+* ``mono`` — a single DSP runs the whole chain: maximal resource
+  sharing, fully serialized execution;
+* ``dual`` — a front-end DSP (acquisition + FFT) and a back-end CPU
+  (analysis), linked with latency 1;
+* ``quad`` — four cores splitting the pipeline, slower interconnect
+  (latency 2) between stages.
+
+``allocation_for(name)`` returns the matching agent→processor mapping.
+"""
+
+from __future__ import annotations
+
+from repro.deployment.allocation import Allocation
+from repro.deployment.metamodel import Platform
+
+#: allocations per platform name
+_ALLOCATIONS = {
+    "mono": {
+        "hydro": "dsp", "framer": "dsp", "fft": "dsp", "detect": "dsp",
+        "spectro": "dsp", "classify": "dsp", "fusion": "dsp",
+        "logger": "dsp",
+    },
+    "dual": {
+        "hydro": "front", "framer": "front", "fft": "front",
+        "detect": "back", "spectro": "back", "classify": "back",
+        "fusion": "back", "logger": "back",
+    },
+    "quad": {
+        "hydro": "core0", "framer": "core0",
+        "fft": "core1", "detect": "core1",
+        "spectro": "core2", "classify": "core2",
+        "fusion": "core3", "logger": "core3",
+    },
+}
+
+
+def mono_processor_platform() -> Platform:
+    """One DSP hosting everything."""
+    platform = Platform("mono")
+    platform.processor("dsp")
+    return platform
+
+
+def dual_processor_platform(link_latency: int = 1) -> Platform:
+    """Front-end/back-end split with a latency-1 link."""
+    platform = Platform("dual")
+    platform.processor("front")
+    platform.processor("back")
+    platform.link("front", "back", latency=link_latency)
+    return platform
+
+
+def quad_processor_platform(link_latency: int = 2) -> Platform:
+    """Four cores on a slower interconnect."""
+    platform = Platform("quad")
+    for index in range(4):
+        platform.processor(f"core{index}")
+    platform.fully_connect(latency=link_latency)
+    return platform
+
+
+def allocation_for(platform_name: str) -> Allocation:
+    """The study's agent→processor mapping for *platform_name*."""
+    try:
+        return Allocation(_ALLOCATIONS[platform_name])
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {platform_name!r}; expected one of "
+            f"{sorted(_ALLOCATIONS)}") from None

@@ -1,0 +1,52 @@
+"""The SigPML metamodel (abstract syntax of the SDF extension).
+
+Concepts straight from the paper's Section III: ``Application``,
+``Agent`` (with its N processing ``cycles``), ``InputPort`` and
+``OutputPort`` (with token ``rate``), and ``Place`` (with ``capacity``
+and initial-token ``delay``) connecting an output port to an input port.
+
+Ports carry a back-reference ``agent`` so ECL mappings can navigate
+``self.agent.start`` from a port (Listing 1 navigates the other way,
+``self.outputPort.write`` from a Place).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.kernel.builder import MetamodelBuilder
+from repro.kernel.metamodel import MetaModel
+
+
+@lru_cache(maxsize=1)
+def sigpml_metamodel() -> MetaModel:
+    """Build (once) and return the SigPML metamodel."""
+    b = MetamodelBuilder("SigPML")
+    b.metaclass("NamedElement", attributes={"name": "str"}, abstract=True)
+    b.metaclass(
+        "Port", supertypes=["NamedElement"], abstract=True,
+        attributes={"rate": ("int", 1)},
+        references={"agent": "Agent"})
+    b.metaclass("InputPort", supertypes=["Port"])
+    b.metaclass("OutputPort", supertypes=["Port"])
+    b.metaclass(
+        "Agent", supertypes=["NamedElement"],
+        attributes={"cycles": ("int", 0)},
+        references={
+            "inputs": ("InputPort", "many", "containment"),
+            "outputs": ("OutputPort", "many", "containment"),
+        })
+    b.metaclass(
+        "Place", supertypes=["NamedElement"],
+        attributes={"capacity": ("int", 1), "delay": ("int", 0)},
+        references={
+            "outputPort": ("OutputPort", "required"),
+            "inputPort": ("InputPort", "required"),
+        })
+    b.metaclass(
+        "Application", supertypes=["NamedElement"],
+        references={
+            "agents": ("Agent", "many", "containment"),
+            "places": ("Place", "many", "containment"),
+        })
+    return b.build()

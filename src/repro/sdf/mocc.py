@@ -1,0 +1,120 @@
+"""The SDF MoCC: Section III's constraint automata, in MoCCML text.
+
+Two automata reproduce the SDF semantics (paper §III-A):
+
+* ``PlaceConstraint`` — Fig. 3: *read* cannot occur without enough data,
+  *write* cannot occur without enough room;
+* ``AgentExecution`` — the automaton "not represented in the paper":
+  (1) *read* is simultaneous to *start* (expressed as Coincides in the
+  mapping), (2) *isExecuting* occurs only between *start* and *stop*,
+  (3) *stop* occurs at the Nth *isExecuting* after *start*, and
+  (4) *stop* is simultaneous to *write* (Coincides in the mapping).
+  With N = 0 — the SDF abstraction — read, start, stop and write all
+  coincide.
+
+Variants (the paper: "this automata could be modified to provide
+variants of the semantics"):
+
+* ``default`` — non-strict guards matching the prose ("not enough
+  data"/"not enough room"; DESIGN.md clarification 2);
+* ``strict`` — Fig. 3's guards verbatim (``<`` and ``>``);
+* ``multiport`` — adds the simultaneous read+write transition "as
+  supported by multiport memories".
+
+The library is built by parsing actual MoCCML text, exercising the same
+front end a DSL designer would use.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SdfError
+from repro.moccml.library import RelationLibrary
+from repro.moccml.text.parser import parse_library
+
+#: Known PlaceConstraint variants.
+PLACE_VARIANTS = ("default", "strict", "multiport")
+
+_HEADER = """
+library SimpleSDFRelationLibrary {
+  declaration PlaceConstraint(write: event, read: event, pushRate: int,
+                              popRate: int, itsDelay: int, itsCapacity: int)
+  declaration AgentExecution(start: event, exec: event, stop: event,
+                             cycles: int)
+"""
+
+_PLACE_DEFAULT = """
+  automaton PlaceConstraintDef implements PlaceConstraint {
+    var size: int = 0
+    init size = itsDelay
+    initial final state S1
+    transition S1 -> S1 when {write} unless {read} \
+        [size <= itsCapacity - pushRate] / size += pushRate
+    transition S1 -> S1 when {read} unless {write} \
+        [size >= popRate] / size -= popRate
+  }
+"""
+
+_PLACE_STRICT = """
+  automaton PlaceConstraintDef implements PlaceConstraint {
+    var size: int = 0
+    init size = itsDelay
+    initial final state S1
+    transition S1 -> S1 when {write} unless {read} \
+        [size < itsCapacity - pushRate] / size += pushRate
+    transition S1 -> S1 when {read} unless {write} \
+        [size > popRate] / size -= popRate
+  }
+"""
+
+_PLACE_MULTIPORT = """
+  automaton PlaceConstraintDef implements PlaceConstraint {
+    var size: int = 0
+    init size = itsDelay
+    initial final state S1
+    transition S1 -> S1 when {write} unless {read} \
+        [size <= itsCapacity - pushRate] / size += pushRate
+    transition S1 -> S1 when {read} unless {write} \
+        [size >= popRate] / size -= popRate
+    transition S1 -> S1 when {write, read} \
+        [size >= popRate and size <= itsCapacity - pushRate + popRate] \
+        / size += pushRate; size -= popRate
+  }
+"""
+
+_AGENT_EXECUTION = """
+  automaton AgentExecutionDef implements AgentExecution {
+    var count: int = 0
+    initial final state Idle
+    state Running
+    transition Idle -> Idle when {start, stop} unless {exec} [cycles == 0]
+    transition Idle -> Running when {start} unless {exec, stop} \
+        [cycles >= 1] / count = 0
+    transition Running -> Running when {exec} unless {stop, start} \
+        [count < cycles - 1] / count += 1
+    transition Running -> Idle when {exec, stop} unless {start} \
+        [count == cycles - 1]
+  }
+"""
+
+_FOOTER = "}\n"
+
+_PLACE_BODIES = {
+    "default": _PLACE_DEFAULT,
+    "strict": _PLACE_STRICT,
+    "multiport": _PLACE_MULTIPORT,
+}
+
+
+def sdf_library_text(place_variant: str = "default") -> str:
+    """The MoCCML source text of the SDF library for *place_variant*."""
+    if place_variant not in _PLACE_BODIES:
+        raise SdfError(
+            f"unknown PlaceConstraint variant {place_variant!r}; expected "
+            f"one of {PLACE_VARIANTS}")
+    return _HEADER + _PLACE_BODIES[place_variant] + _AGENT_EXECUTION + _FOOTER
+
+
+def sdf_library(place_variant: str = "default") -> RelationLibrary:
+    """Parse and return ``SimpleSDFRelationLibrary`` for *place_variant*."""
+    return parse_library(sdf_library_text(place_variant),
+                         filename=f"sdf-{place_variant}.moccml")

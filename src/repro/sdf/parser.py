@@ -1,0 +1,88 @@
+"""Textual syntax for SigPML applications.
+
+Example::
+
+    application spectrum {
+      agent source
+      agent fft cycles 4
+      agent sink
+      place source -> fft push 1 pop 2 capacity 4
+      place fft -> sink push 1 pop 1 capacity 2 delay 0
+    }
+
+``//`` comments are allowed. Unspecified capacity follows the builder's
+default; push/pop default to 1; delay defaults to 0.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.kernel.mobject import MObject
+from repro.kernel.model import Model
+from repro.sdf.builder import SdfBuilder
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_]*"
+_APP_RE = re.compile(rf"^application\s+({_NAME})\s*\{{$")
+_AGENT_RE = re.compile(rf"^agent\s+({_NAME})(?:\s+cycles\s+(\d+))?$")
+_PLACE_RE = re.compile(
+    rf"^place\s+({_NAME})\s*->\s*({_NAME})((?:\s+\w+\s+\d+)*)$")
+_PLACE_OPT_RE = re.compile(r"(\w+)\s+(\d+)")
+
+_PLACE_OPTIONS = {"push", "pop", "capacity", "delay"}
+
+
+def parse_sigpml(text: str, filename: str | None = None
+                 ) -> tuple[Model, MObject]:
+    """Parse a SigPML document; returns (model, application)."""
+    stripped = re.sub(r"//[^\n]*", "", text)
+    lines = [(number, line.strip())
+             for number, line in enumerate(stripped.splitlines(), start=1)
+             if line.strip()]
+    if not lines:
+        raise ParseError("empty SigPML document", filename=filename)
+
+    line_number, header = lines[0]
+    match = _APP_RE.match(header)
+    if not match:
+        raise ParseError(f"expected 'application Name {{', found {header!r}",
+                         line=line_number, filename=filename)
+    builder = SdfBuilder(match.group(1))
+
+    closed = False
+    for line_number, line in lines[1:]:
+        if closed:
+            raise ParseError(f"trailing input {line!r}", line=line_number,
+                             filename=filename)
+        if line == "}":
+            closed = True
+            continue
+        if (match := _AGENT_RE.match(line)):
+            name, cycles = match.groups()
+            builder.agent(name, cycles=int(cycles) if cycles else 0)
+            continue
+        if (match := _PLACE_RE.match(line)):
+            producer, consumer, options_text = match.groups()
+            options: dict[str, int] = {}
+            for key, value in _PLACE_OPT_RE.findall(options_text):
+                if key not in _PLACE_OPTIONS:
+                    raise ParseError(
+                        f"unknown place option {key!r}", line=line_number,
+                        filename=filename)
+                if key in options:
+                    raise ParseError(
+                        f"duplicate place option {key!r}", line=line_number,
+                        filename=filename)
+                options[key] = int(value)
+            builder.connect(
+                producer, consumer,
+                push=options.get("push", 1), pop=options.get("pop", 1),
+                capacity=options.get("capacity"),
+                delay=options.get("delay", 0))
+            continue
+        raise ParseError(f"unexpected line {line!r}", line=line_number,
+                         filename=filename)
+    if not closed:
+        raise ParseError("missing closing '}'", filename=filename)
+    return builder.build()

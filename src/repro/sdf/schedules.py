@@ -1,0 +1,152 @@
+"""Looped schedules and buffer sizing for SDF graphs.
+
+Classic results layered on the PASS machinery:
+
+* :func:`single_appearance_schedule` — a looped schedule in which every
+  agent appears exactly once (``(2 a) (4 b) c`` notation), built by
+  topological clustering of an acyclic graph;
+* :func:`loop_notation` — render a flat schedule as run-length loops;
+* :func:`minimal_buffer_capacities` — per-place capacity lower bounds
+  that keep a bounded PASS admissible, found by binary search over the
+  bounded scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SdfError
+from repro.kernel.mobject import MObject
+from repro.sdf.analysis import (
+    pass_schedule,
+    place_infos,
+    repetition_vector,
+)
+
+
+def _topological_agents(app: MObject) -> list[str] | None:
+    """Topological order of agents, ignoring places with enough initial
+    tokens to break the dependency; None when a (token-starved) cycle
+    remains."""
+    places = place_infos(app)
+    agents = [agent.name for agent in app.get("agents")]
+    repetition = repetition_vector(app)
+    incoming: dict[str, set[str]] = {name: set() for name in agents}
+    for place in places:
+        if place.producer == place.consumer:
+            continue
+        # the consumer needs pop * r_cons tokens over an iteration; the
+        # delay breaks the precedence only if it covers the whole demand
+        demand = place.pop * repetition[place.consumer]
+        if place.delay >= demand:
+            continue
+        incoming[place.consumer].add(place.producer)
+    order: list[str] = []
+    ready = sorted(name for name, deps in incoming.items() if not deps)
+    remaining = {name: set(deps) for name, deps in incoming.items()}
+    while ready:
+        current = ready.pop(0)
+        order.append(current)
+        for name in sorted(remaining):
+            if current in remaining[name]:
+                remaining[name].discard(current)
+                if not remaining[name] and name not in order \
+                        and name not in ready:
+                    ready.append(name)
+        ready.sort()
+    if len(order) != len(agents):
+        return None
+    return order
+
+
+def single_appearance_schedule(app: MObject) -> list[tuple[int, str]] | None:
+    """A single-appearance looped schedule ``[(count, agent), ...]``.
+
+    Valid for graphs whose inter-agent precedences are acyclic once
+    sufficiently-delayed places are discounted; returns None otherwise
+    (such graphs may still have a PASS, just not a single-appearance
+    one built by plain topological clustering).
+    """
+    order = _topological_agents(app)
+    if order is None:
+        return None
+    repetition = repetition_vector(app)
+    return [(repetition[name], name) for name in order]
+
+
+def render_looped(schedule: list[tuple[int, str]]) -> str:
+    """Render ``[(2, 'a'), (1, 'b')]`` as ``"(2 a) b"``."""
+    parts = []
+    for count, name in schedule:
+        parts.append(name if count == 1 else f"({count} {name})")
+    return " ".join(parts)
+
+
+def loop_notation(flat_schedule: list[str]) -> str:
+    """Run-length encode a flat schedule: ``a b b c`` -> ``a (2 b) c``."""
+    if not flat_schedule:
+        return ""
+    groups: list[tuple[int, str]] = []
+    for name in flat_schedule:
+        if groups and groups[-1][1] == name:
+            groups[-1] = (groups[-1][0] + 1, name)
+        else:
+            groups.append((1, name))
+    return render_looped(groups)
+
+
+def expand_looped(schedule: list[tuple[int, str]]) -> list[str]:
+    """Flatten a looped schedule back to the firing sequence."""
+    flat: list[str] = []
+    for count, name in schedule:
+        flat.extend([name] * count)
+    return flat
+
+
+def minimal_buffer_capacities(app: MObject,
+                              max_capacity: int = 64) -> dict[str, int] | None:
+    """Per-place capacities minimized jointly, greedily per place.
+
+    Starts from every place at *max_capacity* (must admit a bounded
+    PASS; returns None otherwise) and shrinks one place at a time to the
+    smallest capacity that keeps a bounded PASS admissible. Greedy, so
+    the result is a (good) feasible point, not a proven global optimum —
+    matching standard practice for this NP-hard sizing problem.
+    """
+    places = {place.name: place for place in app.get("places")}
+    originals = {name: place.get("capacity")
+                 for name, place in places.items()}
+    try:
+        for place in places.values():
+            place.set("capacity", max_capacity)
+        if pass_schedule(app, bounded=True) is None:
+            return None
+        result: dict[str, int] = {}
+        for name in sorted(places):
+            place = places[name]
+            low = max(place.get("outputPort").get("rate"),
+                      place.get("inputPort").get("rate"),
+                      place.get("delay"), 1)
+            high = max_capacity
+            best = high
+            while low <= high:
+                middle = (low + high) // 2
+                place.set("capacity", middle)
+                if pass_schedule(app, bounded=True) is not None:
+                    best = middle
+                    high = middle - 1
+                else:
+                    low = middle + 1
+            place.set("capacity", best)
+            result[name] = best
+        return result
+    finally:
+        for name, place in places.items():
+            place.set("capacity", originals[name])
+
+
+def apply_capacities(app: MObject, capacities: dict[str, int]) -> None:
+    """Write *capacities* into the model (e.g. the sizing result)."""
+    for place in app.get("places"):
+        if place.name in capacities:
+            place.set("capacity", capacities[place.name])
+        else:
+            raise SdfError(f"no capacity given for place {place.name!r}")

@@ -1,0 +1,72 @@
+"""Well-formedness checks for SigPML applications."""
+
+from __future__ import annotations
+
+from repro.kernel.mobject import MObject
+
+
+def check_application(app: MObject) -> list[str]:
+    """Return diagnostics for *app* (an Application element).
+
+    Checks: positive rates, non-negative delay/cycles, capacity large
+    enough for one push and for the initial tokens, every port connected
+    to exactly one place, port/agent back-references consistent.
+    """
+    issues: list[str] = []
+    agents = app.get("agents")
+    places = app.get("places")
+
+    port_use: dict[int, int] = {}
+    for place in places:
+        name = place.name or "place"
+        capacity = place.get("capacity")
+        delay = place.get("delay")
+        out_port = place.get("outputPort")
+        in_port = place.get("inputPort")
+        if out_port is None or in_port is None:
+            issues.append(f"{name}: missing port reference")
+            continue
+        push = out_port.get("rate")
+        pop = in_port.get("rate")
+        if push < 1:
+            issues.append(f"{name}: push rate must be >= 1, got {push}")
+        if pop < 1:
+            issues.append(f"{name}: pop rate must be >= 1, got {pop}")
+        if delay < 0:
+            issues.append(f"{name}: delay must be >= 0, got {delay}")
+        if capacity < 1:
+            issues.append(f"{name}: capacity must be >= 1, got {capacity}")
+        if delay > capacity:
+            issues.append(
+                f"{name}: initial tokens ({delay}) exceed capacity "
+                f"({capacity})")
+        if capacity < push:
+            issues.append(
+                f"{name}: capacity {capacity} can never accommodate a "
+                f"write of {push} token(s)")
+        if capacity < pop:
+            issues.append(
+                f"{name}: capacity {capacity} can never accumulate the "
+                f"{pop} token(s) one read consumes")
+        port_use[out_port.uid] = port_use.get(out_port.uid, 0) + 1
+        port_use[in_port.uid] = port_use.get(in_port.uid, 0) + 1
+
+    for agent in agents:
+        agent_name = agent.name or "agent"
+        if agent.get("cycles") < 0:
+            issues.append(f"{agent_name}: cycles must be >= 0")
+        for port in list(agent.get("inputs")) + list(agent.get("outputs")):
+            if port.get("agent") is not agent:
+                issues.append(
+                    f"{agent_name}: port {port.name!r} has a stale agent "
+                    f"back-reference")
+            uses = port_use.get(port.uid, 0)
+            if uses == 0:
+                issues.append(
+                    f"{agent_name}: port {port.name!r} is not connected to "
+                    f"any place")
+            elif uses > 1:
+                issues.append(
+                    f"{agent_name}: port {port.name!r} is connected to "
+                    f"{uses} places (SDF ports are point-to-point)")
+    return issues

@@ -1,0 +1,11 @@
+"""Rendering helpers: DOT exports and ASCII reports.
+
+The automaton and state-space renderers live in
+:mod:`repro.moccml.draw`; this package adds the SigPML application graph
+and small report formatters used by the CLI and the examples.
+"""
+
+from repro.viz.dot import sdf_to_dot
+from repro.viz.report import statespace_report, trace_report
+
+__all__ = ["sdf_to_dot", "statespace_report", "trace_report"]

@@ -1,0 +1,35 @@
+"""DOT rendering of SigPML applications."""
+
+from __future__ import annotations
+
+from repro.kernel.mobject import MObject
+
+
+def sdf_to_dot(app: MObject) -> str:
+    """Render an Application as a DOT digraph.
+
+    Agents become boxes (annotated with their cycle count when non-zero);
+    places become edges labelled ``push/pop`` with capacity and initial
+    tokens.
+    """
+    name = app.name or "application"
+    lines = [f'digraph "{name}" {{',
+             "  rankdir=LR;",
+             "  node [shape=box, style=rounded];"]
+    for agent in app.get("agents"):
+        cycles = agent.get("cycles")
+        label = agent.name if not cycles else f"{agent.name}\\nN={cycles}"
+        lines.append(f'  "{agent.name}" [label="{label}"];')
+    for place in app.get("places"):
+        out_port = place.get("outputPort")
+        in_port = place.get("inputPort")
+        producer = out_port.get("agent").name
+        consumer = in_port.get("agent").name
+        label = (f"{place.name}\\n{out_port.get('rate')}/"
+                 f"{in_port.get('rate')} cap={place.get('capacity')}")
+        delay = place.get("delay")
+        if delay:
+            label += f" d={delay}"
+        lines.append(f'  "{producer}" -> "{consumer}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

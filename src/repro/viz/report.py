@@ -1,0 +1,35 @@
+"""Plain-text reports for traces and state spaces."""
+
+from __future__ import annotations
+
+from repro.engine.statespace import StateSpace
+from repro.engine.trace import Trace
+
+
+def trace_report(trace: Trace, show_diagram: bool = True,
+                 diagram_width: int = 60) -> str:
+    """Summary of a simulation trace: counts, parallelism, diagram."""
+    lines = [f"steps: {len(trace)}",
+             f"max parallelism: {trace.max_parallelism()}",
+             f"mean parallelism: {trace.mean_parallelism():.3f}",
+             "occurrences:"]
+    for event, count in sorted(trace.counts().items()):
+        lines.append(f"  {event}: {count}")
+    if show_diagram and len(trace) > 0:
+        lines.append("")
+        lines.append(trace.to_ascii(width=diagram_width))
+    return "\n".join(lines)
+
+
+def statespace_report(space: StateSpace) -> str:
+    """Summary of an explored scheduling state space."""
+    summary = space.summary()
+    lines = [f"state space of {space.name!r}:"]
+    for key, value in summary.items():
+        lines.append(f"  {key}: {value}")
+    histogram = space.parallelism_histogram()
+    if histogram:
+        lines.append("  parallelism histogram (|step| -> transitions):")
+        for size in sorted(histogram):
+            lines.append(f"    {size}: {histogram[size]}")
+    return "\n".join(lines)

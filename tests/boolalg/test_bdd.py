@@ -1,0 +1,150 @@
+"""Tests for the BDD package."""
+
+import pytest
+
+from repro.boolalg import (
+    FALSE,
+    TRUE,
+    And,
+    Bdd,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+    all_assignments,
+)
+
+a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = Bdd()
+        assert bdd.from_expr(TRUE) == bdd.one
+        assert bdd.from_expr(FALSE) == bdd.zero
+
+    def test_var_and_negation(self):
+        bdd = Bdd()
+        x = bdd.var("x")
+        assert bdd.evaluate(x, {"x": True})
+        assert not bdd.evaluate(x, {"x": False})
+        nx = bdd.apply_not(x)
+        assert bdd.evaluate(nx, {"x": False})
+
+    def test_canonicity(self):
+        bdd = Bdd(order=["a", "b", "c"])
+        left = bdd.from_expr(Or(And(a, b), And(a, c), And(b, c)))
+        right = bdd.from_expr(Or(And(a, Or(b, c)), And(b, c)))
+        assert left == right  # same function -> same node
+
+    def test_tautology_collapses_to_one(self):
+        bdd = Bdd()
+        node = bdd.from_expr(Or(a, Not(a)))
+        assert node == bdd.one
+
+    def test_contradiction_collapses_to_zero(self):
+        bdd = Bdd()
+        node = bdd.from_expr(And(Iff(a, b), Xor(a, b)))
+        assert node == bdd.zero
+
+
+class TestAgainstTruthTable:
+    exprs = [
+        Implies(a, b),
+        Iff(a, Or(b, c)),
+        Or(And(a, b), And(c, d)),
+        And(Or(a, b), Or(Not(a), c), Or(Not(b), Not(c))),
+        Xor(Xor(a, b), Xor(c, d)),
+    ]
+
+    @pytest.mark.parametrize("expr", exprs, ids=lambda e: repr(e)[:40])
+    def test_evaluate_matches(self, expr):
+        bdd = Bdd()
+        node = bdd.from_expr(expr)
+        for assignment in all_assignments(expr.support()):
+            assert bdd.evaluate(node, assignment) == expr.evaluate(assignment)
+
+    @pytest.mark.parametrize("expr", exprs, ids=lambda e: repr(e)[:40])
+    def test_sat_count_matches(self, expr):
+        bdd = Bdd()
+        node = bdd.from_expr(expr)
+        support = sorted(expr.support())
+        brute = sum(
+            1 for assignment in all_assignments(support)
+            if expr.evaluate(assignment))
+        assert bdd.sat_count(node, support) == brute
+
+    @pytest.mark.parametrize("expr", exprs, ids=lambda e: repr(e)[:40])
+    def test_iter_models_matches(self, expr):
+        bdd = Bdd()
+        node = bdd.from_expr(expr)
+        support = sorted(expr.support())
+        brute = {
+            frozenset(assignment.items())
+            for assignment in all_assignments(support)
+            if expr.evaluate(assignment)}
+        models = list(bdd.iter_models(node, support))
+        assert len(models) == len(brute)
+        assert {frozenset(m.items()) for m in models} == brute
+
+
+class TestModelsOverLargerSets:
+    def test_free_variables_expanded(self):
+        bdd = Bdd()
+        node = bdd.from_expr(a)
+        models = list(bdd.iter_models(node, ["a", "b", "c"]))
+        assert len(models) == 4
+        assert all(m["a"] for m in models)
+        assert bdd.sat_count(node, ["a", "b", "c"]) == 4
+
+    def test_two_to_the_n_futures(self):
+        # paper §II-C: no constraints -> 2^n acceptable steps
+        bdd = Bdd()
+        events = [f"e{i}" for i in range(10)]
+        assert bdd.sat_count(bdd.one, events) == 1024
+
+    def test_support_must_be_covered(self):
+        bdd = Bdd()
+        node = bdd.from_expr(And(a, b))
+        with pytest.raises(ValueError):
+            bdd.sat_count(node, ["a"])
+        with pytest.raises(ValueError):
+            list(bdd.iter_models(node, ["a"]))
+
+
+class TestOperations:
+    def test_restrict(self):
+        bdd = Bdd()
+        node = bdd.from_expr(And(a, Or(b, c)))
+        restricted = bdd.restrict(node, {"a": True, "b": False})
+        expected = bdd.from_expr(c)
+        assert restricted == expected
+        assert bdd.restrict(node, {"a": False}) == bdd.zero
+
+    def test_exists(self):
+        bdd = Bdd()
+        node = bdd.from_expr(And(a, b))
+        projected = bdd.exists(node, ["b"])
+        assert projected == bdd.from_expr(a)
+
+    def test_exists_removes_from_support(self):
+        bdd = Bdd()
+        node = bdd.from_expr(Or(And(a, b), c))
+        projected = bdd.exists(node, ["a", "b"])
+        assert bdd.support(projected) <= frozenset({"c"})
+
+    def test_support(self):
+        bdd = Bdd()
+        # b is irrelevant in (a & b) | (a & ~b) == a
+        node = bdd.from_expr(Or(And(a, b), And(a, Not(b))))
+        assert bdd.support(node) == frozenset({"a"})
+
+    def test_node_sharing(self):
+        bdd = Bdd()
+        first = bdd.from_expr(And(a, b))
+        before = bdd.node_count()
+        second = bdd.from_expr(And(a, b))
+        assert first == second
+        assert bdd.node_count() == before

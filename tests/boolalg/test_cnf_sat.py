@@ -1,0 +1,135 @@
+"""Tests for CNF conversion and the DPLL solver."""
+
+from repro.boolalg import (
+    FALSE,
+    TRUE,
+    And,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    all_assignments,
+    all_sat,
+    is_satisfiable,
+    iter_models,
+    solve_one,
+    to_cnf_clauses,
+    tseitin_clauses,
+)
+from repro.boolalg.cnf import clauses_support
+
+a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+
+
+def clause_eval(clauses, assignment):
+    return all(
+        any(assignment[name] == polarity for name, polarity in clause)
+        for clause in clauses)
+
+
+class TestDistributiveCnf:
+    def test_true_false(self):
+        assert to_cnf_clauses(TRUE) == []
+        assert to_cnf_clauses(FALSE) == [frozenset()]
+
+    def test_literal(self):
+        assert to_cnf_clauses(a) == [frozenset({("a", True)})]
+        assert to_cnf_clauses(Not(a)) == [frozenset({("a", False)})]
+
+    def test_equivalence_on_truth_table(self):
+        exprs = [
+            Implies(a, b),
+            Iff(a, Or(b, c)),
+            Or(And(a, b), And(c, d)),
+            And(Or(a, b), Or(Not(a), c), Or(Not(b), Not(c))),
+            Not(And(a, Or(b, Not(c)))),
+        ]
+        for expr in exprs:
+            clauses = to_cnf_clauses(expr)
+            for assignment in all_assignments(expr.support()):
+                assert clause_eval(clauses, assignment) == expr.evaluate(
+                    assignment), (expr, assignment)
+
+    def test_tautology_pruned(self):
+        assert to_cnf_clauses(Or(a, Not(a))) == []
+
+
+class TestTseitin:
+    def test_constants(self):
+        assert tseitin_clauses(TRUE) == ([], None)
+        clauses, root = tseitin_clauses(FALSE)
+        assert clauses == [frozenset()] and root is None
+
+    def test_equisatisfiable(self):
+        exprs = [
+            Iff(a, Or(b, c)),
+            Or(And(a, b), And(c, d), And(Not(a), Not(d))),
+            And(Or(a, b), Or(Not(a), c)),
+        ]
+        for expr in exprs:
+            clauses, _root = tseitin_clauses(expr)
+            original_vars = expr.support()
+            # for every model of expr, the tseitin clauses are satisfiable
+            # with matching values on the original variables, and vice versa
+            source_models = {
+                frozenset(m.items()) for m in iter_models(expr)}
+            tseitin_models = set()
+            aux_names = clauses_support(clauses, include_aux=True) - original_vars
+            for assignment in all_assignments(
+                    original_vars | aux_names):
+                if clause_eval(clauses, assignment):
+                    tseitin_models.add(frozenset(
+                        (name, value) for name, value in assignment.items()
+                        if name in original_vars))
+            assert source_models == tseitin_models
+
+    def test_aux_variables_prefixed(self):
+        clauses, root = tseitin_clauses(Or(And(a, b), c))
+        assert root.startswith("_t")
+        assert clauses_support(clauses) == frozenset({"a", "b", "c"})
+
+
+class TestSolver:
+    def test_sat_and_unsat(self):
+        assert is_satisfiable(And(a, Or(Not(a), b)))
+        assert not is_satisfiable(And(a, Not(a)))
+        assert not is_satisfiable(
+            And(Or(a, b), Or(Not(a), b), Or(a, Not(b)), Or(Not(a), Not(b))))
+
+    def test_solve_one_returns_model(self):
+        expr = And(Or(a, b), Not(a))
+        model = solve_one(expr)
+        assert model is not None
+        assert expr.evaluate(model)
+
+    def test_solve_one_covers_support(self):
+        model = solve_one(Or(a, b))
+        assert set(model) == {"a", "b"}
+
+    def test_all_sat_counts(self):
+        # x | y has 3 models over {x, y}
+        assert len(list(all_sat(Or(a, b)))) == 3
+        # a has 2 models over {a, b} (b free)
+        assert len(list(all_sat(a, over=frozenset({"a", "b"})))) == 2
+
+    def test_all_sat_models_are_models(self):
+        expr = And(Implies(a, b), Or(b, c), Not(And(a, c)))
+        models = list(all_sat(expr))
+        for model in models:
+            assert expr.evaluate(model)
+        # compare against brute force
+        brute = list(iter_models(expr))
+        assert len(models) == len(brute)
+        assert {frozenset(m.items()) for m in models} == {
+            frozenset(m.items()) for m in brute}
+
+    def test_all_sat_deterministic(self):
+        expr = Or(And(a, b), c)
+        first = [tuple(sorted(m.items())) for m in all_sat(expr)]
+        second = [tuple(sorted(m.items())) for m in all_sat(expr)]
+        assert first == second
+
+    def test_all_sat_limit(self):
+        models = list(all_sat(TRUE, over=frozenset("abcd"), limit=5))
+        assert len(models) == 5

@@ -1,0 +1,130 @@
+"""Unit tests for the boolean expression AST."""
+
+import pytest
+
+from repro.boolalg import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+    all_assignments,
+    iter_models,
+)
+
+a, b, c = Var("a"), Var("b"), Var("c")
+
+
+class TestConstructors:
+    def test_constants_shared(self):
+        assert Const(True) is TRUE
+        assert Const(False) is FALSE
+
+    def test_not_folds_constants(self):
+        assert Not(TRUE) is FALSE
+        assert Not(FALSE) is TRUE
+
+    def test_not_involution(self):
+        assert Not(Not(a)) == a
+
+    def test_and_identity_absorbing(self):
+        assert And(a, TRUE) == a
+        assert And(a, FALSE) is FALSE
+        assert And() is TRUE
+
+    def test_or_identity_absorbing(self):
+        assert Or(a, FALSE) == a
+        assert Or(a, TRUE) is TRUE
+        assert Or() is FALSE
+
+    def test_flattening(self):
+        expr = And(And(a, b), c)
+        assert expr == And(a, b, c)
+
+    def test_dedup(self):
+        assert And(a, a) == a
+        assert Or(a, a, a) == a
+
+    def test_complement_detection(self):
+        assert And(a, Not(a)) is FALSE
+        assert Or(a, Not(a)) is TRUE
+
+    def test_operator_sugar(self):
+        assert (a & b) == And(a, b)
+        assert (a | b) == Or(a, b)
+        assert (~a) == Not(a)
+        assert (a >> b) == Implies(a, b)
+        assert (a ^ b) == Xor(a, b)
+
+    def test_no_implicit_truth_value(self):
+        with pytest.raises(TypeError):
+            bool(a)
+
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+
+class TestEvaluate:
+    def test_subevent_semantics(self):
+        # paper: e1 sub-event of e2 corresponds to e1 => e2
+        expr = Implies(a, b)
+        assert expr.evaluate({"a": False, "b": False})
+        assert expr.evaluate({"a": False, "b": True})
+        assert expr.evaluate({"a": True, "b": True})
+        assert not expr.evaluate({"a": True, "b": False})
+
+    def test_iff(self):
+        expr = Iff(a, b)
+        assert expr.evaluate({"a": True, "b": True})
+        assert expr.evaluate({"a": False, "b": False})
+        assert not expr.evaluate({"a": True, "b": False})
+
+    def test_xor(self):
+        expr = Xor(a, b)
+        assert not expr.evaluate({"a": True, "b": True})
+        assert expr.evaluate({"a": True, "b": False})
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            a.evaluate({})
+
+
+class TestSupportSubstitute:
+    def test_support(self):
+        expr = And(a, Or(b, Not(c)))
+        assert expr.support() == frozenset({"a", "b", "c"})
+
+    def test_substitute_variable(self):
+        expr = And(a, b).substitute({"a": c})
+        assert expr == And(c, b)
+
+    def test_restrict_partial_eval(self):
+        expr = And(a, Or(b, c))
+        assert expr.restrict({"a": True, "b": True}) is TRUE
+        assert expr.restrict({"a": False}) is FALSE
+        assert expr.restrict({"b": False}) == And(a, c)
+
+
+class TestEnumeration:
+    def test_all_assignments_count(self):
+        assert len(list(all_assignments(["x", "y", "z"]))) == 8
+
+    def test_iter_models_conjunction(self):
+        models = list(iter_models(And(a, b)))
+        assert models == [{"a": True, "b": True}]
+
+    def test_iter_models_with_free_variable(self):
+        models = list(iter_models(a, over=["a", "b"]))
+        assert len(models) == 2
+        assert all(m["a"] for m in models)
+
+    def test_unconstrained_has_2n_futures(self):
+        # paper §II-C: with no constraints there are 2^n possible steps
+        models = list(iter_models(TRUE, over=["e1", "e2", "e3", "e4"]))
+        assert len(models) == 16

@@ -1,0 +1,130 @@
+"""Property-based tests for CCSL relations against reference semantics.
+
+Each relation is driven with random step sequences; acceptance is
+compared against an independently coded reference over the full history
+(occurrence counts), and internal counters are cross-checked.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ccsl import (
+    AlternatesRuntime,
+    BinaryWord,
+    CausesRuntime,
+    DelayedForRuntime,
+    FilterByRuntime,
+    PrecedesRuntime,
+)
+
+steps2 = st.lists(
+    st.sampled_from([frozenset(), frozenset({"a"}), frozenset({"b"}),
+                     frozenset({"a", "b"})]),
+    max_size=30)
+
+
+def drive(runtime, steps):
+    """Advance through the steps the runtime accepts; return the prefix
+    of accepted steps (acceptance checked via the step formula)."""
+    accepted = []
+    for step in steps:
+        formula = runtime.step_formula()
+        support = formula.support() | runtime.constrained_events
+        ok = formula.evaluate({name: name in step for name in support})
+        if not ok:
+            break
+        runtime.advance(step)
+        accepted.append(step)
+    return accepted
+
+
+@settings(max_examples=100, deadline=None)
+@given(steps2)
+def test_precedes_counts_never_negative(steps):
+    runtime = PrecedesRuntime("a", "b")
+    accepted = drive(runtime, steps)
+    count_a = sum(1 for step in accepted if "a" in step)
+    count_b = sum(1 for step in accepted if "b" in step)
+    assert count_a >= count_b
+    assert runtime.advance_count == count_a - count_b
+    # strictness: at every prefix, b never overtakes a
+    running_a = running_b = 0
+    for step in accepted:
+        if "b" in step:
+            assert running_a > running_b  # strictly earlier 'a' exists
+        running_a += "a" in step
+        running_b += "b" in step
+
+
+@settings(max_examples=100, deadline=None)
+@given(steps2)
+def test_causes_allows_simultaneity_but_no_overtake(steps):
+    runtime = CausesRuntime("a", "b")
+    accepted = drive(runtime, steps)
+    running_a = running_b = 0
+    for step in accepted:
+        running_a += "a" in step
+        running_b += "b" in step
+        assert running_a >= running_b
+
+
+@settings(max_examples=100, deadline=None)
+@given(steps2)
+def test_alternates_difference_bounded_by_one(steps):
+    runtime = AlternatesRuntime("a", "b")
+    accepted = drive(runtime, steps)
+    running_a = running_b = 0
+    for step in accepted:
+        assert not ("a" in step and "b" in step)  # never simultaneous
+        running_a += "a" in step
+        running_b += "b" in step
+        assert 0 <= running_a - running_b <= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=4), steps2)
+def test_delayed_for_reference(depth, steps):
+    # reference: d must tick exactly with the base occurrences whose
+    # 0-based index is >= depth
+    runtime = DelayedForRuntime("b", "a", depth)  # delayed=b, base=a
+    accepted = drive(runtime, steps)
+    base_index = 0
+    for step in accepted:
+        if "a" in step:
+            expected_delayed = base_index >= depth
+            assert ("b" in step) == expected_delayed
+            base_index += 1
+        else:
+            assert "b" not in step
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet="01", max_size=3),
+       st.text(alphabet="01", min_size=1, max_size=4),
+       steps2)
+def test_filter_by_reference(prefix, period, steps):
+    word = BinaryWord(prefix=prefix, period=period)
+    runtime = FilterByRuntime("b", "a", word)  # filtered=b, base=a
+    accepted = drive(runtime, steps)
+    base_index = 0
+    for step in accepted:
+        if "a" in step:
+            assert ("b" in step) == word[base_index]
+            base_index += 1
+        else:
+            assert "b" not in step
+
+
+@settings(max_examples=50, deadline=None)
+@given(steps2)
+def test_clone_transparency(steps):
+    """Driving a clone produces exactly the same acceptance as the
+    original (no shared mutable state, same semantics)."""
+    original = PrecedesRuntime("a", "b", bound=2)
+    accepted = drive(original, steps)
+    replay = PrecedesRuntime("a", "b", bound=2)
+    clones = [replay]
+    for step in accepted:
+        replay = replay.clone()
+        replay.advance(step)
+    assert replay.advance_count == original.advance_count

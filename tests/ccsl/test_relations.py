@@ -1,0 +1,271 @@
+"""Tests for the CCSL kernel relations (stateless and stateful)."""
+
+import pytest
+
+from repro.ccsl import (
+    AlternatesRuntime,
+    CausesRuntime,
+    DeadlineRuntime,
+    DelayedForRuntime,
+    PeriodicOnRuntime,
+    PrecedesRuntime,
+    SampledOnRuntime,
+    coincides,
+    excludes,
+    intersection,
+    kernel_library,
+    minus,
+    subclock,
+    union,
+)
+from repro.errors import SemanticsError
+from repro.moccml.library import LibraryRegistry
+
+
+def accepts(runtime, *events):
+    step = frozenset(events)
+    formula = runtime.step_formula()
+    support = formula.support() | runtime.constrained_events
+    return formula.evaluate({name: name in step for name in support})
+
+
+def run(runtime, steps):
+    for step in steps:
+        runtime.advance(frozenset(step))
+
+
+class TestStateless:
+    def test_subclock_is_implication(self):
+        relation = subclock("a", "b")
+        assert accepts(relation, "a", "b")
+        assert accepts(relation, "b")
+        assert accepts(relation)
+        assert not accepts(relation, "a")
+
+    def test_coincides(self):
+        relation = coincides("a", "b")
+        assert accepts(relation, "a", "b")
+        assert accepts(relation)
+        assert not accepts(relation, "a")
+
+    def test_excludes(self):
+        relation = excludes("a", "b")
+        assert accepts(relation, "a")
+        assert accepts(relation, "b")
+        assert not accepts(relation, "a", "b")
+
+    def test_union(self):
+        relation = union("u", "a", "b")
+        assert accepts(relation, "u", "a")
+        assert accepts(relation, "u", "a", "b")
+        assert accepts(relation)
+        assert not accepts(relation, "a")
+        assert not accepts(relation, "u")
+
+    def test_intersection(self):
+        relation = intersection("i", "a", "b")
+        assert accepts(relation, "i", "a", "b")
+        assert accepts(relation, "a")
+        assert not accepts(relation, "a", "b")
+        assert not accepts(relation, "i", "a")
+
+    def test_minus(self):
+        relation = minus("m", "a", "b")
+        assert accepts(relation, "m", "a")
+        assert accepts(relation, "a", "b")
+        assert not accepts(relation, "a")
+        assert not accepts(relation, "m", "a", "b")
+
+    def test_advance_raises_on_violation(self):
+        relation = subclock("a", "b")
+        with pytest.raises(SemanticsError):
+            relation.advance(frozenset({"a"}))
+
+
+class TestPrecedes:
+    def test_effect_blocked_initially(self):
+        relation = PrecedesRuntime("c", "e")
+        assert not accepts(relation, "e")
+        assert accepts(relation, "c")
+
+    def test_effect_allowed_after_cause(self):
+        relation = PrecedesRuntime("c", "e")
+        run(relation, [{"c"}])
+        assert accepts(relation, "e")
+        run(relation, [{"e"}])
+        assert not accepts(relation, "e")
+
+    def test_simultaneous_not_allowed_when_empty(self):
+        relation = PrecedesRuntime("c", "e")
+        assert not accepts(relation, "c", "e")
+
+    def test_simultaneous_allowed_with_advance(self):
+        relation = PrecedesRuntime("c", "e")
+        run(relation, [{"c"}])
+        assert accepts(relation, "c", "e")
+
+    def test_bound_blocks_cause(self):
+        relation = PrecedesRuntime("c", "e", bound=2)
+        run(relation, [{"c"}, {"c"}])
+        assert not accepts(relation, "c")
+        # strictness: a simultaneous effect does not free the slot
+        assert not accepts(relation, "c", "e")
+        assert accepts(relation, "e")
+
+    def test_violation_detected_on_advance(self):
+        relation = PrecedesRuntime("c", "e")
+        with pytest.raises(SemanticsError):
+            relation.advance(frozenset({"e"}))
+
+    def test_bad_bound(self):
+        with pytest.raises(SemanticsError):
+            PrecedesRuntime("c", "e", bound=0)
+
+    def test_clone_preserves_counter(self):
+        relation = PrecedesRuntime("c", "e")
+        run(relation, [{"c"}, {"c"}])
+        copy = relation.clone()
+        assert copy.state_key() == relation.state_key()
+        run(relation, [{"e"}])
+        assert copy.state_key() != relation.state_key()
+
+
+class TestCauses:
+    def test_simultaneous_allowed(self):
+        relation = CausesRuntime("c", "e")
+        assert accepts(relation, "c", "e")
+        assert not accepts(relation, "e")
+
+    def test_after_advance_effect_alone_ok(self):
+        relation = CausesRuntime("c", "e")
+        run(relation, [{"c"}])
+        assert accepts(relation, "e")
+
+
+class TestAlternates:
+    def test_strict_alternation(self):
+        relation = AlternatesRuntime("a", "b")
+        assert accepts(relation, "a")
+        assert not accepts(relation, "b")
+        run(relation, [{"a"}])
+        assert not accepts(relation, "a")
+        assert accepts(relation, "b")
+        run(relation, [{"b"}])
+        assert accepts(relation, "a")
+
+    def test_property_no_double_fire(self):
+        # along any run a b a b..., counts differ by at most 1
+        relation = AlternatesRuntime("a", "b")
+        sequence = [{"a"}, {"b"}] * 5
+        run(relation, sequence)
+        assert relation.advance_count == 0
+
+
+class TestDelayedFor:
+    def test_skips_first_n(self):
+        relation = DelayedForRuntime("d", "b", 2)
+        assert not accepts(relation, "b", "d")
+        assert accepts(relation, "b")
+        run(relation, [{"b"}, {"b"}])
+        # third base occurrence must now coincide with d
+        assert accepts(relation, "b", "d")
+        assert not accepts(relation, "b")
+
+    def test_zero_depth_is_coincidence(self):
+        relation = DelayedForRuntime("d", "b", 0)
+        assert accepts(relation, "b", "d")
+        assert not accepts(relation, "b")
+        assert not accepts(relation, "d")
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(SemanticsError):
+            DelayedForRuntime("d", "b", -1)
+
+
+class TestPeriodicOn:
+    def test_every_third(self):
+        relation = PeriodicOnRuntime("f", "b", period=3, offset=0)
+        # base index 0 -> filtered fires with base
+        assert accepts(relation, "b", "f")
+        run(relation, [{"b", "f"}])
+        assert accepts(relation, "b")
+        assert not accepts(relation, "b", "f")
+        run(relation, [{"b"}, {"b"}])
+        assert accepts(relation, "b", "f")
+
+    def test_offset(self):
+        relation = PeriodicOnRuntime("f", "b", period=2, offset=1)
+        assert not accepts(relation, "b", "f")
+        run(relation, [{"b"}])
+        assert accepts(relation, "b", "f")
+
+    def test_parameter_validation(self):
+        with pytest.raises(SemanticsError):
+            PeriodicOnRuntime("f", "b", period=0)
+        with pytest.raises(SemanticsError):
+            PeriodicOnRuntime("f", "b", period=2, offset=2)
+
+
+class TestSampledOn:
+    def test_sample_after_trigger(self):
+        relation = SampledOnRuntime("s", "t", "b")
+        assert not accepts(relation, "b", "s")  # nothing pending
+        assert accepts(relation, "b")
+        run(relation, [{"t"}])
+        assert accepts(relation, "b", "s")
+        assert not accepts(relation, "b")  # pending sample must fire
+
+    def test_simultaneous_trigger_and_base(self):
+        relation = SampledOnRuntime("s", "t", "b")
+        assert accepts(relation, "t", "b", "s")
+        run(relation, [{"t", "b", "s"}])
+        # consumed: nothing pending anymore
+        assert not accepts(relation, "b", "s")
+
+    def test_pending_persists(self):
+        relation = SampledOnRuntime("s", "t", "b")
+        run(relation, [{"t"}, {"t"}])
+        assert accepts(relation, "b", "s")
+
+
+class TestDeadline:
+    def test_deadline_forces_finish(self):
+        relation = DeadlineRuntime("start", "finish", budget=2)
+        run(relation, [{"start"}, set(), set()])
+        # budget exhausted: finish is forced now
+        assert not accepts(relation)
+        assert accepts(relation, "finish")
+
+    def test_finish_disarms(self):
+        relation = DeadlineRuntime("start", "finish", budget=2)
+        run(relation, [{"start"}, {"finish"}, set(), set(), set()])
+        assert accepts(relation)
+
+    def test_missed_deadline_raises(self):
+        relation = DeadlineRuntime("start", "finish", budget=0)
+        run(relation, [{"start"}])
+        with pytest.raises(SemanticsError):
+            relation.advance(frozenset())
+
+
+class TestKernelLibrary:
+    def test_all_declarations_have_definitions(self):
+        library = kernel_library()
+        for declaration in library.declarations():
+            assert library.definition_for(declaration.name) is not None
+
+    def test_instantiate_alternates_via_registry(self):
+        registry = LibraryRegistry([kernel_library()])
+        relation = registry.instantiate("Alternates", ["x", "y"])
+        assert accepts(relation, "x")
+        assert not accepts(relation, "y")
+
+    def test_instantiate_bounded_precedes(self):
+        registry = LibraryRegistry([kernel_library()])
+        relation = registry.instantiate("BoundedPrecedes", ["x", "y", 3])
+        assert relation.bound == 3
+
+    def test_qualified_names(self):
+        registry = LibraryRegistry([kernel_library()])
+        relation = registry.instantiate("CCSLKernel.SubClock", ["x", "y"])
+        assert accepts(relation, "x", "y")

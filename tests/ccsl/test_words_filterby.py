@@ -1,0 +1,125 @@
+"""Tests for periodic binary words and the FilterBy relation."""
+
+import pytest
+
+from repro.ccsl import BinaryWord, FilterByRuntime, kernel_library
+from repro.errors import ParseError, SemanticsError
+from repro.moccml.library import LibraryRegistry
+
+
+class TestBinaryWord:
+    def test_parse_prefix_and_period(self):
+        word = BinaryWord.parse("1(10)")
+        assert word.prefix == "1"
+        assert word.period == "10"
+        assert [word[i] for i in range(6)] == [
+            True, True, False, True, False, True]
+
+    def test_parse_pure_period(self):
+        word = BinaryWord.parse("(01)")
+        assert [word[i] for i in range(4)] == [False, True, False, True]
+
+    def test_parse_finite_word(self):
+        word = BinaryWord.parse("110")
+        assert [word[i] for i in range(6)] == [
+            True, True, False, False, False, False]
+
+    def test_parse_errors(self):
+        for bad in ("", "2(01)", "1(1", "1()", "abc"):
+            with pytest.raises(ParseError):
+                BinaryWord.parse(bad)
+
+    def test_from_ints(self):
+        # prefix '1' (bits=1, len=1); period '10' -> LSB-first bits 0b01
+        word = BinaryWord.from_ints(1, 1, 0b01, 2)
+        assert word == BinaryWord.parse("1(10)")
+
+    def test_from_ints_validation(self):
+        with pytest.raises(ParseError):
+            BinaryWord.from_ints(0, 0, 0, 0)
+        with pytest.raises(ParseError):
+            BinaryWord.from_ints(0, -1, 1, 1)
+
+    def test_state_canonicalization(self):
+        word = BinaryWord.parse("1(10)")
+        # indices 1 and 3 are both 'first position of the period'
+        assert word.state_of(1) == word.state_of(3)
+        assert word.state_of(0) == 0
+
+    def test_negative_index(self):
+        with pytest.raises(IndexError):
+            BinaryWord.parse("(1)")[-1]
+
+
+def accepts(runtime, *events):
+    step = frozenset(events)
+    formula = runtime.step_formula()
+    support = formula.support() | runtime.constrained_events
+    return formula.evaluate({name: name in step for name in support})
+
+
+class TestFilterBy:
+    def test_every_other(self):
+        relation = FilterByRuntime("f", "b", "(10)")
+        assert accepts(relation, "b", "f")
+        relation.advance(frozenset({"b", "f"}))
+        assert accepts(relation, "b")
+        assert not accepts(relation, "b", "f")
+        relation.advance(frozenset({"b"}))
+        assert accepts(relation, "b", "f")
+
+    def test_prefix_then_period(self):
+        relation = FilterByRuntime("f", "b", "0(1)")
+        assert not accepts(relation, "b", "f")
+        relation.advance(frozenset({"b"}))
+        # after the prefix, every base occurrence is kept
+        for _ in range(3):
+            assert accepts(relation, "b", "f")
+            relation.advance(frozenset({"b", "f"}))
+
+    def test_violation_raises(self):
+        relation = FilterByRuntime("f", "b", "(10)")
+        with pytest.raises(SemanticsError):
+            relation.advance(frozenset({"b"}))  # f was required
+
+    def test_state_key_is_periodic(self):
+        relation = FilterByRuntime("f", "b", "(10)")
+        initial_key = relation.state_key()
+        relation.advance(frozenset({"b", "f"}))
+        relation.advance(frozenset({"b"}))
+        assert relation.state_key() == initial_key
+
+    def test_clone(self):
+        relation = FilterByRuntime("f", "b", "1(10)")
+        relation.advance(frozenset({"b", "f"}))
+        copy = relation.clone()
+        assert copy.state_key() == relation.state_key()
+        relation.advance(frozenset({"b", "f"}))
+        assert copy.state_key() != relation.state_key()
+
+    def test_exploration_stays_finite(self):
+        from repro.engine import ExecutionModel, explore
+        model = ExecutionModel(
+            ["b", "f"], [FilterByRuntime("f", "b", "11(100)")])
+        space = explore(model, max_states=100)
+        # states bounded by prefix + period positions
+        assert not space.truncated
+        assert space.n_states <= 5
+
+    def test_via_kernel_library(self):
+        registry = LibraryRegistry([kernel_library()])
+        relation = registry.instantiate(
+            "FilterBy", ["f", "b", 1, 1, 0b01, 2])
+        assert relation.word == BinaryWord.parse("1(10)")
+
+    def test_periodic_on_equivalence(self):
+        # PeriodicOn(period=3, offset=1) == FilterBy("(010)")
+        from repro.ccsl import PeriodicOnRuntime
+        periodic = PeriodicOnRuntime("f", "b", period=3, offset=1)
+        filtered = FilterByRuntime("f", "b", "(010)")
+        sequence = [{"b"}, {"b", "f"}, {"b"}, {"b"}, {"b", "f"}, {"b"}]
+        for step in sequence:
+            step = frozenset(step)
+            assert accepts(periodic, *step) == accepts(filtered, *step)
+            periodic.advance(step)
+            filtered.advance(step)

@@ -1,0 +1,137 @@
+"""Tests for the deployment constraint runtimes (mutex, comm delay)."""
+
+import pytest
+
+from repro.deployment import CommDelayRuntime, ProcessorMutexRuntime
+from repro.errors import DeploymentError, SemanticsError
+
+
+def accepts(runtime, *events):
+    step = frozenset(events)
+    formula = runtime.step_formula()
+    support = formula.support() | runtime.constrained_events
+    return formula.evaluate({name: name in step for name in support})
+
+
+class TestProcessorMutex:
+    def make(self):
+        return ProcessorMutexRuntime("cpu", {
+            "a": ("a.start", "a.stop"),
+            "b": ("b.start", "b.stop"),
+        })
+
+    def test_idle_allows_single_start(self):
+        mutex = self.make()
+        assert accepts(mutex, "a.start")
+        assert accepts(mutex, "b.start")
+        assert not accepts(mutex, "a.start", "b.start")
+
+    def test_atomic_firing_does_not_occupy(self):
+        mutex = self.make()
+        mutex.advance(frozenset({"a.start", "a.stop"}))
+        assert mutex.running is None
+        assert accepts(mutex, "b.start")
+
+    def test_long_execution_occupies(self):
+        mutex = self.make()
+        mutex.advance(frozenset({"a.start"}))
+        assert mutex.running == "a"
+        assert not accepts(mutex, "b.start")
+        assert not accepts(mutex, "a.start")
+
+    def test_release_on_stop(self):
+        mutex = self.make()
+        mutex.advance(frozenset({"a.start"}))
+        mutex.advance(frozenset({"a.stop"}))
+        assert mutex.running is None
+        assert accepts(mutex, "b.start")
+
+    def test_no_handover_within_a_step(self):
+        mutex = self.make()
+        mutex.advance(frozenset({"a.start"}))
+        # b cannot start in the very step a stops
+        assert not accepts(mutex, "a.stop", "b.start")
+
+    def test_violation_detected(self):
+        mutex = self.make()
+        mutex.advance(frozenset({"a.start"}))
+        with pytest.raises(SemanticsError):
+            mutex.advance(frozenset({"b.start"}))
+
+    def test_simultaneous_starts_detected(self):
+        mutex = self.make()
+        with pytest.raises(SemanticsError):
+            mutex.advance(frozenset({"a.start", "b.start"}))
+
+    def test_clone_and_state_key(self):
+        mutex = self.make()
+        copy = mutex.clone()
+        mutex.advance(frozenset({"a.start"}))
+        assert copy.running is None
+        assert copy.state_key() != mutex.state_key()
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(DeploymentError):
+            ProcessorMutexRuntime("cpu", {})
+
+
+class TestCommDelay:
+    def test_latency_one(self):
+        delay = CommDelayRuntime("w", "r", push=1, pop=1, latency=1)
+        assert not accepts(delay, "r")
+        delay.advance(frozenset({"w"}))
+        # token wrote at step t matures at end of t, readable at t+1
+        assert accepts(delay, "r")
+
+    def test_latency_two(self):
+        delay = CommDelayRuntime("w", "r", push=1, pop=1, latency=2)
+        delay.advance(frozenset({"w"}))
+        assert not accepts(delay, "r")
+        delay.advance(frozenset())
+        assert accepts(delay, "r")
+
+    def test_latency_zero_is_transparent(self):
+        delay = CommDelayRuntime("w", "r", push=1, pop=1, latency=0)
+        delay.advance(frozenset({"w"}))
+        assert accepts(delay, "r")
+
+    def test_initial_tokens_immediately_available(self):
+        delay = CommDelayRuntime("w", "r", push=1, pop=1, latency=3,
+                                 initial_tokens=1)
+        assert accepts(delay, "r")
+
+    def test_rates(self):
+        delay = CommDelayRuntime("w", "r", push=2, pop=3, latency=1)
+        delay.advance(frozenset({"w"}))
+        assert not accepts(delay, "r")  # 2 < 3
+        delay.advance(frozenset({"w"}))
+        assert accepts(delay, "r")  # 4 >= 3
+        delay.advance(frozenset({"r"}))
+        assert delay.matured == 1
+
+    def test_early_read_raises(self):
+        delay = CommDelayRuntime("w", "r", push=1, pop=1, latency=2)
+        delay.advance(frozenset({"w"}))
+        with pytest.raises(SemanticsError):
+            delay.advance(frozenset({"r"}))
+
+    def test_pipelined_writes(self):
+        delay = CommDelayRuntime("w", "r", push=1, pop=1, latency=2)
+        delay.advance(frozenset({"w"}))
+        delay.advance(frozenset({"w"}))
+        delay.advance(frozenset({"w", "r"}))  # first token matured
+        assert delay.matured == 1  # second matured, third in flight
+        assert delay.in_flight == (1, 0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DeploymentError):
+            CommDelayRuntime("w", "r", push=0, pop=1, latency=1)
+        with pytest.raises(DeploymentError):
+            CommDelayRuntime("w", "r", push=1, pop=1, latency=-1)
+
+    def test_clone_independent(self):
+        delay = CommDelayRuntime("w", "r", push=1, pop=1, latency=2)
+        delay.advance(frozenset({"w"}))
+        copy = delay.clone()
+        delay.advance(frozenset())
+        assert copy.state_key() != delay.state_key()

@@ -1,0 +1,101 @@
+"""Tests for the platform/allocation textual syntax."""
+
+import pytest
+
+from repro.deployment import parse_allocation, parse_deployment, parse_platform
+from repro.errors import ParseError
+
+DOCUMENT = """
+// the dual-processor board of the PAM study
+platform board {
+  processor dsp
+  processor cpu speed 2
+  link dsp <-> cpu latency 3
+}
+
+allocation {
+  hydro, framer, fft -> dsp
+  detect, classify -> cpu
+}
+"""
+
+
+class TestPlatformBlock:
+    def test_full_document(self):
+        platform, allocation = parse_deployment(DOCUMENT)
+        assert platform.name == "board"
+        assert platform.get_processor("cpu").speed_factor == 2
+        assert platform.latency("dsp", "cpu") == 3
+        assert platform.latency("cpu", "dsp") == 3
+        assert allocation.processor_of("fft") == "dsp"
+        assert allocation.agents_on("cpu") == ["detect", "classify"]
+
+    def test_unidirectional_link(self):
+        platform = parse_platform(
+            "platform p {\n processor a\n processor b\n"
+            " link a -> b latency 2\n}\n")
+        assert platform.latency("a", "b") == 2
+        from repro.errors import DeploymentError
+        with pytest.raises(DeploymentError):
+            platform.latency("b", "a")
+
+    def test_connect_all(self):
+        platform = parse_platform(
+            "platform p {\n processor a\n processor b\n processor c\n"
+            " connect all latency 4\n}\n")
+        assert platform.latency("a", "c") == 4
+        assert platform.latency("c", "b") == 4
+
+    def test_default_latency(self):
+        platform = parse_platform(
+            "platform p {\n processor a\n processor b\n link a <-> b\n}\n")
+        assert platform.latency("a", "b") == 1
+
+
+class TestErrors:
+    def test_missing_blocks(self):
+        with pytest.raises(ParseError):
+            parse_platform("allocation {\n x -> cpu\n}\n")
+        with pytest.raises(ParseError):
+            parse_allocation("platform p {\n processor a\n}\n")
+
+    def test_duplicate_blocks(self):
+        text = "platform a {\n processor x\n}\nplatform b {\n processor y\n}\n"
+        with pytest.raises(ParseError):
+            parse_deployment(text)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_platform("platform p {\n processor a\n")
+
+    def test_bad_lines(self):
+        with pytest.raises(ParseError):
+            parse_platform("platform p {\n cpu a\n}\n")
+        with pytest.raises(ParseError):
+            parse_deployment("allocation {\n x => cpu\n}\n")
+        with pytest.raises(ParseError):
+            parse_deployment("banana\n")
+
+    def test_double_allocation(self):
+        with pytest.raises(ParseError):
+            parse_allocation("allocation {\n x -> a\n x -> b\n}\n")
+
+
+class TestEndToEnd:
+    def test_parse_then_deploy(self):
+        from repro.deployment import deploy
+        from repro.sdf import SdfBuilder
+
+        builder = SdfBuilder("app")
+        for name in ("hydro", "framer", "fft", "detect", "classify"):
+            builder.agent(name)
+        builder.connect("hydro", "framer", capacity=2)
+        builder.connect("framer", "fft", capacity=2)
+        builder.connect("fft", "detect", capacity=2)
+        builder.connect("detect", "classify", capacity=2)
+        model, app = builder.build()
+
+        platform, allocation = parse_deployment(DOCUMENT)
+        result = deploy(model, app, platform, allocation)
+        assert set(result.mutexes) == {"dsp", "cpu"}
+        assert set(result.comm_delays) == {"fft_detect"}

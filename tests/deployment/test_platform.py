@@ -1,0 +1,98 @@
+"""Tests for the platform metamodel and allocations."""
+
+import pytest
+
+from repro.deployment import Allocation, Platform
+from repro.errors import DeploymentError
+from repro.sdf import SdfBuilder
+
+
+class TestPlatform:
+    def test_processors_and_links(self):
+        platform = Platform("board")
+        platform.processor("cpu0")
+        platform.processor("cpu1", speed_factor=2)
+        platform.link("cpu0", "cpu1", latency=3)
+        assert platform.latency("cpu0", "cpu1") == 3
+        assert platform.latency("cpu1", "cpu0") == 3  # bidirectional
+        assert platform.latency("cpu0", "cpu0") == 0
+        assert platform.get_processor("cpu1").speed_factor == 2
+
+    def test_unidirectional_link(self):
+        platform = Platform("board")
+        platform.processor("a")
+        platform.processor("b")
+        platform.link("a", "b", latency=1, bidirectional=False)
+        assert platform.latency("a", "b") == 1
+        with pytest.raises(DeploymentError):
+            platform.latency("b", "a")
+
+    def test_fully_connect(self):
+        platform = Platform("mesh")
+        for index in range(3):
+            platform.processor(f"p{index}")
+        platform.fully_connect(latency=2)
+        assert platform.latency("p0", "p2") == 2
+        assert platform.latency("p2", "p1") == 2
+
+    def test_duplicate_processor(self):
+        platform = Platform("board")
+        platform.processor("cpu")
+        with pytest.raises(DeploymentError):
+            platform.processor("cpu")
+
+    def test_unknown_processor(self):
+        platform = Platform("board")
+        with pytest.raises(DeploymentError):
+            platform.get_processor("ghost")
+        platform.processor("cpu")
+        with pytest.raises(DeploymentError):
+            platform.link("cpu", "ghost")
+
+    def test_bad_parameters(self):
+        platform = Platform("board")
+        platform.processor("a")
+        platform.processor("b")
+        with pytest.raises(DeploymentError):
+            platform.processor("c", speed_factor=0)
+        with pytest.raises(DeploymentError):
+            platform.link("a", "b", latency=-1)
+
+
+class TestAllocation:
+    @pytest.fixture()
+    def setup(self):
+        builder = SdfBuilder("app")
+        builder.agent("x")
+        builder.agent("y")
+        builder.connect("x", "y")
+        _model, app = builder.build()
+        platform = Platform("board")
+        platform.processor("cpu0")
+        platform.processor("cpu1")
+        return app, platform
+
+    def test_valid_allocation(self, setup):
+        app, platform = setup
+        allocation = Allocation({"x": "cpu0", "y": "cpu1"})
+        assert allocation.check(app, platform) == []
+        assert allocation.processor_of("x") == "cpu0"
+        assert allocation.agents_on("cpu1") == ["y"]
+
+    def test_missing_agent_reported(self, setup):
+        app, platform = setup
+        allocation = Allocation({"x": "cpu0"})
+        issues = allocation.check(app, platform)
+        assert any("'y'" in issue for issue in issues)
+
+    def test_unknown_names_reported(self, setup):
+        app, platform = setup
+        allocation = Allocation({"x": "cpu0", "y": "cpu1", "z": "cpu9"})
+        issues = allocation.check(app, platform)
+        assert any("unknown agent" in issue for issue in issues)
+        assert any("unknown processor" in issue for issue in issues)
+
+    def test_unallocated_lookup_raises(self):
+        allocation = Allocation({})
+        with pytest.raises(DeploymentError):
+            allocation.processor_of("ghost")

@@ -1,0 +1,90 @@
+"""Tests for execution models: step enumeration, advancing, cloning."""
+
+import pytest
+
+from repro.ccsl import AlternatesRuntime, excludes, subclock
+from repro.engine import ExecutionModel
+from repro.errors import EngineError
+from repro.moccml.semantics import AutomatonRuntime
+from tests.moccml.test_ast import place_definition
+
+
+def place_model(push=1, pop=1, delay=0, capacity=2):
+    runtime = AutomatonRuntime(place_definition(), {
+        "write": "w", "read": "r", "pushRate": push, "popRate": pop,
+        "itsDelay": delay, "itsCapacity": capacity}, label="place")
+    return ExecutionModel(["w", "r"], [runtime], name="place-model")
+
+
+class TestAcceptableSteps:
+    def test_unconstrained_model_has_2n_steps(self):
+        # paper §II-C: no constraints -> 2^n possible futures
+        model = ExecutionModel(["a", "b", "c"])
+        assert model.count_acceptable_steps(include_empty=True) == 8
+        assert len(model.acceptable_steps(include_empty=True)) == 8
+
+    def test_each_constraint_reduces_the_step_set(self):
+        model = ExecutionModel(["a", "b", "c"])
+        counts = [model.count_acceptable_steps()]
+        model.add_constraint(subclock("a", "b"))
+        counts.append(model.count_acceptable_steps())
+        model.add_constraint(excludes("b", "c"))
+        counts.append(model.count_acceptable_steps())
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_empty_place_steps(self):
+        model = place_model()
+        assert model.acceptable_steps() == [frozenset({"w"})]
+
+    def test_acceptable_steps_deterministic_order(self):
+        model = ExecutionModel(["a", "b"])
+        steps = model.acceptable_steps(include_empty=True)
+        assert steps == [frozenset(), frozenset({"a"}), frozenset({"b"}),
+                         frozenset({"a", "b"})]
+
+    def test_is_acceptable(self):
+        model = place_model()
+        assert model.is_acceptable(frozenset({"w"}))
+        assert not model.is_acceptable(frozenset({"r"}))
+        assert model.is_acceptable(frozenset())
+
+    def test_unknown_event_in_step(self):
+        model = place_model()
+        with pytest.raises(EngineError):
+            model.is_acceptable(frozenset({"zz"}))
+
+
+class TestAdvance:
+    def test_advance_moves_configuration(self):
+        model = place_model()
+        before = model.configuration()
+        model.advance(frozenset({"w"}))
+        assert model.configuration() != before
+
+    def test_advance_rejects_bad_step(self):
+        model = place_model()
+        with pytest.raises(EngineError):
+            model.advance(frozenset({"r"}))
+
+    def test_clone_independent(self):
+        model = place_model()
+        copy = model.clone()
+        model.advance(frozenset({"w"}))
+        assert copy.configuration() != model.configuration()
+        assert copy.acceptable_steps() == [frozenset({"w"})]
+
+
+class TestConstruction:
+    def test_constraint_over_unknown_event_rejected(self):
+        with pytest.raises(EngineError):
+            ExecutionModel(["a"], [subclock("a", "ghost")])
+
+    def test_add_constraint_checks_events(self):
+        model = ExecutionModel(["a", "b"])
+        model.add_constraint(AlternatesRuntime("a", "b"))
+        with pytest.raises(EngineError):
+            model.add_constraint(subclock("a", "ghost"))
+
+    def test_duplicate_events_deduplicated(self):
+        model = ExecutionModel(["a", "a", "b"])
+        assert model.events == ["a", "b"]

@@ -1,0 +1,135 @@
+"""Tests for property checking over state spaces (AG/EF/AF/leads-to)."""
+
+import pytest
+
+from repro.ccsl import AlternatesRuntime, PrecedesRuntime, subclock
+from repro.engine import ExecutionModel, explore
+from repro.engine.properties import (
+    always,
+    counterexample_path,
+    eventually_reachable,
+    inevitable,
+    leads_to,
+    never,
+    occurs,
+    together,
+)
+
+
+def alternation_space():
+    model = ExecutionModel(["a", "b"], [AlternatesRuntime("a", "b")])
+    return explore(model)
+
+
+def free_space():
+    return explore(ExecutionModel(["a", "b"]))
+
+
+def deadlock_space():
+    model = ExecutionModel(
+        ["a", "b"], [PrecedesRuntime("a", "b"), PrecedesRuntime("b", "a")])
+    return explore(model)
+
+
+class TestPredicates:
+    def test_occurs(self):
+        assert occurs("a")(frozenset({"a", "b"}))
+        assert not occurs("a")(frozenset({"b"}))
+
+    def test_together(self):
+        assert together("a", "b")(frozenset({"a", "b", "c"}))
+        assert not together("a", "b")(frozenset({"a"}))
+
+
+class TestSafety:
+    def test_alternation_never_simultaneous(self):
+        space = alternation_space()
+        assert never(space, together("a", "b"))
+        assert not never(space, occurs("a"))
+
+    def test_always_singleton_steps(self):
+        space = alternation_space()
+        assert always(space, lambda step: len(step) == 1)
+
+    def test_free_model_violates_exclusion(self):
+        space = free_space()
+        assert not never(space, together("a", "b"))
+
+
+class TestReachability:
+    def test_eventually_reachable(self):
+        space = alternation_space()
+        assert eventually_reachable(space, occurs("b"))
+        assert not eventually_reachable(space, together("a", "b"))
+
+    def test_counterexample_is_shortest(self):
+        space = alternation_space()
+        path = counterexample_path(space, occurs("b"))
+        assert path == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_counterexample_none_when_safe(self):
+        space = alternation_space()
+        assert counterexample_path(space, together("a", "b")) is None
+
+
+class TestInevitability:
+    def test_alternation_b_inevitable(self):
+        # every infinite run is a b a b...: b is inevitable
+        space = alternation_space()
+        assert inevitable(space, occurs("b"))
+        assert inevitable(space, occurs("a"))
+
+    def test_free_model_nothing_inevitable(self):
+        # the free model can loop on {b} forever, avoiding a
+        space = free_space()
+        assert not inevitable(space, occurs("a"))
+
+    def test_deadlock_breaks_inevitability(self):
+        space = deadlock_space()
+        assert not inevitable(space, occurs("a"))
+
+    def test_truncated_space_rejected(self):
+        model = ExecutionModel(["a", "b"], [PrecedesRuntime("a", "b")])
+        space = explore(model, max_states=5)
+        assert space.truncated
+        with pytest.raises(ValueError):
+            inevitable(space, occurs("a"))
+
+
+class TestLeadsTo:
+    def test_alternation_a_leads_to_b(self):
+        space = alternation_space()
+        assert leads_to(space, occurs("a"), occurs("b"))
+        assert leads_to(space, occurs("b"), occurs("a"))
+
+    def test_free_model_no_response(self):
+        space = free_space()
+        assert not leads_to(space, occurs("a"), occurs("b"))
+
+    def test_sdf_request_response(self):
+        # producer firing leads to consumer firing in a bounded pipeline
+        from repro.sdf import SdfBuilder, build_execution_model
+        builder = SdfBuilder("duo")
+        builder.agent("p")
+        builder.agent("c")
+        builder.connect("p", "c", capacity=2)
+        model, _app = builder.build()
+        space = explore(build_execution_model(model).execution_model)
+        assert leads_to(space, occurs("p.start"), occurs("c.start"))
+
+
+class TestDeploymentProperties:
+    def test_mutex_as_safety_property(self):
+        from repro.deployment import Allocation, Platform, deploy
+        from repro.sdf import SdfBuilder
+        builder = SdfBuilder("pipe")
+        builder.agent("x")
+        builder.agent("y")
+        builder.connect("x", "y", capacity=2)
+        model, app = builder.build()
+        platform = Platform("mono")
+        platform.processor("cpu")
+        result = deploy(model, app, platform,
+                        Allocation({"x": "cpu", "y": "cpu"}))
+        space = explore(result.execution_model)
+        assert never(space, together("x.start", "y.start"))

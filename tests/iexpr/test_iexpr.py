@@ -1,0 +1,160 @@
+"""Tests for integer expressions, guards, actions and their parser."""
+
+import pytest
+
+from repro.errors import GuardTypeError, ParseError
+from repro.iexpr import (
+    Add,
+    Assign,
+    Cmp,
+    GAnd,
+    GConst,
+    GNot,
+    GOr,
+    IntConst,
+    IntVar,
+    Mul,
+    Neg,
+    Sub,
+    parse_actions,
+    parse_guard,
+    parse_int_expr,
+)
+
+
+class TestIntExpr:
+    def test_const_and_var(self):
+        assert IntConst(5).evaluate({}) == 5
+        assert IntVar("x").evaluate({"x": 3}) == 3
+
+    def test_const_rejects_non_int(self):
+        with pytest.raises(GuardTypeError):
+            IntConst("five")
+        with pytest.raises(GuardTypeError):
+            IntConst(True)
+
+    def test_unknown_name(self):
+        with pytest.raises(GuardTypeError):
+            IntVar("missing").evaluate({"x": 1})
+
+    def test_arithmetic(self):
+        env = {"a": 7, "b": 2}
+        assert Add(IntVar("a"), IntVar("b")).evaluate(env) == 9
+        assert Sub(IntVar("a"), IntVar("b")).evaluate(env) == 5
+        assert Mul(IntVar("a"), IntVar("b")).evaluate(env) == 14
+        assert Neg(IntVar("a")).evaluate(env) == -7
+
+    def test_division_by_zero(self):
+        expr = parse_int_expr("a / b")
+        with pytest.raises(GuardTypeError):
+            expr.evaluate({"a": 1, "b": 0})
+
+    def test_names(self):
+        expr = parse_int_expr("a + b * 2 - c")
+        assert expr.names() == frozenset({"a", "b", "c"})
+
+
+class TestGuards:
+    def test_comparisons(self):
+        env = {"size": 3, "cap": 5}
+        assert Cmp("<", IntVar("size"), IntVar("cap")).evaluate(env)
+        assert Cmp("<=", IntVar("size"), IntConst(3)).evaluate(env)
+        assert not Cmp(">", IntVar("size"), IntVar("cap")).evaluate(env)
+        assert Cmp("!=", IntVar("size"), IntVar("cap")).evaluate(env)
+        assert Cmp("==", IntVar("size"), IntConst(3)).evaluate(env)
+
+    def test_unknown_operator(self):
+        with pytest.raises(GuardTypeError):
+            Cmp("<>", IntVar("a"), IntVar("b"))
+
+    def test_connectives(self):
+        env = {"x": 1}
+        true_guard = Cmp("==", IntVar("x"), IntConst(1))
+        false_guard = Cmp("==", IntVar("x"), IntConst(2))
+        assert GAnd(true_guard, true_guard).evaluate(env)
+        assert not GAnd(true_guard, false_guard).evaluate(env)
+        assert GOr(false_guard, true_guard).evaluate(env)
+        assert GNot(false_guard).evaluate(env)
+        assert GConst(True).evaluate(env)
+
+
+class TestActions:
+    def test_assignment_forms(self):
+        env = {"size": 4, "pushRate": 2}
+        Assign("size", "=", IntConst(9)).apply(env)
+        assert env["size"] == 9
+        Assign("size", "+=", IntVar("pushRate")).apply(env)
+        assert env["size"] == 11
+        Assign("size", "-=", IntConst(1)).apply(env)
+        assert env["size"] == 10
+
+    def test_assignment_to_unknown_variable(self):
+        with pytest.raises(GuardTypeError):
+            Assign("ghost", "=", IntConst(1)).apply({"size": 0})
+
+    def test_unknown_operator(self):
+        with pytest.raises(GuardTypeError):
+            Assign("size", "*=", IntConst(2))
+
+
+class TestParser:
+    def test_precedence(self):
+        expr = parse_int_expr("1 + 2 * 3")
+        assert expr.evaluate({}) == 7
+        expr = parse_int_expr("(1 + 2) * 3")
+        assert expr.evaluate({}) == 9
+
+    def test_unary_minus(self):
+        assert parse_int_expr("-3 + 5").evaluate({}) == 2
+        assert parse_int_expr("- (2 * 4)").evaluate({}) == -8
+
+    def test_fig3_guards(self):
+        # the guards of the paper's Fig. 3 automaton
+        guard_write = parse_guard("size < itsCapacity - pushRate")
+        guard_read = parse_guard("size > popRate")
+        env = {"size": 2, "itsCapacity": 5, "pushRate": 2, "popRate": 1}
+        assert guard_write.evaluate(env)
+        assert guard_read.evaluate(env)
+        env["size"] = 3
+        assert not guard_write.evaluate(env)
+
+    def test_guard_connectives(self):
+        guard = parse_guard("size >= 1 and not (size == 3) or full == 1")
+        assert guard.evaluate({"size": 2, "full": 0})
+        assert not guard.evaluate({"size": 3, "full": 0})
+        assert guard.evaluate({"size": 3, "full": 1})
+
+    def test_parenthesized_comparison_backtracking(self):
+        guard = parse_guard("(size + 1) > 2")
+        assert guard.evaluate({"size": 2})
+        assert not guard.evaluate({"size": 1})
+
+    def test_fig3_actions(self):
+        actions = parse_actions("size += pushRate")
+        env = {"size": 1, "pushRate": 2}
+        actions[0].apply(env)
+        assert env["size"] == 3
+
+    def test_action_list(self):
+        actions = parse_actions("a = 1; b += a; c -= 2")
+        env = {"a": 0, "b": 0, "c": 0}
+        for action in actions:
+            action.apply(env)
+        assert (env["a"], env["b"], env["c"]) == (1, 1, -2)
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_int_expr("1 +")
+        with pytest.raises(ParseError):
+            parse_int_expr("1 ? 2")
+        with pytest.raises(ParseError):
+            parse_guard("size")
+        with pytest.raises(ParseError):
+            parse_guard("size < 1 extra")
+        with pytest.raises(ParseError):
+            parse_actions("size * 2")
+
+    def test_dotted_names_allowed(self):
+        # ECL argument expressions navigate model features
+        expr = parse_int_expr("self.outputPort.rate + 1")
+        assert expr.names() == frozenset({"self.outputPort.rate"})

@@ -1,0 +1,152 @@
+"""Unit tests for the metamodeling kernel: metaclasses and features."""
+
+import pytest
+
+from repro.errors import MetamodelError
+from repro.kernel import (
+    MetaAttribute,
+    MetaClass,
+    MetaModel,
+    MetaReference,
+    MetamodelBuilder,
+)
+
+
+def build_library_metamodel():
+    b = MetamodelBuilder("Library")
+    b.metaclass("NamedElement", attributes={"name": "str"}, abstract=True)
+    b.metaclass("Book", supertypes=["NamedElement"],
+                attributes={"pages": ("int", 0), "tags": ("str", "many")})
+    b.metaclass("Shelf", supertypes=["NamedElement"],
+                references={"books": ("Book", "many", "containment")})
+    b.metaclass("Reader", supertypes=["NamedElement"],
+                references={"borrowed": ("Book", "many")})
+    return b.build()
+
+
+class TestMetaAttribute:
+    def test_valid_types(self):
+        for type_name in ("int", "str", "bool", "float"):
+            attr = MetaAttribute("x", type_name)
+            assert attr.type_name == type_name
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(MetamodelError):
+            MetaAttribute("x", "complex")
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(MetamodelError):
+            MetaAttribute("2fast", "int")
+
+    def test_default_type_checked(self):
+        with pytest.raises(MetamodelError):
+            MetaAttribute("x", "int", default="nope")
+
+    def test_bool_is_not_int(self):
+        attr = MetaAttribute("x", "int")
+        assert not attr.accepts(True)
+        assert attr.accepts(3)
+
+    def test_int_widens_to_float(self):
+        attr = MetaAttribute("x", "float")
+        assert attr.accepts(3)
+        assert attr.accepts(3.5)
+        assert not attr.accepts(True)
+
+
+class TestMetaClass:
+    def test_duplicate_feature_rejected(self):
+        cls = MetaClass("C", attributes=[MetaAttribute("x", "int")])
+        with pytest.raises(MetamodelError):
+            cls.add_attribute(MetaAttribute("x", "str"))
+        with pytest.raises(MetamodelError):
+            cls.add_reference(MetaReference("x", "C"))
+
+    def test_inherited_features_merged(self):
+        mm = build_library_metamodel()
+        book = mm.metaclass("Book")
+        assert set(book.all_attributes()) == {"name", "pages", "tags"}
+
+    def test_conforms_to_transitively(self):
+        mm = build_library_metamodel()
+        assert mm.metaclass("Book").conforms_to("NamedElement")
+        assert mm.metaclass("Book").conforms_to("Book")
+        assert not mm.metaclass("Book").conforms_to("Shelf")
+
+    def test_feature_lookup_includes_inherited(self):
+        mm = build_library_metamodel()
+        book = mm.metaclass("Book")
+        assert book.feature("name") is not None
+        assert book.feature("pages") is not None
+        assert book.feature("missing") is None
+
+
+class TestMetaModel:
+    def test_duplicate_metaclass_rejected(self):
+        mm = MetaModel("M")
+        mm.add(MetaClass("C"))
+        with pytest.raises(MetamodelError):
+            mm.add(MetaClass("C"))
+
+    def test_unknown_metaclass_lookup(self):
+        mm = MetaModel("M")
+        with pytest.raises(MetamodelError):
+            mm.metaclass("Nope")
+
+    def test_resolve_detects_unknown_supertype(self):
+        mm = MetaModel("M")
+        mm.add(MetaClass("C", supertypes=["Missing"]))
+        with pytest.raises(MetamodelError):
+            mm.resolve()
+
+    def test_resolve_detects_unknown_reference_target(self):
+        mm = MetaModel("M")
+        mm.add(MetaClass("C", references=[MetaReference("r", "Missing")]))
+        with pytest.raises(MetamodelError):
+            mm.resolve()
+
+    def test_resolve_detects_inheritance_cycle(self):
+        mm = MetaModel("M")
+        mm.add(MetaClass("A", supertypes=["B"]))
+        mm.add(MetaClass("B", supertypes=["A"]))
+        with pytest.raises(MetamodelError):
+            mm.resolve()
+
+    def test_cannot_instantiate_abstract(self):
+        mm = build_library_metamodel()
+        with pytest.raises(MetamodelError):
+            mm.instantiate("NamedElement")
+
+    def test_instantiate_with_values(self):
+        mm = build_library_metamodel()
+        book = mm.instantiate("Book", name="SICP", pages=657)
+        assert book.get("name") == "SICP"
+        assert book.get("pages") == 657
+
+
+class TestBuilderShorthand:
+    def test_attribute_default_shorthand(self):
+        b = MetamodelBuilder("M")
+        b.metaclass("C", attributes={"n": ("int", 7)})
+        mm = b.build()
+        obj = mm.instantiate("C")
+        assert obj.get("n") == 7
+
+    def test_reference_flags(self):
+        b = MetamodelBuilder("M")
+        b.metaclass("Child")
+        b.metaclass("Parent",
+                    references={"kids": ("Child", "many", "containment"),
+                                "favorite": ("Child", "required")})
+        mm = b.build()
+        parent = mm.metaclass("Parent")
+        assert parent.references["kids"].containment
+        assert parent.references["kids"].many
+        assert not parent.references["favorite"].optional
+
+    def test_bad_shorthand_rejected(self):
+        b = MetamodelBuilder("M")
+        with pytest.raises(MetamodelError):
+            b.metaclass("C", attributes={"x": ("int", object())})
+        with pytest.raises(MetamodelError):
+            b.metaclass("D", references={"r": ("T", "wat")})

@@ -1,0 +1,119 @@
+"""Unit tests for model elements: slot typing, containment, traversal."""
+
+import pytest
+
+from repro.errors import ConformanceError
+from tests.kernel.test_metamodel import build_library_metamodel
+
+
+@pytest.fixture()
+def mm():
+    return build_library_metamodel()
+
+
+class TestSlots:
+    def test_unknown_feature(self, mm):
+        book = mm.instantiate("Book")
+        with pytest.raises(ConformanceError):
+            book.get("missing")
+        with pytest.raises(ConformanceError):
+            book.set("missing", 1)
+
+    def test_attribute_type_checked(self, mm):
+        book = mm.instantiate("Book")
+        with pytest.raises(ConformanceError):
+            book.set("pages", "many")
+        with pytest.raises(ConformanceError):
+            book.set("pages", True)
+
+    def test_many_attribute(self, mm):
+        book = mm.instantiate("Book")
+        book.add("tags", "classic")
+        book.add("tags", "lisp")
+        assert book.get("tags") == ["classic", "lisp"]
+        book.set("tags", ["fresh"])
+        assert book.get("tags") == ["fresh"]
+
+    def test_many_requires_list_on_set(self, mm):
+        book = mm.instantiate("Book")
+        with pytest.raises(ConformanceError):
+            book.set("tags", "oops")
+
+    def test_add_on_single_valued_rejected(self, mm):
+        book = mm.instantiate("Book")
+        with pytest.raises(ConformanceError):
+            book.add("pages", 2)
+
+    def test_reference_target_type_checked(self, mm):
+        shelf = mm.instantiate("Shelf")
+        reader = mm.instantiate("Reader")
+        with pytest.raises(ConformanceError):
+            shelf.add("books", reader)
+        with pytest.raises(ConformanceError):
+            shelf.add("books", 42)
+
+    def test_is_set(self, mm):
+        book = mm.instantiate("Book")
+        assert not book.is_set("name")
+        book.set("name", "SICP")
+        assert book.is_set("name")
+        assert not book.is_set("tags")
+        book.add("tags", "t")
+        assert book.is_set("tags")
+
+    def test_default_applied(self, mm):
+        book = mm.instantiate("Book")
+        assert book.get("pages") == 0
+
+
+class TestContainment:
+    def test_container_set_on_add(self, mm):
+        shelf = mm.instantiate("Shelf")
+        book = mm.instantiate("Book", name="SICP")
+        shelf.add("books", book)
+        assert book.container is shelf
+
+    def test_single_container_enforced(self, mm):
+        shelf_a = mm.instantiate("Shelf")
+        shelf_b = mm.instantiate("Shelf")
+        book = mm.instantiate("Book")
+        shelf_a.add("books", book)
+        with pytest.raises(ConformanceError):
+            shelf_b.add("books", book)
+
+    def test_set_releases_previous_contents(self, mm):
+        shelf = mm.instantiate("Shelf")
+        book = mm.instantiate("Book")
+        shelf.add("books", book)
+        shelf.set("books", [])
+        assert book.container is None
+
+    def test_cross_reference_does_not_contain(self, mm):
+        reader = mm.instantiate("Reader")
+        book = mm.instantiate("Book")
+        reader.add("borrowed", book)
+        assert book.container is None
+
+    def test_all_contents(self, mm):
+        shelf = mm.instantiate("Shelf", name="s")
+        names = []
+        for title in ("a", "b", "c"):
+            book = mm.instantiate("Book", name=title)
+            shelf.add("books", book)
+            names.append(title)
+        assert [child.name for child in shelf.all_contents()] == names
+
+
+class TestIdentity:
+    def test_label_with_name(self, mm):
+        book = mm.instantiate("Book", name="SICP")
+        assert book.label() == "Book:SICP"
+
+    def test_label_without_name(self, mm):
+        book = mm.instantiate("Book")
+        assert book.label().startswith("Book#")
+
+    def test_uids_unique(self, mm):
+        a = mm.instantiate("Book")
+        b = mm.instantiate("Book")
+        assert a.uid != b.uid

@@ -1,0 +1,136 @@
+"""Tests for model containers, conformance checking and serialization."""
+
+import pytest
+
+from repro.errors import ConformanceError, SerializationError
+from repro.kernel import (
+    Model,
+    MetamodelBuilder,
+    check_conformance,
+    metamodel_from_json,
+    metamodel_to_json,
+    model_from_json,
+    model_to_json,
+)
+from repro.kernel.validation import assert_conformance
+from tests.kernel.test_metamodel import build_library_metamodel
+
+
+@pytest.fixture()
+def mm():
+    return build_library_metamodel()
+
+
+def make_model(mm):
+    model = Model(mm, "lib")
+    shelf = model.create("Shelf", name="cs")
+    book = mm.instantiate("Book", name="SICP", pages=657)
+    shelf.add("books", book)
+    return model, shelf, book
+
+
+class TestModel:
+    def test_iteration_covers_contents(self, mm):
+        model, shelf, book = make_model(mm)
+        assert set(element.label() for element in model) == {
+            "Shelf:cs", "Book:SICP"}
+
+    def test_all_instances_with_subtypes(self, mm):
+        model, _shelf, _book = make_model(mm)
+        named = model.all_instances("NamedElement")
+        assert len(named) == 2
+        assert len(model.all_instances("Book")) == 1
+        assert model.all_instances("Book", include_subtypes=False)
+
+    def test_find_by_name(self, mm):
+        model, _shelf, book = make_model(mm)
+        assert model.find("Book", "SICP") is book
+        assert model.find("Book", "missing") is None
+
+    def test_foreign_metamodel_rejected(self, mm):
+        other = MetamodelBuilder("Other")
+        other.metaclass("Thing")
+        other_mm = other.build()
+        model = Model(mm)
+        with pytest.raises(ConformanceError):
+            model.add_root(other_mm.instantiate("Thing"))
+
+
+class TestConformance:
+    def test_valid_model_has_no_issues(self, mm):
+        model, _, _ = make_model(mm)
+        assert check_conformance(model) == []
+        assert_conformance(model)
+
+    def test_required_attribute_reported(self, mm):
+        model = Model(mm)
+        model.create("Book", pages=3)  # name unset
+        issues = check_conformance(model)
+        assert any("name" in issue for issue in issues)
+
+    def test_reference_outside_model_reported(self, mm):
+        model = Model(mm)
+        reader = model.create("Reader", name="ada")
+        stray = mm.instantiate("Book", name="stray")
+        reader.add("borrowed", stray)  # stray not added to the model
+        issues = check_conformance(model)
+        assert any("outside the model" in issue for issue in issues)
+
+    def test_assert_raises(self, mm):
+        model = Model(mm)
+        model.create("Book")
+        with pytest.raises(ConformanceError):
+            assert_conformance(model)
+
+
+class TestSerialization:
+    def test_metamodel_roundtrip(self, mm):
+        text = metamodel_to_json(mm)
+        back = metamodel_from_json(text)
+        assert set(c.name for c in back) == set(c.name for c in mm)
+        book = back.metaclass("Book")
+        assert book.all_attributes()["pages"].default == 0
+        assert back.metaclass("Shelf").references["books"].containment
+
+    def test_model_roundtrip(self, mm):
+        model, _shelf, _book = make_model(mm)
+        text = model_to_json(model)
+        back = model_from_json(text, mm)
+        assert set(e.label() for e in back) == set(e.label() for e in model)
+        shelf = back.find("Shelf", "cs")
+        books = shelf.get("books")
+        assert [b.name for b in books] == ["SICP"]
+        assert books[0].container is shelf
+
+    def test_model_roundtrip_preserves_cross_refs(self, mm):
+        model, shelf, book = make_model(mm)
+        reader = model.create("Reader", name="ada")
+        reader.add("borrowed", book)
+        back = model_from_json(model_to_json(model), mm)
+        reader_back = back.find("Reader", "ada")
+        assert [b.name for b in reader_back.get("borrowed")] == ["SICP"]
+        # cross-reference resolves to the same instance as the contained one
+        shelf_back = back.find("Shelf", "cs")
+        assert reader_back.get("borrowed")[0] is shelf_back.get("books")[0]
+
+    def test_wrong_metamodel_rejected(self, mm):
+        model, _, _ = make_model(mm)
+        text = model_to_json(model)
+        other = MetamodelBuilder("Other")
+        other.metaclass("Thing")
+        with pytest.raises(SerializationError):
+            model_from_json(text, other.build())
+
+    def test_reference_leak_rejected(self, mm):
+        model = Model(mm)
+        reader = model.create("Reader", name="ada")
+        stray = mm.instantiate("Book", name="stray")
+        reader.add("borrowed", stray)
+        with pytest.raises(SerializationError):
+            model_to_json(model)
+
+    def test_bad_json_rejected(self, mm):
+        with pytest.raises(SerializationError):
+            model_from_json("{not json", mm)
+        with pytest.raises(SerializationError):
+            metamodel_from_json('{"kind": "model", "format": 1}')

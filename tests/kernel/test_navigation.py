@@ -1,0 +1,81 @@
+"""Tests for dotted-path navigation (the OCL fragment used by ECL)."""
+
+import pytest
+
+from repro.errors import NavigationError
+from repro.kernel import Model, MetamodelBuilder, navigate
+
+
+@pytest.fixture()
+def sdf_like():
+    """A small SigPML-shaped metamodel: agents with ports, places between."""
+    b = MetamodelBuilder("Mini")
+    b.metaclass("Named", attributes={"name": "str"}, abstract=True)
+    b.metaclass("Port", supertypes=["Named"], attributes={"rate": ("int", 1)})
+    b.metaclass("Agent", supertypes=["Named"],
+                references={"outputs": ("Port", "many", "containment"),
+                            "inputs": ("Port", "many", "containment")})
+    b.metaclass("Place", supertypes=["Named"],
+                attributes={"capacity": ("int", 1), "delay": ("int", 0)},
+                references={"outputPort": ("Port", "required"),
+                            "inputPort": ("Port", "required")})
+    b.metaclass("App", supertypes=["Named"],
+                references={"agents": ("Agent", "many", "containment"),
+                            "places": ("Place", "many", "containment")})
+    mm = b.build()
+
+    model = Model(mm, "m")
+    app = model.create("App", name="app")
+    producer = mm.instantiate("Agent", name="prod")
+    consumer = mm.instantiate("Agent", name="cons")
+    out_port = mm.instantiate("Port", name="o", rate=2)
+    in_port = mm.instantiate("Port", name="i", rate=3)
+    producer.add("outputs", out_port)
+    consumer.add("inputs", in_port)
+    place = mm.instantiate("Place", name="p", capacity=5)
+    place.set("outputPort", out_port)
+    place.set("inputPort", in_port)
+    app.add("agents", producer)
+    app.add("agents", consumer)
+    app.add("places", place)
+    return model, app, place
+
+
+class TestNavigate:
+    def test_attribute(self, sdf_like):
+        _model, _app, place = sdf_like
+        assert navigate(place, "capacity") == 5
+
+    def test_self_prefix_ignored(self, sdf_like):
+        _model, _app, place = sdf_like
+        assert navigate(place, "self.capacity") == 5
+
+    def test_reference_then_attribute(self, sdf_like):
+        _model, _app, place = sdf_like
+        assert navigate(place, "self.outputPort.rate") == 2
+        assert navigate(place, "self.inputPort.rate") == 3
+
+    def test_many_reference_flattens(self, sdf_like):
+        _model, app, _place = sdf_like
+        names = navigate(app, "agents.name")
+        assert names == ["prod", "cons"]
+
+    def test_nested_flatten(self, sdf_like):
+        _model, app, _place = sdf_like
+        rates = navigate(app, "agents.outputs.rate")
+        assert rates == [2]
+
+    def test_empty_path_returns_element(self, sdf_like):
+        _model, _app, place = sdf_like
+        assert navigate(place, "self") is place
+        assert navigate(place, "") is place
+
+    def test_unknown_feature(self, sdf_like):
+        _model, _app, place = sdf_like
+        with pytest.raises(NavigationError):
+            navigate(place, "self.volume")
+
+    def test_navigation_into_scalar_fails(self, sdf_like):
+        _model, _app, place = sdf_like
+        with pytest.raises(NavigationError):
+            navigate(place, "capacity.more")

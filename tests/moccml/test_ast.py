@@ -1,0 +1,225 @@
+"""Tests for the MoCCML abstract syntax and static validation."""
+
+import pytest
+
+from repro.errors import MoccmlError, MoccmlValidationError
+from repro.iexpr import Assign, IntConst, IntVar, parse_guard
+from repro.moccml import (
+    ConstraintAutomataDefinition,
+    ConstraintDeclaration,
+    ConstraintInstantiation,
+    DeclarativeDefinition,
+    LibraryRegistry,
+    Parameter,
+    RelationLibrary,
+    Transition,
+    Trigger,
+    VariableDecl,
+    validate_definition,
+    validate_library,
+)
+from repro.moccml.validate import assert_valid_definition, find_nondeterminism
+
+
+def place_declaration():
+    return ConstraintDeclaration("PlaceConstraint", [
+        Parameter("write", "event"), Parameter("read", "event"),
+        Parameter("pushRate", "int"), Parameter("popRate", "int"),
+        Parameter("itsDelay", "int"), Parameter("itsCapacity", "int")])
+
+
+def place_definition(declaration=None):
+    declaration = declaration or place_declaration()
+    return ConstraintAutomataDefinition(
+        "PlaceConstraintDef", declaration,
+        states=["S1"], initial_state="S1",
+        variables=[VariableDecl("size", 0)],
+        initial_actions=[Assign("size", "=", IntVar("itsDelay"))],
+        transitions=[
+            Transition("S1", "S1", Trigger(["write"], ["read"]),
+                       parse_guard("size <= itsCapacity - pushRate"),
+                       [Assign("size", "+=", IntVar("pushRate"))]),
+            Transition("S1", "S1", Trigger(["read"], ["write"]),
+                       parse_guard("size >= popRate"),
+                       [Assign("size", "-=", IntVar("popRate"))]),
+        ])
+
+
+class TestDeclaration:
+    def test_parameter_kinds(self):
+        declaration = place_declaration()
+        assert [p.name for p in declaration.event_parameters()] == [
+            "write", "read"]
+        assert len(declaration.int_parameters()) == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MoccmlError):
+            Parameter("x", "float")
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(MoccmlError):
+            ConstraintDeclaration("C", [Parameter("a", "event"),
+                                        Parameter("a", "int")])
+
+    def test_arity_check(self):
+        declaration = place_declaration()
+        declaration.check_arity(6)
+        with pytest.raises(MoccmlError):
+            declaration.check_arity(2)
+
+
+class TestTrigger:
+    def test_overlap_rejected(self):
+        with pytest.raises(MoccmlError):
+            Trigger(["a"], ["a"])
+
+    def test_events_union(self):
+        trigger = Trigger(["a", "b"], ["c"])
+        assert trigger.events() == frozenset({"a", "b", "c"})
+
+    def test_deduplication(self):
+        trigger = Trigger(["a", "a"], [])
+        assert trigger.true_triggers == ("a",)
+
+
+class TestAutomatonValidation:
+    def test_fig3_is_valid(self):
+        assert validate_definition(place_definition()) == []
+        assert_valid_definition(place_definition())
+
+    def test_unknown_initial_state(self):
+        definition = place_definition()
+        definition.initial_state = "S9"
+        assert any("initial state" in issue
+                   for issue in validate_definition(definition))
+
+    def test_unknown_trigger_event(self):
+        declaration = place_declaration()
+        definition = place_definition(declaration)
+        definition.transitions.append(
+            Transition("S1", "S1", Trigger(["ghost"], [])))
+        assert any("unknown event 'ghost'" in issue
+                   for issue in validate_definition(definition))
+
+    def test_unknown_guard_name(self):
+        definition = place_definition()
+        definition.transitions.append(
+            Transition("S1", "S1", Trigger(["write"], []),
+                       parse_guard("mystery > 0")))
+        assert any("guard uses unknown name" in issue
+                   for issue in validate_definition(definition))
+
+    def test_action_must_target_local_variable(self):
+        definition = place_definition()
+        definition.transitions.append(
+            Transition("S1", "S1", Trigger(["write"], []),
+                       None, [Assign("pushRate", "+=", IntConst(1))]))
+        issues = validate_definition(definition)
+        assert any("parameters are read-only" in issue for issue in issues)
+
+    def test_variable_shadowing_parameter(self):
+        definition = place_definition()
+        definition.variables.append(VariableDecl("pushRate", 0))
+        assert any("shadows" in issue
+                   for issue in validate_definition(definition))
+
+    def test_unknown_transition_states(self):
+        definition = place_definition()
+        definition.transitions.append(Transition("S7", "S8"))
+        issues = validate_definition(definition)
+        assert any("unknown source state" in issue for issue in issues)
+        assert any("unknown target state" in issue for issue in issues)
+
+    def test_assert_raises_with_issues(self):
+        definition = place_definition()
+        definition.initial_state = "S9"
+        with pytest.raises(MoccmlValidationError):
+            assert_valid_definition(definition)
+
+    def test_effective_final_states_default_all(self):
+        definition = place_definition()
+        assert definition.effective_final_states() == frozenset({"S1"})
+
+
+class TestNondeterminism:
+    def test_fig3_is_deterministic(self):
+        assert find_nondeterminism(place_definition()) == []
+
+    def test_overlapping_transitions_reported(self):
+        declaration = ConstraintDeclaration("C", [
+            Parameter("a", "event"), Parameter("b", "event")])
+        definition = ConstraintAutomataDefinition(
+            "CDef", declaration, states=["S"], initial_state="S",
+            transitions=[
+                Transition("S", "S", Trigger(["a"], [])),
+                Transition("S", "S", Trigger(["b"], [])),
+            ])
+        reports = find_nondeterminism(definition)
+        assert len(reports) == 1
+
+
+class TestLibrary:
+    def test_define_and_lookup(self):
+        library = RelationLibrary("SimpleSDFRelationLibrary")
+        definition = place_definition()
+        library.define(definition)
+        assert "PlaceConstraint" in library
+        assert library.definition_for("PlaceConstraint") is definition
+        assert validate_library(library) == []
+
+    def test_declaration_without_definition_reported(self):
+        library = RelationLibrary("L")
+        library.declare(place_declaration())
+        issues = validate_library(library)
+        assert any("no definition" in issue for issue in issues)
+
+    def test_duplicate_definition_rejected(self):
+        library = RelationLibrary("L")
+        library.define(place_definition())
+        with pytest.raises(MoccmlError):
+            library.define(place_definition(
+                library.declaration("PlaceConstraint")))
+
+    def test_registry_qualified_resolution(self):
+        registry = LibraryRegistry()
+        library = RelationLibrary("L")
+        library.define(place_definition())
+        registry.register(library)
+        _lib, declaration = registry.resolve("L.PlaceConstraint")
+        assert declaration.name == "PlaceConstraint"
+        _lib, declaration = registry.resolve("PlaceConstraint")
+        assert declaration.name == "PlaceConstraint"
+
+    def test_registry_ambiguity(self):
+        registry = LibraryRegistry()
+        for name in ("A", "B"):
+            library = RelationLibrary(name)
+            library.declare(place_declaration())
+            registry.register(library)
+        with pytest.raises(MoccmlError):
+            registry.resolve("PlaceConstraint")
+        _lib, declaration = registry.resolve("A.PlaceConstraint")
+        assert declaration.name == "PlaceConstraint"
+
+    def test_unknown_names(self):
+        registry = LibraryRegistry()
+        with pytest.raises(MoccmlError):
+            registry.resolve("Nope")
+        with pytest.raises(MoccmlError):
+            registry.library("Nope")
+
+
+class TestDeclarativeDefinition:
+    def test_requires_instances(self):
+        declaration = ConstraintDeclaration("Empty", [])
+        with pytest.raises(MoccmlError):
+            DeclarativeDefinition("EmptyDef", declaration, [])
+
+    def test_validation_checks_arguments(self):
+        declaration = ConstraintDeclaration("Wrap", [
+            Parameter("a", "event"), Parameter("b", "event")])
+        definition = DeclarativeDefinition(
+            "WrapDef", declaration,
+            [ConstraintInstantiation("Alternates", ["a", "ghost"])])
+        issues = validate_definition(definition)
+        assert any("'ghost'" in issue for issue in issues)

@@ -1,0 +1,180 @@
+"""Tests for the operational semantics of constraint automata.
+
+These reproduce the worked example of paper §II-C on the Fig. 3
+PlaceConstraint automaton: the boolean expression is ``write ∧ ¬read``
+when only writing is possible, and ``(write ∧ ¬read) ∨ (read ∧ ¬write)``
+when both are.
+"""
+
+import pytest
+
+from repro.boolalg import Var, iter_models
+from repro.errors import MoccmlError, SemanticsError
+from repro.moccml import LibraryRegistry, RelationLibrary
+from repro.moccml.semantics import AutomatonRuntime
+from tests.moccml.test_ast import place_declaration, place_definition
+
+
+def make_runtime(push=1, pop=1, delay=0, capacity=2, definition=None):
+    definition = definition or place_definition()
+    return AutomatonRuntime(definition, {
+        "write": "w", "read": "r",
+        "pushRate": push, "popRate": pop,
+        "itsDelay": delay, "itsCapacity": capacity,
+    }, label="place")
+
+
+def accepted_steps(runtime):
+    """Non-empty sets of events accepted by the runtime's formula."""
+    formula = runtime.step_formula()
+    steps = set()
+    for model in iter_models(formula, over=("w", "r")):
+        step = frozenset(name for name, value in model.items() if value)
+        if step:
+            steps.add(step)
+    return steps
+
+
+class TestFig3Semantics:
+    def test_empty_place_allows_only_write(self):
+        runtime = make_runtime()
+        # paper: "the boolean expression when size is lesser than
+        # itsCapacity minus pushRate is: write ∧ ¬read"
+        assert accepted_steps(runtime) == {frozenset({"w"})}
+
+    def test_partially_filled_allows_both_exclusively(self):
+        runtime = make_runtime(delay=1)
+        # paper: "(write ∧ ¬read) ∨ (read ∧ ¬write)"
+        assert accepted_steps(runtime) == {frozenset({"w"}),
+                                           frozenset({"r"})}
+
+    def test_full_place_allows_only_read(self):
+        runtime = make_runtime(delay=2, capacity=2)
+        assert accepted_steps(runtime) == {frozenset({"r"})}
+
+    def test_stutter_always_accepted(self):
+        runtime = make_runtime()
+        formula = runtime.step_formula()
+        assert formula.evaluate({"w": False, "r": False})
+
+    def test_initial_action_sets_size_to_delay(self):
+        runtime = make_runtime(delay=3, capacity=5)
+        assert runtime.variables == {"size": 3}
+
+    def test_advance_updates_size(self):
+        runtime = make_runtime(capacity=3)
+        runtime.advance(frozenset({"w"}))
+        assert runtime.variables == {"size": 1}
+        runtime.advance(frozenset({"w"}))
+        assert runtime.variables == {"size": 2}
+        runtime.advance(frozenset({"r"}))
+        assert runtime.variables == {"size": 1}
+
+    def test_advance_rejects_unacceptable_step(self):
+        runtime = make_runtime()  # empty place
+        with pytest.raises(SemanticsError):
+            runtime.advance(frozenset({"r"}))
+
+    def test_simultaneous_read_write_rejected_by_base_variant(self):
+        runtime = make_runtime(delay=1)
+        with pytest.raises(SemanticsError):
+            runtime.advance(frozenset({"w", "r"}))
+
+    def test_rates(self):
+        runtime = make_runtime(push=2, pop=3, capacity=6)
+        runtime.advance(frozenset({"w"}))
+        runtime.advance(frozenset({"w"}))
+        assert runtime.variables == {"size": 4}
+        # only 4 tokens: can read (pop 3) once
+        runtime.advance(frozenset({"r"}))
+        assert runtime.variables == {"size": 1}
+        with pytest.raises(SemanticsError):
+            runtime.advance(frozenset({"r"}))
+
+    def test_capacity_blocks_write(self):
+        runtime = make_runtime(push=2, capacity=3)
+        runtime.advance(frozenset({"w"}))
+        # size=2, capacity-push=1 -> write forbidden
+        assert accepted_steps(runtime) == {frozenset({"r"})}
+
+
+class TestStutterConfiguration:
+    def test_literal_paper_reading_deadlocks_on_empty_step(self):
+        definition = place_definition()
+        definition.allow_stutter = False
+        runtime = AutomatonRuntime(definition, {
+            "write": "w", "read": "r", "pushRate": 1, "popRate": 1,
+            "itsDelay": 0, "itsCapacity": 2}, label="strict-place")
+        formula = runtime.step_formula()
+        # without the stutter disjunct the empty step is rejected
+        assert not formula.evaluate({"w": False, "r": False})
+        with pytest.raises(SemanticsError):
+            runtime.advance(frozenset())
+
+
+class TestRuntimePlumbing:
+    def test_missing_binding_rejected(self):
+        with pytest.raises(MoccmlError):
+            AutomatonRuntime(place_definition(), {"write": "w"})
+
+    def test_event_binding_type_checked(self):
+        with pytest.raises(MoccmlError):
+            AutomatonRuntime(place_definition(), {
+                "write": 3, "read": "r", "pushRate": 1, "popRate": 1,
+                "itsDelay": 0, "itsCapacity": 1})
+
+    def test_int_binding_type_checked(self):
+        with pytest.raises(MoccmlError):
+            AutomatonRuntime(place_definition(), {
+                "write": "w", "read": "r", "pushRate": "fast", "popRate": 1,
+                "itsDelay": 0, "itsCapacity": 1})
+
+    def test_extra_binding_rejected(self):
+        with pytest.raises(MoccmlError):
+            make_runtime_extra = AutomatonRuntime(place_definition(), {
+                "write": "w", "read": "r", "pushRate": 1, "popRate": 1,
+                "itsDelay": 0, "itsCapacity": 1, "bogus": 9})
+
+    def test_state_key_reflects_variables(self):
+        runtime = make_runtime(capacity=3)
+        key_before = runtime.state_key()
+        runtime.advance(frozenset({"w"}))
+        assert runtime.state_key() != key_before
+
+    def test_clone_is_independent(self):
+        runtime = make_runtime(capacity=3)
+        copy = runtime.clone()
+        runtime.advance(frozenset({"w"}))
+        assert copy.variables == {"size": 0}
+        assert runtime.variables == {"size": 1}
+        assert copy.state_key() != runtime.state_key()
+
+    def test_is_accepting_default(self):
+        runtime = make_runtime()
+        assert runtime.is_accepting()
+
+
+class TestRegistryInstantiation:
+    def test_instantiate_automaton_from_registry(self):
+        registry = LibraryRegistry()
+        library = RelationLibrary("SimpleSDFRelationLibrary")
+        library.define(place_definition())
+        registry.register(library)
+        runtime = registry.instantiate(
+            "SimpleSDFRelationLibrary.PlaceConstraint",
+            ["w", "r", 1, 1, 0, 2], label="p0")
+        assert runtime.label == "p0"
+        assert runtime.constrained_events == frozenset({"w", "r"})
+        assert accepted_steps(runtime) == {frozenset({"w"})}
+
+    def test_instantiate_checks_argument_kinds(self):
+        registry = LibraryRegistry()
+        library = RelationLibrary("L")
+        library.define(place_definition())
+        registry.register(library)
+        with pytest.raises(MoccmlError):
+            registry.instantiate("PlaceConstraint", ["w", "r", "x", 1, 0, 2])
+        with pytest.raises(MoccmlError):
+            registry.instantiate("PlaceConstraint", ["w", 5, 1, 1, 0, 2])
+        with pytest.raises(MoccmlError):
+            registry.instantiate("PlaceConstraint", ["w", "r"])

@@ -1,0 +1,97 @@
+"""Tests for MoCCML library JSON persistence and constraint products."""
+
+import pytest
+
+from repro.ccsl import AlternatesRuntime, PrecedesRuntime, excludes, subclock
+from repro.errors import SerializationError
+from repro.moccml.product import product_report
+from repro.moccml.semantics import AutomatonRuntime
+from repro.moccml.serialize import library_from_json, library_to_json
+from repro.moccml.text import parse_library
+from repro.moccml.validate import validate_library
+from repro.sdf.mocc import sdf_library
+from tests.moccml.test_text import DECLARATIVE_TEXT, FIG3_TEXT
+
+
+class TestLibraryJson:
+    def test_automaton_roundtrip(self):
+        library = parse_library(FIG3_TEXT)
+        text = library_to_json(library)
+        back = library_from_json(text)
+        assert back.name == library.name
+        assert validate_library(back) == []
+        definition = back.definition_for("PlaceConstraint")
+        assert definition.initial_state == "S1"
+        assert len(definition.transitions) == 2
+        # behaviour preserved
+        runtime = AutomatonRuntime(definition, {
+            "write": "w", "read": "r", "pushRate": 1, "popRate": 1,
+            "itsDelay": 2, "itsCapacity": 4})
+        assert runtime.variables == {"size": 2}
+        runtime.advance(frozenset({"r"}))
+        assert runtime.variables == {"size": 1}
+
+    def test_declarative_roundtrip(self):
+        library = parse_library(DECLARATIVE_TEXT)
+        back = library_from_json(library_to_json(library))
+        definition = back.definition_for("Handshake")
+        assert [i.declaration_name for i in definition.instantiations] == [
+            "Alternates", "SubClock"]
+        assert definition.instantiations[0].arguments == ("req", "ack")
+
+    def test_sdf_library_roundtrip(self):
+        for variant in ("default", "strict", "multiport"):
+            library = sdf_library(variant)
+            back = library_from_json(library_to_json(library))
+            assert validate_library(back) == []
+            original = library.definition_for("PlaceConstraint")
+            copy = back.definition_for("PlaceConstraint")
+            assert len(copy.transitions) == len(original.transitions)
+
+    def test_builtins_rejected(self):
+        from repro.ccsl.library import kernel_library
+        with pytest.raises(SerializationError):
+            library_to_json(kernel_library())
+
+    def test_bad_documents_rejected(self):
+        with pytest.raises(SerializationError):
+            library_from_json("{not json")
+        with pytest.raises(SerializationError):
+            library_from_json('{"kind": "something-else", "format": 1}')
+        with pytest.raises(SerializationError):
+            library_from_json(
+                '{"kind": "moccml-library", "format": 99, "name": "L", '
+                '"declarations": [], "definitions": []}')
+
+
+class TestProductReport:
+    def test_compatible_pair(self):
+        report = product_report([AlternatesRuntime("a", "b"),
+                                 subclock("b", "a")])
+        # b sub-event of a forces them simultaneous, but alternation
+        # forbids simultaneity -> only 'a' alone can ever occur... and
+        # then 'b' must never occur, blocking the second 'a'.
+        assert report.n_states >= 1
+
+    def test_contradiction_detected(self):
+        report = product_report([PrecedesRuntime("a", "b"),
+                                 PrecedesRuntime("b", "a")])
+        assert report.immediately_deadlocked
+        assert not report.compatible
+        assert report.dead_events == ["a", "b"]
+
+    def test_healthy_combination(self):
+        report = product_report([AlternatesRuntime("a", "b"),
+                                 excludes("a", "c")], extra_events=["c"])
+        assert report.compatible
+        assert not report.dead_events
+        assert report.deadlock_states == 0
+
+    def test_constraints_not_mutated(self):
+        relation = AlternatesRuntime("a", "b")
+        product_report([relation])
+        assert relation.advance_count == 0
+
+    def test_bounded(self):
+        report = product_report([PrecedesRuntime("a", "b")], max_states=7)
+        assert report.truncated

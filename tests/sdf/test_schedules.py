@@ -1,0 +1,113 @@
+"""Tests for looped schedules and buffer sizing."""
+
+import pytest
+
+from repro.sdf import SdfBuilder, pass_schedule, repetition_vector
+from repro.sdf.schedules import (
+    apply_capacities,
+    expand_looped,
+    loop_notation,
+    minimal_buffer_capacities,
+    render_looped,
+    single_appearance_schedule,
+)
+
+
+def multirate_chain():
+    builder = SdfBuilder("chain")
+    builder.agent("a")
+    builder.agent("b")
+    builder.agent("c")
+    builder.connect("a", "b", push=2, pop=1, capacity=8)
+    builder.connect("b", "c", push=1, pop=2, capacity=8)
+    return builder.build()
+
+
+class TestLoopedSchedules:
+    def test_single_appearance_on_chain(self):
+        _model, app = multirate_chain()
+        schedule = single_appearance_schedule(app)
+        assert schedule == [(1, "a"), (2, "b"), (1, "c")]
+        assert render_looped(schedule) == "a (2 b) c"
+
+    def test_expansion_is_admissible(self):
+        _model, app = multirate_chain()
+        schedule = single_appearance_schedule(app)
+        flat = expand_looped(schedule)
+        from repro.sdf.analysis import buffer_bounds_of_schedule
+        bounds = buffer_bounds_of_schedule(app, flat)  # raises if invalid
+        assert all(value >= 0 for value in bounds.values())
+
+    def test_expansion_matches_repetition_vector(self):
+        _model, app = multirate_chain()
+        flat = expand_looped(single_appearance_schedule(app))
+        repetition = repetition_vector(app)
+        for agent, count in repetition.items():
+            assert flat.count(agent) == count
+
+    def test_cycle_without_tokens_has_no_sas(self):
+        builder = SdfBuilder("ring")
+        builder.agent("x")
+        builder.agent("y")
+        builder.connect("x", "y", push=1, pop=1)
+        builder.connect("y", "x", push=1, pop=1)
+        _model, app = builder.build()
+        assert single_appearance_schedule(app) is None
+
+    def test_cycle_with_full_delay_clusters(self):
+        builder = SdfBuilder("ring")
+        builder.agent("x")
+        builder.agent("y")
+        builder.connect("x", "y", push=1, pop=1, capacity=2)
+        builder.connect("y", "x", push=1, pop=1, capacity=2, delay=1)
+        _model, app = builder.build()
+        schedule = single_appearance_schedule(app)
+        assert schedule == [(1, "x"), (1, "y")]
+
+    def test_loop_notation_run_length(self):
+        assert loop_notation(["a", "b", "b", "c"]) == "a (2 b) c"
+        assert loop_notation(["a", "a", "a"]) == "(3 a)"
+        assert loop_notation([]) == ""
+
+
+class TestBufferSizing:
+    def test_minimal_capacities_of_chain(self):
+        _model, app = multirate_chain()
+        capacities = minimal_buffer_capacities(app)
+        assert capacities is not None
+        # a pushes 2 per firing, b pops 1: 2 tokens must fit
+        assert capacities["a_b"] == 2
+        assert capacities["b_c"] == 2
+        # originals restored
+        for place in app.get("places"):
+            assert place.get("capacity") == 8
+
+    def test_minimized_capacities_still_schedule(self):
+        _model, app = multirate_chain()
+        capacities = minimal_buffer_capacities(app)
+        apply_capacities(app, capacities)
+        assert pass_schedule(app, bounded=True) is not None
+
+    def test_delay_lower_bound(self):
+        builder = SdfBuilder("delayed")
+        builder.agent("p")
+        builder.agent("q")
+        builder.connect("p", "q", capacity=8, delay=3)
+        _model, app = builder.build()
+        capacities = minimal_buffer_capacities(app)
+        assert capacities["p_q"] >= 3
+
+    def test_unschedulable_returns_none(self):
+        builder = SdfBuilder("dead")
+        builder.agent("x")
+        builder.agent("y")
+        builder.connect("x", "y", push=1, pop=1, capacity=4)
+        builder.connect("y", "x", push=1, pop=1, capacity=4)  # no delay
+        _model, app = builder.build()
+        assert minimal_buffer_capacities(app) is None
+
+    def test_apply_capacities_requires_full_map(self):
+        from repro.errors import SdfError
+        _model, app = multirate_chain()
+        with pytest.raises(SdfError):
+            apply_capacities(app, {"a_b": 2})

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+APPLICATION = """
+application demo {
+  agent src
+  agent dst
+  place src -> dst push 1 pop 1 capacity 2
+}
+"""
+
+DEPLOYMENT = """
+platform board {
+  processor cpu
+}
+allocation {
+  src, dst -> cpu
+}
+"""
+
+
+@pytest.fixture()
+def app_file(tmp_path):
+    path = tmp_path / "demo.sigpml"
+    path.write_text(APPLICATION)
+    return str(path)
+
+
+@pytest.fixture()
+def deployment_file(tmp_path):
+    path = tmp_path / "board.deploy"
+    path.write_text(DEPLOYMENT)
+    return str(path)
+
+
+class TestSimulate:
+    def test_basic_run(self, app_file, capsys):
+        assert main(["simulate", app_file, "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "steps: 6" in out
+        assert "src.start" in out
+
+    def test_policies(self, app_file, capsys):
+        for policy in ("asap", "minimal", "random"):
+            assert main(["simulate", app_file, "--policy", policy,
+                         "--steps", "4"]) == 0
+
+    def test_vcd_export(self, app_file, tmp_path, capsys):
+        vcd_path = tmp_path / "trace.vcd"
+        assert main(["simulate", app_file, "--vcd", str(vcd_path)]) == 0
+        content = vcd_path.read_text()
+        assert "$enddefinitions" in content
+
+    def test_missing_file(self, capsys):
+        assert main(["simulate", "/nonexistent.sigpml"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sigpml"
+        bad.write_text("application x {\n banana\n}\n")
+        assert main(["simulate", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExplore:
+    def test_statespace_report(self, app_file, capsys):
+        assert main(["explore", app_file]) == 0
+        out = capsys.readouterr().out
+        assert "states" in out
+        assert "deadlocks: 0" in out
+
+    def test_variant_flag(self, app_file, capsys):
+        assert main(["explore", app_file, "--variant", "multiport"]) == 0
+
+
+class TestAnalyze:
+    def test_repetition_and_pass(self, app_file, capsys):
+        assert main(["analyze", app_file]) == 0
+        out = capsys.readouterr().out
+        assert "repetition vector" in out
+        assert "src: 1" in out
+        assert "PASS:" in out
+
+
+class TestDot:
+    def test_application_dot(self, app_file, capsys):
+        assert main(["dot", "application", app_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"src" -> "dst"' in out
+
+    def test_automaton_dot(self, capsys):
+        assert main(["dot", "automaton", "--constraint",
+                     "PlaceConstraint"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+
+    def test_unknown_constraint(self, capsys):
+        assert main(["dot", "automaton", "--constraint", "Nope"]) == 2
+
+    def test_statespace_dot(self, app_file, capsys):
+        assert main(["dot", "statespace", app_file]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestDeploy:
+    def test_deploy_and_simulate(self, app_file, deployment_file, capsys):
+        assert main(["deploy", app_file, deployment_file,
+                     "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "1 mutex(es)" in out
+        assert "steps: 6" in out
+
+    def test_deploy_with_exploration(self, app_file, deployment_file,
+                                     capsys):
+        assert main(["deploy", app_file, deployment_file, "--explore",
+                     "--steps", "4"]) == 0
+        assert "state space" in capsys.readouterr().out
+
+    def test_deployment_without_allocation(self, app_file, tmp_path,
+                                           capsys):
+        partial = tmp_path / "partial.deploy"
+        partial.write_text("platform p {\n processor cpu\n}\n")
+        assert main(["deploy", app_file, str(partial)]) == 2

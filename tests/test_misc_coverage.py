@@ -1,0 +1,153 @@
+"""Cross-cutting tests: errors, names, PAM helpers, drawing edge cases."""
+
+import pytest
+
+from repro.errors import (
+    MoccmlValidationError,
+    ParseError,
+    ReproError,
+    SdfError,
+)
+from repro.kernel.names import check_identifier, is_identifier, qualify, split_qualified
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(SdfError, ReproError)
+        assert issubclass(ParseError, ReproError)
+
+    def test_parse_error_location(self):
+        error = ParseError("bad token", line=3, column=7, filename="f.mml")
+        assert "f.mml:3:7:" in str(error)
+        assert error.line == 3
+
+    def test_parse_error_partial_location(self):
+        assert "5:" in str(ParseError("oops", line=5))
+        assert str(ParseError("oops")) == "oops"
+
+    def test_validation_error_truncates(self):
+        issues = [f"issue {i}" for i in range(10)]
+        error = MoccmlValidationError(issues)
+        assert "..." in str(error)
+        assert len(error.issues) == 10
+
+    def test_validation_error_short_list(self):
+        error = MoccmlValidationError(["one", "two"])
+        assert str(error) == "one; two"
+
+
+class TestNames:
+    def test_is_identifier(self):
+        assert is_identifier("abc_123")
+        assert not is_identifier("1abc")
+        assert not is_identifier("a-b")
+        assert not is_identifier("")
+
+    def test_check_identifier_passthrough(self):
+        assert check_identifier("ok") == "ok"
+        from repro.errors import MetamodelError
+        with pytest.raises(MetamodelError):
+            check_identifier("not ok", "thing")
+
+    def test_qualify_and_split(self):
+        assert qualify("a", "b", "c") == "a.b.c"
+        assert qualify("", "b") == "b"
+        assert split_qualified("a.b") == ["a", "b"]
+        assert split_qualified("") == []
+
+
+class TestPamHelpers:
+    def test_unknown_configuration(self):
+        from repro.pam.experiments import build_configuration
+        with pytest.raises(KeyError):
+            build_configuration("hexacore")
+
+    def test_concurrent_firings_counts_starts(self):
+        from repro.pam.experiments import concurrent_firings
+        step = frozenset({"a.start", "b.start", "a.stop", "x.read"})
+        assert concurrent_firings(step) == 2
+
+    def test_row_as_dict_roundtrip(self):
+        from repro.pam.experiments import DeploymentRow
+        row = DeploymentRow(
+            deployment="x", states=1, transitions=2, truncated=False,
+            deadlock_free=True, max_concurrent_firings=1, max_parallelism=3,
+            mean_branching=1.0, logger_throughput=0.1,
+            asap_logger_throughput=0.1, asap_mean_parallelism=1.0)
+        data = row.as_dict()
+        assert data["states"] == 1
+        assert data["max_concurrent_firings"] == 1
+
+
+class TestDrawingEdgeCases:
+    def test_statespace_dot_truncation_note(self):
+        from repro.ccsl import PrecedesRuntime
+        from repro.engine import ExecutionModel, explore
+        from repro.moccml.draw import statespace_to_dot
+        model = ExecutionModel(["a", "b"], [PrecedesRuntime("a", "b")])
+        space = explore(model, max_states=30)
+        dot = statespace_to_dot(space, max_nodes=5)
+        assert "more states" in dot
+
+    def test_automaton_dot_without_guard(self):
+        from repro.moccml import (
+            ConstraintAutomataDefinition,
+            ConstraintDeclaration,
+            Parameter,
+            Transition,
+            Trigger,
+        )
+        from repro.moccml.draw import automaton_to_dot
+        declaration = ConstraintDeclaration("C", [Parameter("a", "event")])
+        definition = ConstraintAutomataDefinition(
+            "CDef", declaration, states=["S"], initial_state="S",
+            transitions=[Transition("S", "S", Trigger(["a"], []))])
+        dot = automaton_to_dot(definition)
+        assert "{a}" in dot
+
+
+class TestSdfValidationMore:
+    def test_port_connected_twice(self):
+        from repro.sdf import check_application
+        from repro.sdf.metamodel import sigpml_metamodel
+        mm = sigpml_metamodel()
+        app = mm.instantiate("Application", name="bad")
+        agent_a = mm.instantiate("Agent", name="a")
+        agent_b = mm.instantiate("Agent", name="b")
+        out_port = mm.instantiate("OutputPort", name="o", rate=1)
+        out_port.set("agent", agent_a)
+        agent_a.add("outputs", out_port)
+        in_port = mm.instantiate("InputPort", name="i", rate=1)
+        in_port.set("agent", agent_b)
+        agent_b.add("inputs", in_port)
+        app.add("agents", agent_a)
+        app.add("agents", agent_b)
+        for name in ("p1", "p2"):
+            place = mm.instantiate("Place", name=name, capacity=2)
+            place.set("outputPort", out_port)
+            place.set("inputPort", in_port)
+            app.add("places", place)
+        issues = check_application(app)
+        assert any("point-to-point" in issue for issue in issues)
+
+    def test_unconnected_port(self):
+        from repro.sdf import check_application
+        from repro.sdf.metamodel import sigpml_metamodel
+        mm = sigpml_metamodel()
+        app = mm.instantiate("Application", name="lonely")
+        agent = mm.instantiate("Agent", name="a")
+        port = mm.instantiate("OutputPort", name="o", rate=1)
+        port.set("agent", agent)
+        agent.add("outputs", port)
+        app.add("agents", agent)
+        issues = check_application(app)
+        assert any("not connected" in issue for issue in issues)
+
+
+class TestCliPam:
+    def test_pam_command_small(self, capsys):
+        from repro.cli import main
+        assert main(["pam", "--max-states", "400", "--steps", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "deployment" in out
+        assert "mono" in out
