@@ -1,0 +1,146 @@
+"""Run every bench_e*.py and write one consolidated BENCH_engine.json.
+
+Usage::
+
+    python benchmarks/run_all.py            # quick smoke mode (default)
+    python benchmarks/run_all.py --full     # let pytest-benchmark calibrate
+    python benchmarks/run_all.py --only e9  # just bench_e9_*
+
+Each benchmark file is executed through pytest in its own process (the
+``bench_*`` functions are collected via a python_functions override —
+they are not picked up by a plain pytest run). Per-file wall time,
+pass/fail status and every pytest-benchmark statistic are merged into
+``BENCH_engine.json`` at the repository root, giving the performance
+trajectory a machine-readable baseline that future changes can compare
+against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+#: pytest options shared by every mode: collect bench_* as well as the
+#: in-file sanity tests, stay quiet, no cache directory litter.
+BASE_OPTIONS = [
+    "-q",
+    "-p", "no:cacheprovider",
+    "-o", "python_functions=bench_* test_*",
+]
+
+#: smoke mode: one round per benchmark, minimal calibration time — the
+#: point is a trend line plus "still runs", not publication numbers.
+SMOKE_OPTIONS = [
+    "--benchmark-min-rounds=1",
+    "--benchmark-max-time=0.25",
+    "--benchmark-warmup=off",
+]
+
+
+def run_one(bench_file: Path, smoke: bool, timeout: int) -> dict:
+    """Run one benchmark file; return its result record."""
+    record: dict = {"file": bench_file.name, "status": "ok",
+                    "benchmarks": []}
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    command = [sys.executable, "-m", "pytest", str(bench_file),
+               *BASE_OPTIONS, f"--benchmark-json={json_path}"]
+    if smoke:
+        command.extend(SMOKE_OPTIONS)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    started = time.perf_counter()
+    try:
+        completed = subprocess.run(
+            command, cwd=REPO_ROOT, env=env, timeout=timeout,
+            capture_output=True, text=True)
+    except subprocess.TimeoutExpired:
+        record["status"] = "timeout"
+        record["wall_s"] = round(time.perf_counter() - started, 3)
+        os.unlink(json_path)
+        return record
+    record["wall_s"] = round(time.perf_counter() - started, 3)
+    if completed.returncode != 0:
+        record["status"] = "failed"
+        tail = (completed.stdout or "").strip().splitlines()[-15:]
+        record["output_tail"] = tail
+    try:
+        with open(json_path) as stream:
+            report = json.load(stream)
+        for bench in report.get("benchmarks", []):
+            stats = bench.get("stats", {})
+            record["benchmarks"].append({
+                "name": bench.get("fullname", bench.get("name")),
+                "group": bench.get("group"),
+                "mean_s": stats.get("mean"),
+                "min_s": stats.get("min"),
+                "rounds": stats.get("rounds"),
+            })
+    except (OSError, ValueError):
+        pass  # a crashed run leaves no report; status already recorded
+    finally:
+        try:
+            os.unlink(json_path)
+        except OSError:
+            pass
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="full calibrated runs instead of quick smoke")
+    parser.add_argument("--only", metavar="SUBSTR", default=None,
+                        help="run only files whose name contains SUBSTR")
+    parser.add_argument("--timeout", type=int, default=600,
+                        help="per-file timeout in seconds (default 600)")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"result path (default {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    files = sorted(BENCH_DIR.glob("bench_e*.py"),
+                   key=lambda p: (len(p.name), p.name))
+    if args.only:
+        files = [f for f in files if args.only in f.name]
+    if not files:
+        print("no benchmark files matched", file=sys.stderr)
+        return 2
+
+    mode = "full" if args.full else "smoke"
+    print(f"running {len(files)} benchmark file(s) in {mode} mode")
+    records = []
+    for bench_file in files:
+        record = run_one(bench_file, smoke=not args.full,
+                         timeout=args.timeout)
+        records.append(record)
+        measured = len(record["benchmarks"])
+        print(f"  {record['file']:<36} {record['status']:<8} "
+              f"{record['wall_s']:>7.2f}s  {measured} benchmark(s)")
+
+    document = {
+        "kind": "bench-report",
+        "mode": mode,
+        "python": sys.version.split()[0],
+        "files": records,
+        "total_wall_s": round(sum(r["wall_s"] for r in records), 3),
+        "failures": [r["file"] for r in records if r["status"] != "ok"],
+    }
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 1 if document["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,16 @@ symbolic representation of all the acceptable schedules").
 A :class:`Bdd` instance is a manager owning the unique-node table and a
 variable order. Functions are plain integers (node references), with
 ``bdd.zero`` and ``bdd.one`` as terminals.
+
+Managers are designed to be *persistent*: the node table is append-only
+and node indices stay valid for the manager's lifetime, so one manager
+can serve every step of a long-running execution model. Because nodes
+are hash-consed, a node index is a canonical identifier of its boolean
+function — two structurally different expressions compiling to the same
+function yield the *same* integer, which higher layers exploit as a
+cache key (see :mod:`repro.engine.execution_model`). The variable order
+is stable: first declaration fixes a variable's level forever; later
+declarations append.
 """
 
 from __future__ import annotations
@@ -34,12 +44,17 @@ class Bdd:
         self._nodes: list[tuple[int, int, int]] = []
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._expr_cache: dict[BExpr, int] = {}
         self._order: list[str] = []
         self._levels: dict[str, int] = {}
         self.zero = self._make_terminal()
         self.one = self._make_terminal()
         for name in order or []:
             self.declare(name)
+
+    #: soft bound on the operation caches; exceeding it drops them (the
+    #: node table itself is never dropped — node ids must stay valid).
+    _CACHE_LIMIT = 1_000_000
 
     # -- variables ------------------------------------------------------------
 
@@ -91,6 +106,24 @@ class Bdd:
     def node_count(self) -> int:
         """Total nodes allocated by this manager (including terminals)."""
         return len(self._nodes)
+
+    def cache_sizes(self) -> dict[str, int]:
+        """Current operation-cache sizes (introspection/tests)."""
+        return {"ite": len(self._ite_cache), "expr": len(self._expr_cache)}
+
+    def clear_operation_caches(self) -> None:
+        """Drop the ite and expression caches.
+
+        Node ids remain valid (the unique table is untouched); only the
+        memoized operation results are released. Safe at any time — the
+        caches are a pure accelerator.
+        """
+        self._ite_cache.clear()
+        self._expr_cache.clear()
+
+    def _trim_caches(self) -> None:
+        if (len(self._ite_cache) + len(self._expr_cache)) > self._CACHE_LIMIT:
+            self.clear_operation_caches()
 
     # -- core operations -----------------------------------------------------------
 
@@ -181,7 +214,21 @@ class Bdd:
     # -- building from expressions -----------------------------------------------
 
     def from_expr(self, expr: BExpr) -> int:
-        """Compile a :class:`~repro.boolalg.expr.BExpr` into a BDD node."""
+        """Compile a :class:`~repro.boolalg.expr.BExpr` into a BDD node.
+
+        Compilation results are memoized per structural expression (the
+        manager is persistent, so repeated compilation of the same —
+        or a structurally equal — formula is a dictionary lookup).
+        """
+        cached = self._expr_cache.get(expr)
+        if cached is not None:
+            return cached
+        result = self._compile(expr)
+        self._trim_caches()
+        self._expr_cache[expr] = result
+        return result
+
+    def _compile(self, expr: BExpr) -> int:
         if isinstance(expr, _Const):
             return self.one if expr.value else self.zero
         if isinstance(expr, Var):
@@ -203,6 +250,22 @@ class Bdd:
                     return result
             return result
         raise TypeError(f"unexpected expression node: {expr!r}")
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        """The conjunction of already-compiled *nodes* (left fold).
+
+        With a persistent manager the fold is effectively incremental:
+        every pairwise AND is memoized in the ite cache, so re-conjoining
+        a sequence in which only a suffix changed re-does work only from
+        the first changed node onwards.
+        """
+        result = self.one
+        for node in nodes:
+            result = self.apply_and(result, node)
+            if result == self.zero:
+                break
+        self._trim_caches()
+        return result
 
     # -- model queries ----------------------------------------------------------------
 

@@ -63,6 +63,17 @@ class PrecedesRuntime(ConstraintRuntime):
     def state_key(self) -> Hashable:
         return (self.label, self.advance_count)
 
+    def formula_version(self) -> Hashable:
+        # the formula only depends on whether the counter is at either end
+        return (self.advance_count == 0,
+                self.bound is not None and self.advance_count >= self.bound)
+
+    def snapshot(self) -> Hashable:
+        return self.advance_count
+
+    def restore(self, token) -> None:
+        self.advance_count = token
+
     def clone(self) -> "PrecedesRuntime":
         copy = PrecedesRuntime(self.cause, self.effect, self.bound, self.label)
         copy.advance_count = self.advance_count
@@ -96,6 +107,15 @@ class CausesRuntime(ConstraintRuntime):
 
     def state_key(self) -> Hashable:
         return (self.label, self.advance_count)
+
+    def formula_version(self) -> Hashable:
+        return self.advance_count == 0
+
+    def snapshot(self) -> Hashable:
+        return self.advance_count
+
+    def restore(self, token) -> None:
+        self.advance_count = token
 
     def clone(self) -> "CausesRuntime":
         copy = CausesRuntime(self.cause, self.effect, self.label)
@@ -143,6 +163,15 @@ class DelayedForRuntime(ConstraintRuntime):
     def state_key(self) -> Hashable:
         return (self.label, min(self.base_count, self.depth))
 
+    def formula_version(self) -> Hashable:
+        return self.base_count >= self.depth
+
+    def snapshot(self) -> Hashable:
+        return self.base_count
+
+    def restore(self, token) -> None:
+        self.base_count = token
+
     def clone(self) -> "DelayedForRuntime":
         copy = DelayedForRuntime(self.delayed, self.base, self.depth,
                                  self.label)
@@ -187,6 +216,15 @@ class PeriodicOnRuntime(ConstraintRuntime):
     def state_key(self) -> Hashable:
         return (self.label, self.base_index)
 
+    def formula_version(self) -> Hashable:
+        return self.base_index % self.period == self.offset
+
+    def snapshot(self) -> Hashable:
+        return self.base_index
+
+    def restore(self, token) -> None:
+        self.base_index = token
+
     def clone(self) -> "PeriodicOnRuntime":
         copy = PeriodicOnRuntime(self.filtered, self.base, self.period,
                                  self.offset, self.label)
@@ -227,6 +265,15 @@ class SampledOnRuntime(ConstraintRuntime):
 
     def state_key(self) -> Hashable:
         return (self.label, self.pending)
+
+    def formula_version(self) -> Hashable:
+        return self.pending
+
+    def snapshot(self) -> Hashable:
+        return self.pending
+
+    def restore(self, token) -> None:
+        self.pending = token
 
     def clone(self) -> "SampledOnRuntime":
         copy = SampledOnRuntime(self.result, self.trigger, self.base,
@@ -272,6 +319,15 @@ class FilterByRuntime(ConstraintRuntime):
 
     def state_key(self) -> Hashable:
         return (self.label, self.word.state_of(self.base_index))
+
+    def formula_version(self) -> Hashable:
+        return bool(self.word[self.base_index])
+
+    def snapshot(self) -> Hashable:
+        return self.base_index
+
+    def restore(self, token) -> None:
+        self.base_index = token
 
     def clone(self) -> "FilterByRuntime":
         copy = FilterByRuntime(self.filtered, self.base, self.word,
@@ -319,6 +375,15 @@ class DeadlineRuntime(ConstraintRuntime):
 
     def state_key(self) -> Hashable:
         return (self.label, self.remaining)
+
+    def formula_version(self) -> Hashable:
+        return self.remaining is not None and self.remaining <= 0
+
+    def snapshot(self) -> Hashable:
+        return self.remaining
+
+    def restore(self, token) -> None:
+        self.remaining = token
 
     def clone(self) -> "DeadlineRuntime":
         copy = DeadlineRuntime(self.start, self.finish, self.budget,

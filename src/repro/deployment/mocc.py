@@ -87,6 +87,16 @@ class ProcessorMutexRuntime(ConstraintRuntime):
     def state_key(self) -> Hashable:
         return (self.label, self.running)
 
+    def formula_version(self) -> Hashable:
+        # busy vs idle fully determines the formula (not *who* runs)
+        return self.running is not None
+
+    def snapshot(self) -> Hashable:
+        return self.running
+
+    def restore(self, token) -> None:
+        self.running = token
+
     def clone(self) -> "ProcessorMutexRuntime":
         copy = ProcessorMutexRuntime(self.processor, self.windows, self.label)
         copy.running = self.running
@@ -152,6 +162,15 @@ class CommDelayRuntime(ConstraintRuntime):
 
     def state_key(self) -> Hashable:
         return (self.label, self.matured, self.in_flight)
+
+    def formula_version(self) -> Hashable:
+        return self.matured >= self.pop
+
+    def snapshot(self) -> Hashable:
+        return (self.matured, self.in_flight)
+
+    def restore(self, token) -> None:
+        self.matured, self.in_flight = token
 
     def clone(self) -> "CommDelayRuntime":
         copy = CommDelayRuntime(self.write, self.read, self.push, self.pop,

@@ -11,9 +11,46 @@ is DSL-agnostic. Two drivers are provided:
   :class:`~repro.engine.statespace.StateSpace` with quantitative metrics
   (the paper's conclusion: "to obtain by exploration quantitative
   results on the scheduling state-space").
+
+Architecture: the incremental symbolic kernel
+=============================================
+
+The engine's hot path is symbolic: at every step the conjunction of the
+constraints' boolean formulas is compiled to a BDD and queried. Three
+mechanisms make that incremental instead of per-step-throwaway:
+
+**Persistent manager.** Every execution model owns one
+:class:`~repro.engine.execution_model.SymbolicKernel` holding a single
+:class:`~repro.boolalg.bdd.Bdd` manager for the model's lifetime. The
+manager's node table is append-only with a stable variable order, so
+node ids stay valid forever and hash-consing makes a node id a
+canonical key for its boolean function. Clones share the kernel —
+exploration, simulation campaigns and repeated analyses of one model
+all reuse each other's compiled results. All kernel caches are bounded
+LRUs with a :meth:`~repro.engine.execution_model.ExecutionModel.\
+clear_caches` hook.
+
+**Dirty tracking.** Each constraint runtime reports a
+:meth:`~repro.moccml.semantics.runtime.ConstraintRuntime.\
+formula_version` — a token that changes only when its step formula may
+have changed. The kernel compiles a constraint at most once per
+version: stateless constraints compile exactly once, a bounded counter
+compiles once per *regime* (e.g. at-zero / in-between / at-bound)
+rather than once per value. The global conjunction is memoized per
+compiled-node tuple, and re-conjoining after a partial change redoes
+work only from the first dirty node (pairwise ANDs are memoized in the
+manager).
+
+**Snapshot/restore contract.** Alongside ``clone()``, every runtime
+offers a lightweight ``snapshot()``/``restore()`` pair: the snapshot is
+a plain value token (counter, state name, tuple) that stays valid
+across any number of restores. The explorer walks the whole state space
+with a *single* working model — advance, hash, restore — keeping only
+snapshot tokens in its BFS frontier; campaigns rewind one clone between
+policy runs instead of re-cloning.
 """
 
-from repro.engine.execution_model import ExecutionModel
+from repro.engine.execution_model import ExecutionModel, SymbolicKernel
 from repro.engine.policies import (
     AsapPolicy,
     MinimalPolicy,
@@ -30,6 +67,7 @@ from repro.engine.analysis import (
     event_liveness,
     max_cycle_mean_throughput,
     parallelism_profile,
+    simulated_throughput,
     variable_bounds,
 )
 from repro.engine import properties
@@ -37,13 +75,13 @@ from repro.engine.campaign import format_campaign, run_campaign
 
 __all__ = [
     "run_campaign", "format_campaign",
-    "ExecutionModel",
+    "ExecutionModel", "SymbolicKernel",
     "SchedulingPolicy", "RandomPolicy", "AsapPolicy", "MinimalPolicy",
     "PriorityPolicy", "ReplayPolicy",
     "Trace",
     "Simulator", "SimulationResult",
     "explore", "StateSpace",
     "event_liveness", "parallelism_profile", "variable_bounds",
-    "max_cycle_mean_throughput",
+    "max_cycle_mean_throughput", "simulated_throughput",
     "properties",
 ]

@@ -12,6 +12,8 @@ from fractions import Fraction
 import networkx as nx
 
 from repro.engine.execution_model import ExecutionModel
+from repro.engine.policies import AsapPolicy, SchedulingPolicy
+from repro.engine.simulator import Simulator
 from repro.engine.statespace import StateSpace
 from repro.moccml.semantics.automata_rt import AutomatonRuntime
 
@@ -73,6 +75,28 @@ def variable_bounds(model: ExecutionModel, space: StateSpace | None = None
                 label = part[0]
                 record(label, dict(part[2]))
     return bounds
+
+
+def simulated_throughput(model: ExecutionModel, events: list[str],
+                         steps: int = 200,
+                         policy: SchedulingPolicy | None = None
+                         ) -> dict[str, float]:
+    """Observed per-step throughput of *events* over a policy-driven run.
+
+    The simulation executes on *model* itself — sharing its persistent
+    symbolic kernel, so repeated analyses of one model reuse compiled
+    constraint nodes — and rewinds to the initial snapshot afterwards,
+    leaving the model's configuration untouched. Defaults to the ASAP
+    policy, giving a quick simulated estimate to compare against the
+    exact :func:`max_cycle_mean_throughput`.
+    """
+    policy = policy if policy is not None else AsapPolicy()
+    initial = model.snapshot()
+    try:
+        result = Simulator(model, policy).run(steps)
+    finally:
+        model.restore(initial)
+    return {event: result.trace.throughput(event) for event in events}
 
 
 def max_cycle_mean_throughput(space: StateSpace, event: str) -> float:

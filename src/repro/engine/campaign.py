@@ -52,8 +52,14 @@ def run_campaign(model: ExecutionModel, steps: int,
     """
     policies = policies if policies is not None else default_policies()
     buckets: dict[str, list] = {}
+    # one working clone for the whole campaign: every run rewinds to the
+    # initial snapshot, so all policies share the model's symbolic
+    # kernel (compiled constraint nodes, step enumerations) across runs
+    work = model.clone()
+    initial = work.snapshot()
     for policy in policies:
-        result = Simulator(model.clone(), policy).run(steps)
+        work.restore(initial)
+        result = Simulator(work, policy).run(steps)
         buckets.setdefault(policy.name, []).append(result)
 
     rows = []

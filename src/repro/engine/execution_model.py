@@ -6,16 +6,144 @@ set of events (one boolean variable each) plus the instantiated
 constraint runtimes. At every step the conjunction of the constraints'
 boolean expressions characterizes the acceptable event sets; the
 conjunction is compiled to a BDD for enumeration and counting.
+
+The symbolic work is *incremental*: every execution model owns (and
+shares with its clones) a :class:`SymbolicKernel` — one persistent BDD
+manager with a stable variable order plus bounded caches. Constraints
+are compiled at most once per :meth:`~repro.moccml.semantics.runtime.\
+ConstraintRuntime.formula_version` (dirty tracking: a constraint whose
+state did not change its formula never recompiles), the global
+conjunction is memoized per compiled-node tuple, and step enumeration
+is memoized per conjunction node — hash-consing makes the node id a
+canonical key for the boolean function itself.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Hashable, Iterable
 
 from repro.boolalg.bdd import Bdd
 from repro.boolalg.expr import And, BExpr
 from repro.errors import EngineError
 from repro.moccml.semantics.runtime import ConstraintRuntime
+
+#: cache-miss sentinel (None is a legitimate cached value for max_step)
+_MISSING = object()
+
+
+class _LruCache:
+    """A small bounded mapping with least-recently-used eviction."""
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"cache size must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        data = self._data
+        value = data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class SymbolicKernel:
+    """Persistent symbolic state for one execution model (and clones).
+
+    Owns the BDD manager for the lifetime of the model family plus the
+    bounded caches that make stepping incremental:
+
+    * per-constraint compiled nodes, keyed ``(slot, formula_version)``
+      — the slot is the constraint's position in the model, so clones
+      (which have structurally identical constraint lists) share
+      compiled nodes;
+    * the global conjunction, keyed by the tuple of per-constraint
+      nodes (re-conjoining is itself incremental through the manager's
+      memoized AND);
+    * enumerated step lists and maximal steps, keyed by the conjunction
+      node id — hash-consing guarantees equal ids mean equal functions,
+      so revisited configurations anywhere in an exploration hit here.
+
+    All caches are bounded LRUs; the kernel is a pure accelerator and
+    can be dropped at any time (:meth:`ExecutionModel.clear_caches`).
+    """
+
+    NODE_CACHE_SIZE = 8_192
+    STEPS_CACHE_SIZE = 4_096
+
+    def __init__(self, events: Iterable[str]):
+        self.events: tuple[str, ...] = tuple(events)
+        self.bdd = Bdd(order=self.events)
+        self._node_cache = _LruCache(self.NODE_CACHE_SIZE)
+        self._conj_cache = _LruCache(self.NODE_CACHE_SIZE)
+        self._steps_cache = _LruCache(self.STEPS_CACHE_SIZE)
+        self._max_step_cache = _LruCache(self.STEPS_CACHE_SIZE)
+        #: hit/miss counters (introspection, tests, tuning)
+        self.stats = {"node_hits": 0, "node_misses": 0,
+                      "steps_hits": 0, "steps_misses": 0}
+
+    def constraint_node(self, slot: int,
+                        constraint: ConstraintRuntime) -> int:
+        """The compiled BDD node of *constraint*'s current formula.
+
+        Recompiles only when the constraint's ``formula_version()``
+        changed since the last compilation for this slot (dirty
+        tracking); static constraints compile exactly once.
+        """
+        key = (slot, constraint.formula_version())
+        node = self._node_cache.get(key, _MISSING)
+        if node is _MISSING:
+            node = self.bdd.from_expr(constraint.step_formula())
+            self._node_cache.put(key, node)
+            self.stats["node_misses"] += 1
+        else:
+            self.stats["node_hits"] += 1
+        return node
+
+    def conjunction(self, nodes: tuple[int, ...]) -> int:
+        """The conjunction of compiled constraint *nodes* (memoized)."""
+        if not nodes:
+            return self.bdd.one
+        cached = self._conj_cache.get(nodes, _MISSING)
+        if cached is _MISSING:
+            cached = self.bdd.conjoin(nodes)
+            self._conj_cache.put(nodes, cached)
+        return cached
+
+    def cache_sizes(self) -> dict[str, int]:
+        return {
+            "nodes": len(self._node_cache),
+            "conjunctions": len(self._conj_cache),
+            "steps": len(self._steps_cache),
+            "max_steps": len(self._max_step_cache),
+            "bdd_nodes": self.bdd.node_count(),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached result (the manager itself survives)."""
+        self._node_cache.clear()
+        self._conj_cache.clear()
+        self._steps_cache.clear()
+        self._max_step_cache.clear()
+        self.bdd.clear_operation_caches()
 
 
 class ExecutionModel:
@@ -27,6 +155,7 @@ class ExecutionModel:
         self.name = name
         self.events: list[str] = list(dict.fromkeys(events))
         self.constraints: list[ConstraintRuntime] = list(constraints)
+        self._kernel: SymbolicKernel | None = None
         self._check_coverage()
 
     def _check_coverage(self) -> None:
@@ -38,6 +167,21 @@ class ExecutionModel:
                     f"constraint {constraint.label!r} references event(s) "
                     f"{sorted(missing)} not in the execution model")
 
+    @property
+    def kernel(self) -> SymbolicKernel:
+        """The model's persistent symbolic kernel (created lazily)."""
+        if self._kernel is None:
+            self._kernel = SymbolicKernel(self.events)
+        return self._kernel
+
+    def clear_caches(self) -> None:
+        """Detach and drop this model's symbolic kernel.
+
+        A fresh kernel is created lazily on the next symbolic query.
+        Clones sharing the old kernel are unaffected.
+        """
+        self._kernel = None
+
     def add_constraint(self, constraint: ConstraintRuntime) -> ConstraintRuntime:
         """Attach one more constraint (its events must already exist)."""
         missing = constraint.constrained_events - set(self.events)
@@ -46,12 +190,16 @@ class ExecutionModel:
                 f"constraint {constraint.label!r} references unknown "
                 f"event(s) {sorted(missing)}")
         self.constraints.append(constraint)
+        # slot-keyed caches assume a fixed constraint list: detach (a
+        # clone sharing the old kernel keeps using it unharmed)
+        self._kernel = None
         return constraint
 
     def add_event(self, event: str) -> str:
         """Register an additional (free until constrained) event."""
         if event not in self.events:
             self.events.append(event)
+            self._kernel = None  # enumeration set changed
         return event
 
     # -- step semantics ------------------------------------------------------
@@ -61,12 +209,12 @@ class ExecutionModel:
         return And(*(constraint.step_formula()
                      for constraint in self.constraints))
 
-    #: shared memo: (formula, events tuple, include_empty) -> step list.
-    #: Distinct configurations frequently produce structurally identical
-    #: formulas (same guards true, different counter values), so this
-    #: cache is the explorer's main accelerator.
-    _steps_cache: dict = {}
-    _STEPS_CACHE_LIMIT = 50_000
+    def _step_node(self) -> int:
+        """The BDD node of the current global conjunction (incremental)."""
+        kernel = self.kernel
+        nodes = tuple(kernel.constraint_node(slot, constraint)
+                      for slot, constraint in enumerate(self.constraints))
+        return kernel.conjunction(nodes)
 
     def acceptable_steps(self, include_empty: bool = False) -> list[frozenset[str]]:
         """Enumerate the acceptable steps at the current configuration.
@@ -74,31 +222,33 @@ class ExecutionModel:
         Returns a deterministically ordered list of event sets; the empty
         step (nothing occurs) is omitted unless *include_empty*.
         """
-        formula = self.step_formula()
-        cache_key = (formula, tuple(self.events), include_empty)
-        cached = ExecutionModel._steps_cache.get(cache_key)
-        if cached is not None:
-            return list(cached)
-        bdd = Bdd(order=self.events)
-        node = bdd.from_expr(formula)
-        steps = []
-        for model in bdd.iter_models(node, self.events):
-            step = frozenset(name for name, value in model.items() if value)
-            if step or include_empty:
-                steps.append(step)
-        steps.sort(key=lambda s: (len(s), sorted(s)))
-        if len(ExecutionModel._steps_cache) < self._STEPS_CACHE_LIMIT:
-            ExecutionModel._steps_cache[cache_key] = steps
+        kernel = self.kernel
+        node = self._step_node()
+        key = (node, include_empty)
+        steps = kernel._steps_cache.get(key)
+        if steps is None:
+            kernel.stats["steps_misses"] += 1
+            collected = []
+            for model in kernel.bdd.iter_models(node, self.events):
+                step = frozenset(name for name, value in model.items()
+                                 if value)
+                if step or include_empty:
+                    collected.append(step)
+            collected.sort(key=lambda s: (len(s), sorted(s)))
+            steps = tuple(collected)
+            kernel._steps_cache.put(key, steps)
+        else:
+            kernel.stats["steps_hits"] += 1
         return list(steps)
 
     def count_acceptable_steps(self, include_empty: bool = True) -> int:
         """Number of acceptable steps without enumerating them."""
-        bdd = Bdd(order=self.events)
-        node = bdd.from_expr(self.step_formula())
-        count = bdd.sat_count(node, self.events)
+        kernel = self.kernel
+        node = self._step_node()
+        count = kernel.bdd.sat_count(node, self.events)
         if not include_empty:
             empty = {name: False for name in self.events}
-            if bdd.evaluate(node, empty):
+            if kernel.bdd.evaluate(node, empty):
                 count -= 1
         return count
 
@@ -110,13 +260,19 @@ class ExecutionModel:
         linear in the BDD size — so the ASAP policy scales to wide
         models where the candidate set is exponential.
         """
-        bdd = Bdd(order=self.events)
-        node = bdd.from_expr(self.step_formula())
-        model = bdd.max_true_model(node, self.events)
+        kernel = self.kernel
+        node = self._step_node()
+        cached = kernel._max_step_cache.get(node, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        model = kernel.bdd.max_true_model(node, self.events)
         if model is None:
-            return None
-        step = frozenset(name for name, value in model.items() if value)
-        return step or None
+            step = None
+        else:
+            step = frozenset(name for name, value in model.items()
+                             if value) or None
+        kernel._max_step_cache.put(node, step)
+        return step
 
     def is_acceptable(self, step: frozenset[str]) -> bool:
         """Whether *step* satisfies the current conjunction."""
@@ -124,9 +280,7 @@ class ExecutionModel:
         if unknown:
             raise EngineError(f"unknown event(s) in step: {sorted(unknown)}")
         assignment = {name: name in step for name in self.events}
-        formula = self.step_formula()
-        return formula.evaluate(
-            {name: assignment[name] for name in formula.support()})
+        return self.kernel.bdd.evaluate(self._step_node(), assignment)
 
     def advance(self, step: frozenset[str], check: bool = True) -> None:
         """Commit *step*: every constraint updates its internal state.
@@ -149,11 +303,43 @@ class ExecutionModel:
         return tuple(constraint.state_key()
                      for constraint in self.constraints)
 
+    def snapshot(self) -> tuple:
+        """A lightweight token capturing every constraint's state.
+
+        Cheaper than :meth:`clone` (plain value tuples, no object
+        allocation per constraint); rewind with :meth:`restore`. Tokens
+        stay valid across any number of restores.
+        """
+        return tuple(constraint.snapshot()
+                     for constraint in self.constraints)
+
+    def restore(self, token: tuple) -> None:
+        """Rewind every constraint to a state captured by :meth:`snapshot`.
+
+        The token must come from a model with the same constraint list
+        (self, a clone, or the clone's original).
+        """
+        if len(token) != len(self.constraints):
+            raise EngineError(
+                f"snapshot arity mismatch: token has {len(token)} "
+                f"entries, model has {len(self.constraints)} constraints")
+        for constraint, part in zip(self.constraints, token):
+            constraint.restore(part)
+
     def clone(self) -> "ExecutionModel":
-        """Deep copy: cloned constraints, shared immutable event list."""
+        """Deep copy: cloned constraints, shared immutable event list.
+
+        The clone *shares* the symbolic kernel: its constraint list is
+        structurally identical, so compiled nodes, conjunctions and step
+        enumerations carry over (the manager is append-only, making the
+        sharing safe). Mutating the structure afterwards
+        (:meth:`add_constraint` / :meth:`add_event`) detaches only the
+        mutated model.
+        """
         copy = ExecutionModel(self.events, [], name=self.name)
         copy.constraints = [constraint.clone()
                             for constraint in self.constraints]
+        copy._kernel = self.kernel  # materialize so all clones share one
         return copy
 
     def is_accepting(self) -> bool:

@@ -1,12 +1,20 @@
 """Exhaustive exploration of the scheduling state space.
 
 From the initial configuration, the explorer enumerates every
-acceptable (non-empty) step with the BDD, clones the execution model,
-advances the clone and hashes the successor configuration. The result
-is a :class:`~repro.engine.statespace.StateSpace` — a directed multigraph
+acceptable (non-empty) step with the BDD, advances a single working
+model, hashes the successor configuration and rewinds. The result is a
+:class:`~repro.engine.statespace.StateSpace` — a directed multigraph
 whose nodes are global constraint configurations and whose edges are
 steps. This implements the paper's "exhaustive exploration" usage of the
 generic engine.
+
+The traversal is breadth-first over **snapshots** rather than clones:
+one working model is advanced and restored edge by edge, and only the
+lightweight :meth:`~repro.engine.execution_model.ExecutionModel.snapshot`
+tokens of frontier states are retained. Combined with the model's
+persistent symbolic kernel (compiled constraint nodes and step
+enumerations are shared across the whole traversal) this removes the
+per-edge deep-clone and per-state BDD rebuild of the naive scheme.
 """
 
 from __future__ import annotations
@@ -51,28 +59,30 @@ def explore(model: ExecutionModel, max_states: int = 10_000,
         either direction, so safety verdicts must use the full space.
     """
     graph = nx.MultiDiGraph()
-    root = model.clone()
-    root_key = root.configuration()
+    work = model.clone()
+    root_key = work.configuration()
 
     key_to_id: dict = {root_key: 0}
-    graph.add_node(0, accepting=root.is_accepting(), depth=0, key=root_key)
-    frontier: deque = deque([(root, 0, 0)])  # (model, node id, depth)
+    graph.add_node(0, accepting=work.is_accepting(), depth=0, key=root_key)
+    #: BFS frontier of (snapshot token, configuration key, node id, depth)
+    frontier: deque = deque([(work.snapshot(), root_key, 0, 0)])
     truncated = False
 
     while frontier:
-        current, node_id, depth = frontier.popleft()
+        snapshot, current_key, node_id, depth = frontier.popleft()
         if max_depth is not None and depth >= max_depth:
             graph.nodes[node_id]["frontier"] = True
             truncated = True
             continue
-        steps = current.acceptable_steps(include_empty=include_empty)
+        work.restore(snapshot)
+        steps = work.acceptable_steps(include_empty=include_empty)
         if maximal_only:
             steps = _maximal_steps(steps)
         for step in steps:
-            successor = current.clone()
-            successor.advance(step, check=False)
-            succ_key = successor.configuration()
-            if not step and succ_key == current.configuration():
+            work.advance(step, check=False)
+            succ_key = work.configuration()
+            if not step and succ_key == current_key:
+                work.restore(snapshot)
                 continue  # stuttering self-loop carries no information
             if succ_key in key_to_id:
                 succ_id = key_to_id[succ_key]
@@ -84,13 +94,16 @@ def explore(model: ExecutionModel, max_states: int = 10_000,
                             f"{max_states} states")
                     truncated = True
                     graph.nodes[node_id]["frontier"] = True
+                    work.restore(snapshot)
                     continue
                 succ_id = len(key_to_id)
                 key_to_id[succ_key] = succ_id
-                graph.add_node(succ_id, accepting=successor.is_accepting(),
+                graph.add_node(succ_id, accepting=work.is_accepting(),
                                depth=depth + 1, key=succ_key)
-                frontier.append((successor, succ_id, depth + 1))
+                frontier.append((work.snapshot(), succ_key, succ_id,
+                                 depth + 1))
             graph.add_edge(node_id, succ_id, step=step)
+            work.restore(snapshot)
 
     return StateSpace(graph=graph, initial=0, events=list(model.events),
                       truncated=truncated, name=model.name)

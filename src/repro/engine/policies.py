@@ -26,6 +26,14 @@ class SchedulingPolicy:
 
     name = "abstract"
 
+    #: True when every step returned by :meth:`choose_from_model` is
+    #: guaranteed acceptable in the model's current configuration (it
+    #: was enumerated from the step formula, extracted from the BDD, or
+    #: validated by the policy itself). The simulator then skips the
+    #: redundant re-validation in ``advance``. Policies that may return
+    #: arbitrary steps (e.g. :class:`CallbackPolicy`) leave this False.
+    yields_acceptable_steps = False
+
     def choose(self, candidates: Sequence[frozenset[str]],
                step_index: int) -> frozenset[str]:
         raise NotImplementedError
@@ -52,6 +60,7 @@ class RandomPolicy(SchedulingPolicy):
     """Uniformly random among the acceptable steps (seeded)."""
 
     name = "random"
+    yields_acceptable_steps = True
 
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed)
@@ -71,6 +80,7 @@ class AsapPolicy(SchedulingPolicy):
     """
 
     name = "asap"
+    yields_acceptable_steps = True
 
     def __init__(self, symbolic_threshold: int = 20):
         self.symbolic_threshold = symbolic_threshold
@@ -89,6 +99,7 @@ class MinimalPolicy(SchedulingPolicy):
     """A minimal non-empty step (maximal serialization)."""
 
     name = "minimal"
+    yields_acceptable_steps = True
 
     def choose(self, candidates, step_index):
         self._require(candidates)
@@ -105,6 +116,7 @@ class PriorityPolicy(SchedulingPolicy):
     """
 
     name = "priority"
+    yields_acceptable_steps = True
 
     def __init__(self, weights: dict[str, int]):
         self.weights = dict(weights)
@@ -129,6 +141,7 @@ class ReplayPolicy(SchedulingPolicy):
     """
 
     name = "replay"
+    yields_acceptable_steps = True  # validated explicitly below
 
     def __init__(self, steps):
         self.steps = [frozenset(step) for step in steps]

@@ -172,6 +172,27 @@ class AutomatonRuntime:
         return (self.label, self.current_state,
                 tuple(sorted(self._vars.items())))
 
+    def formula_version(self) -> Hashable:
+        """Current state plus the set of guard-enabled transitions.
+
+        Distinct variable valuations that enable the same transitions
+        produce the same formula — sharing the compiled BDD node across
+        e.g. every fill level of a place whose guards all still hold.
+        """
+        enabled = tuple(
+            index for index, transition
+            in enumerate(self.definition.outgoing(self.current_state))
+            if self._guard_holds(transition))
+        return (self.current_state, enabled)
+
+    def snapshot(self) -> Hashable:
+        return (self.current_state, tuple(self._vars.items()))
+
+    def restore(self, token) -> None:
+        state, variables = token
+        self.current_state = state
+        self._vars = dict(variables)
+
     def clone(self) -> "AutomatonRuntime":
         copy = object.__new__(AutomatonRuntime)
         copy.definition = self.definition

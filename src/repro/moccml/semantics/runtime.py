@@ -13,6 +13,22 @@ two-phase loop:
 explorer hashes global configurations as the tuple of all runtimes'
 keys. ``clone()`` must produce an independent copy so the explorer can
 branch.
+
+Two optional refinements keep the symbolic kernel incremental:
+
+* ``formula_version()`` — a hashable token that changes *only when the
+  step formula may have changed*. The engine compiles a constraint's
+  formula to a BDD node at most once per version (dirty tracking);
+  a stateless constraint returns a constant and compiles exactly once.
+  The default derives the version from ``state_key()``, which is always
+  sound (the formula is a function of the internal state) but may
+  recompile more often than strictly necessary.
+* ``snapshot()``/``restore()`` — a lightweight alternative to
+  ``clone()`` for depth-style exploration: ``snapshot()`` captures the
+  mutable state as a cheap (ideally immutable) token, ``restore()``
+  rewinds to it. A token must stay valid across multiple restores. The
+  defaults fall back to ``clone()`` semantics; stateful runtimes
+  override them with plain value tuples.
 """
 
 from __future__ import annotations
@@ -47,6 +63,36 @@ class ConstraintRuntime:
     def clone(self) -> "ConstraintRuntime":
         """An independent copy sharing no mutable state."""
         raise NotImplementedError
+
+    def formula_version(self) -> Hashable:
+        """Hashable token identifying the *current* step formula.
+
+        Two configurations with equal versions must produce equivalent
+        ``step_formula()`` results; the engine recompiles a constraint's
+        BDD node only when the version changes. The conservative default
+        is the full state key.
+        """
+        return self.state_key()
+
+    def snapshot(self) -> Hashable:
+        """A cheap token capturing the mutable state (see module doc).
+
+        The fallback snapshots via :meth:`clone`; stateful runtimes
+        should override with a plain value.
+        """
+        return self.clone()
+
+    def restore(self, token) -> None:
+        """Rewind to a state captured by :meth:`snapshot`.
+
+        The token must remain reusable afterwards (restores can happen
+        any number of times from the same token).
+        """
+        if not isinstance(token, ConstraintRuntime):
+            raise SemanticsError(
+                f"{self.label}: restore expected a clone-based snapshot, "
+                f"got {token!r}")
+        self.__dict__.update(token.clone().__dict__)
 
     def is_accepting(self) -> bool:
         """Whether the current state is accepting (final). Defaults True."""
@@ -87,6 +133,15 @@ class FormulaRuntime(ConstraintRuntime):
         return FormulaRuntime(self.label, self._formula,
                               self.constrained_events)
 
+    def formula_version(self) -> Hashable:
+        return "static"  # compiled exactly once per kernel
+
+    def snapshot(self) -> Hashable:
+        return None
+
+    def restore(self, token) -> None:
+        pass  # stateless
+
 
 class CompositeRuntime(ConstraintRuntime):
     """Conjunction of child runtimes — a declarative definition instance."""
@@ -111,6 +166,19 @@ class CompositeRuntime(ConstraintRuntime):
     def clone(self) -> "CompositeRuntime":
         return CompositeRuntime(self.label,
                                 [child.clone() for child in self.children])
+
+    def formula_version(self) -> Hashable:
+        return tuple(child.formula_version() for child in self.children)
+
+    def snapshot(self) -> Hashable:
+        return tuple(child.snapshot() for child in self.children)
+
+    def restore(self, token) -> None:
+        if not isinstance(token, tuple) or len(token) != len(self.children):
+            raise SemanticsError(
+                f"{self.label}: snapshot arity mismatch")
+        for child, child_token in zip(self.children, token):
+            child.restore(child_token)
 
     def is_accepting(self) -> bool:
         return all(child.is_accepting() for child in self.children)
