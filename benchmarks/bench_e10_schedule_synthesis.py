@@ -11,7 +11,7 @@ import pytest
 from repro.engine import explore
 from repro.sdf import (
     SdfBuilder,
-    build_execution_model,
+    weave_sdf,
     loop_notation,
     minimal_buffer_capacities,
     pass_schedule,
@@ -51,7 +51,7 @@ class TestSynthesis:
         print(f"\nminimal capacities: {capacities}")
         assert capacities == {"adc_frame": 4, "frame_fft": 1, "fft_avg": 2}
         apply_capacities(app, capacities)
-        space = explore(build_execution_model(model).execution_model,
+        space = explore(weave_sdf(model).execution_model,
                         max_states=50_000)
         assert not space.truncated
         assert space.is_deadlock_free()
@@ -62,7 +62,7 @@ class TestSynthesis:
         capacities["adc_frame"] -= 1  # starve the framer
         apply_capacities(app, capacities)
         assert pass_schedule(app, bounded=True) is None
-        space = explore(build_execution_model(model).execution_model,
+        space = explore(weave_sdf(model).execution_model,
                         max_states=50_000)
         assert not space.is_deadlock_free()
 
@@ -83,13 +83,13 @@ def bench_buffer_sizing(benchmark):
 
 @pytest.mark.benchmark(group="e10-synthesis")
 def bench_campaign(benchmark):
-    from repro.engine import run_campaign
+    from repro.engine.campaign import campaign
     model, _app = spectrum_graph(capacity=6)
-    engine_model = build_execution_model(model).execution_model
+    engine_model = weave_sdf(model).execution_model
 
-    def campaign():
-        return run_campaign(engine_model, steps=25,
-                            watch_events=["avg.start"])
+    def run_policies():
+        return campaign(engine_model, steps=25,
+                        watch_events=["avg.start"])
 
-    rows = benchmark.pedantic(campaign, rounds=2, iterations=1)
+    rows = benchmark.pedantic(run_policies, rounds=2, iterations=1)
     assert {row.policy for row in rows} == {"asap", "minimal", "random"}

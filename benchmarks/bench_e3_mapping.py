@@ -9,7 +9,7 @@ start, stop, write simultaneous).
 import pytest
 
 from repro.ecl import parse_ecl
-from repro.sdf import SdfBuilder, build_execution_model
+from repro.sdf import SdfBuilder, weave_sdf
 from repro.sdf.mapping import SDF_MAPPING_TEXT
 
 
@@ -33,7 +33,7 @@ class TestListing1:
 
     def test_every_agent_gets_its_event_triple(self):
         model, app = chain_model(4)
-        result = build_execution_model(model)
+        result = weave_sdf(model)
         for agent in app.get("agents"):
             for event_name in ("start", "stop", "isExecuting"):
                 assert result.event_of(agent, event_name) \
@@ -41,7 +41,7 @@ class TestListing1:
 
     def test_one_place_constraint_per_place(self):
         model, app = chain_model(5)
-        result = build_execution_model(model)
+        result = weave_sdf(model)
         place_constraints = [c for c in result.execution_model.constraints
                              if "PlaceLimitation" in c.label]
         assert len(place_constraints) == len(app.get("places")) == 4
@@ -49,7 +49,7 @@ class TestListing1:
     def test_n0_collapse(self):
         # §III-A: with N = 0, read, start, stop, write are simultaneous
         model, _app = chain_model(2)
-        result = build_execution_model(model)
+        result = weave_sdf(model)
         engine_model = result.execution_model
         first_steps = engine_model.acceptable_steps()
         assert len(first_steps) == 1
@@ -72,7 +72,7 @@ def bench_weaving(benchmark, n_agents):
     """Weaving cost as the model grows (events + constraints generated)."""
     model, _app = chain_model(n_agents)
 
-    result = benchmark(build_execution_model, model)
+    result = benchmark(weave_sdf, model)
     engine_model = result.execution_model
     # 3 events/agent + 2 events/place
     assert len(engine_model.events) == 3 * n_agents + 2 * (n_agents - 1)

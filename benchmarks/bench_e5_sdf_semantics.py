@@ -11,13 +11,13 @@ theory (Lee & Messerschmitt) and the token-level baseline simulator:
 
 import pytest
 
-from repro.engine import AsapPolicy, RandomPolicy, Simulator, explore
+from repro.engine import AsapPolicy, RandomPolicy, explore, simulate_model
 from repro.engine.analysis import max_cycle_mean_throughput
 from repro.sdf import (
     SdfBuilder,
     TokenSimulator,
     analyze,
-    build_execution_model,
+    weave_sdf,
     repetition_vector,
 )
 
@@ -45,8 +45,8 @@ class TestAgreement:
     def test_firing_ratios_match_repetition_vector(self):
         model, app = multirate_graph()
         repetition = repetition_vector(app)
-        result = build_execution_model(model)
-        simulation = Simulator(result.execution_model, AsapPolicy()).run(80)
+        result = weave_sdf(model)
+        simulation = simulate_model(result.execution_model, AsapPolicy(), 80)
         counts = {name: simulation.trace.count(f"{name}.start")
                   for name in repetition}
         iterations = min(counts[n] // repetition[n] for n in repetition)
@@ -58,9 +58,9 @@ class TestAgreement:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_every_step_is_a_legal_firing_set(self, seed):
         model, app = multirate_graph()
-        result = build_execution_model(model)
-        simulation = Simulator(result.execution_model,
-                               RandomPolicy(seed=seed)).run(40)
+        result = weave_sdf(model)
+        simulation = simulate_model(result.execution_model,
+                               RandomPolicy(seed=seed), 40)
         baseline = TokenSimulator(app)
         for step in simulation.trace:
             fired = frozenset(name.split(".")[0] for name in step
@@ -72,19 +72,19 @@ class TestAgreement:
         # no initial token: both PASS and exploration deadlock
         model, app = cyclic_graph(delay=0)
         assert analyze(app).deadlock_free is False
-        space = explore(build_execution_model(model).execution_model)
+        space = explore(weave_sdf(model).execution_model)
         assert not space.is_deadlock_free()
 
         # one initial token: both proceed
         model, app = cyclic_graph(delay=1)
         assert analyze(app).deadlock_free is True
-        space = explore(build_execution_model(model).execution_model)
+        space = explore(weave_sdf(model).execution_model)
         assert space.is_deadlock_free()
 
     def test_throughput_matches_hand_computation(self):
         # ring with one token: strict alternation x y x y -> 1/2 each
         model, _app = cyclic_graph(delay=1)
-        space = explore(build_execution_model(model).execution_model)
+        space = explore(weave_sdf(model).execution_model)
         assert max_cycle_mean_throughput(space, "x.start") \
             == pytest.approx(0.5)
 
@@ -101,7 +101,7 @@ def bench_exploration_multirate(benchmark):
     model, _app = multirate_graph()
 
     def explore_once():
-        result = build_execution_model(model)
+        result = weave_sdf(model)
         return explore(result.execution_model, max_states=20000)
 
     space = benchmark.pedantic(explore_once, rounds=3, iterations=1)
@@ -112,11 +112,11 @@ def bench_exploration_multirate(benchmark):
 @pytest.mark.benchmark(group="e5-sdf")
 def bench_asap_simulation(benchmark):
     model, _app = multirate_graph()
-    result = build_execution_model(model)
+    result = weave_sdf(model)
 
     def simulate():
-        return Simulator(result.execution_model.clone(),
-                         AsapPolicy()).run(50)
+        return simulate_model(result.execution_model.clone(),
+                              AsapPolicy(), 50)
 
     simulation = benchmark.pedantic(simulate, rounds=3, iterations=1)
     assert simulation.steps_run == 50

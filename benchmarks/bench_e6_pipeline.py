@@ -8,8 +8,8 @@ pipeline stage and the end-to-end path.
 
 import pytest
 
-from repro.engine import AsapPolicy, Simulator
-from repro.sdf import build_execution_model, parse_sigpml
+from repro.engine import AsapPolicy, simulate_model
+from repro.sdf import weave_sdf, parse_sigpml
 from repro.sdf.mocc import sdf_library, sdf_library_text
 from repro.moccml.text import parse_library
 
@@ -29,8 +29,8 @@ application pipeline {
 class TestPipeline:
     def test_end_to_end(self):
         model, app = parse_sigpml(APPLICATION_TEXT)
-        result = build_execution_model(model)
-        simulation = Simulator(result.execution_model, AsapPolicy()).run(30)
+        result = weave_sdf(model)
+        simulation = simulate_model(result.execution_model, AsapPolicy(), 30)
         assert simulation.steps_run == 30
         assert simulation.trace.count("logger.start") > 0
 
@@ -40,7 +40,7 @@ class TestPipeline:
         from repro.engine import ExecutionModel
         other = ExecutionModel(["ping", "pong"],
                                [AlternatesRuntime("ping", "pong")])
-        simulation = Simulator(other, AsapPolicy()).run(10)
+        simulation = simulate_model(other, AsapPolicy(), 10)
         assert simulation.trace.count("ping") == 5
 
 
@@ -60,7 +60,7 @@ def bench_parse_mocc_library(benchmark):
 @pytest.mark.benchmark(group="e6-pipeline")
 def bench_weave(benchmark):
     model, _app = parse_sigpml(APPLICATION_TEXT)
-    result = benchmark(build_execution_model, model)
+    result = benchmark(weave_sdf, model)
     assert len(result.execution_model.constraints) == 13
 
 
@@ -68,8 +68,8 @@ def bench_weave(benchmark):
 def bench_end_to_end(benchmark):
     def pipeline():
         model, _app = parse_sigpml(APPLICATION_TEXT)
-        result = build_execution_model(model)
-        return Simulator(result.execution_model, AsapPolicy()).run(20)
+        result = weave_sdf(model)
+        return simulate_model(result.execution_model, AsapPolicy(), 20)
 
     simulation = benchmark.pedantic(pipeline, rounds=5, iterations=1)
     assert simulation.steps_run == 20

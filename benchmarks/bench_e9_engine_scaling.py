@@ -8,8 +8,8 @@ compares with DPLL all-SAT on per-step formulas.
 import pytest
 
 from repro.boolalg import Bdd, all_sat
-from repro.engine import AsapPolicy, Simulator, explore
-from repro.sdf import SdfBuilder, build_execution_model
+from repro.engine import AsapPolicy, explore, simulate_model
+from repro.sdf import SdfBuilder, weave_sdf
 
 
 def chain(length: int, capacity: int = 1):
@@ -26,7 +26,7 @@ class TestScaling:
         sizes = []
         for length in (2, 3, 4):
             model, _app = chain(length)
-            space = explore(build_execution_model(model).execution_model,
+            space = explore(weave_sdf(model).execution_model,
                             max_states=50000)
             sizes.append(space.n_states)
         print(f"\nchain length 2,3,4 -> states {sizes}")
@@ -34,7 +34,7 @@ class TestScaling:
 
     def test_bdd_and_dpll_agree_on_step_formulas(self):
         model, _app = chain(3, capacity=2)
-        engine_model = build_execution_model(model).execution_model
+        engine_model = weave_sdf(model).execution_model
         formula = engine_model.step_formula()
         events = engine_model.events
         bdd = Bdd(order=events)
@@ -52,7 +52,7 @@ def bench_exploration_scaling(benchmark, length):
     model, _app = chain(length)
 
     def explore_once():
-        return explore(build_execution_model(model).execution_model,
+        return explore(weave_sdf(model).execution_model,
                        max_states=100000)
 
     space = benchmark.pedantic(explore_once, rounds=1, iterations=1)
@@ -63,10 +63,11 @@ def bench_exploration_scaling(benchmark, length):
 @pytest.mark.parametrize("length", [4, 8, 12])
 def bench_simulation_scaling(benchmark, length):
     model, _app = chain(length, capacity=2)
-    woven = build_execution_model(model)
+    woven = weave_sdf(model)
 
     def simulate():
-        return Simulator(woven.execution_model.clone(), AsapPolicy()).run(30)
+        return simulate_model(woven.execution_model.clone(),
+                              AsapPolicy(), 30)
 
     simulation = benchmark.pedantic(simulate, rounds=3, iterations=1)
     assert simulation.steps_run == 30
@@ -75,7 +76,7 @@ def bench_simulation_scaling(benchmark, length):
 class TestMaximalOnlyAblation:
     def test_reduction_preserves_peak_parallelism(self):
         model, _app = chain(4, capacity=2)
-        woven = build_execution_model(model)
+        woven = weave_sdf(model)
         full = explore(woven.execution_model, max_states=50000)
         reduced = explore(woven.execution_model, max_states=50000,
                           maximal_only=True)
@@ -94,7 +95,7 @@ def bench_exploration_reduction(benchmark, maximal_only):
     model, _app = chain(5, capacity=2)
 
     def explore_once():
-        return explore(build_execution_model(model).execution_model,
+        return explore(weave_sdf(model).execution_model,
                        max_states=100000, maximal_only=maximal_only)
 
     space = benchmark.pedantic(explore_once, rounds=1, iterations=1)
@@ -104,7 +105,7 @@ def bench_exploration_reduction(benchmark, maximal_only):
 @pytest.mark.benchmark(group="e9-solvers")
 def bench_bdd_enumeration(benchmark):
     model, _app = chain(4, capacity=2)
-    engine_model = build_execution_model(model).execution_model
+    engine_model = weave_sdf(model).execution_model
     formula = engine_model.step_formula()
     events = engine_model.events
 
@@ -120,7 +121,7 @@ def bench_bdd_enumeration(benchmark):
 @pytest.mark.benchmark(group="e9-solvers")
 def bench_dpll_enumeration(benchmark):
     model, _app = chain(4, capacity=2)
-    engine_model = build_execution_model(model).execution_model
+    engine_model = weave_sdf(model).execution_model
     formula = engine_model.step_formula()
     events = engine_model.events
 

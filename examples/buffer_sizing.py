@@ -13,18 +13,21 @@ spectrum-analyzer pipeline it
    one token below them;
 4. compares scheduling policies on the sized model (a campaign).
 
+Each sizing variant is just another model handle in one workbench
+session; the engine runs are declarative specs.
+
 Run: python examples/buffer_sizing.py
 """
 
-from repro.engine import explore, format_campaign, run_campaign
 from repro.sdf import (
     analyze,
-    build_execution_model,
     minimal_buffer_capacities,
     parse_sigpml,
     single_appearance_schedule,
 )
 from repro.sdf.schedules import apply_capacities, loop_notation, render_looped
+from repro.viz import run_result_report
+from repro.workbench import Workbench
 
 APPLICATION = """
 application spectrum {
@@ -52,25 +55,28 @@ def main() -> None:
     print("\nminimal buffer capacities:", capacities)
     apply_capacities(app, capacities)
 
-    space = explore(build_execution_model(model).execution_model,
-                    max_states=50_000)
-    print(f"MoCCML state space at minimal sizes: {space.n_states} states, "
-          f"deadlock-free: {space.is_deadlock_free()}")
+    workbench = Workbench()
+    workbench.add((model, app), name="minimal")
+    sized = workbench.explore("minimal", max_states=50_000)
+    summary = sized.data["summary"]
+    print(f"MoCCML state space at minimal sizes: {summary['states']} "
+          f"states, deadlock-free: {summary['deadlocks'] == 0}")
 
     capacities["adc_framer"] -= 1
     apply_capacities(app, capacities)
-    starved = explore(build_execution_model(model).execution_model,
-                      max_states=50_000)
+    workbench.add((model, app), name="starved")
+    starved = workbench.explore("starved", max_states=50_000)
     print(f"one token below minimal: deadlock-free: "
-          f"{starved.is_deadlock_free()} "
-          f"({len(starved.deadlocks())} deadlock state(s))")
+          f"{starved.data['summary']['deadlocks'] == 0} "
+          f"({starved.data['summary']['deadlocks']} deadlock state(s))")
 
     capacities["adc_framer"] += 1
     apply_capacities(app, capacities)
+    workbench.add((model, app), name="sized")
     print("\npolicy campaign on the sized model (25 steps):")
-    rows = run_campaign(build_execution_model(model).execution_model,
-                        steps=25, watch_events=["averager.start"])
-    print(format_campaign(rows))
+    rows = workbench.campaign("sized", steps=25,
+                              watch=["averager.start"])
+    print(run_result_report(rows))
     print("\nASAP achieves the best averager throughput; the minimal "
           "policy serializes and pays for it.")
 

@@ -6,17 +6,16 @@ writes their own constraint automata and declarative definitions instead
 of hard-coding scheduling in a general-purpose language. This example
 plays that designer: it defines a small request/response protocol MoCC —
 an automaton bounding in-flight requests plus a declarative
-Handshake built from kernel relations — and drives two services with it.
+Handshake built from kernel relations — and drives two services with it
+through the workbench's ``moccml`` front-end: a ``MoccmlSpec`` is just
+events + a library + instantiations, and ``load``/``add`` turn it into
+the same uniform handle every other front-end produces.
 
 Run: python examples/custom_mocc.py
 """
 
-from repro.ccsl.library import kernel_library
-from repro.engine import ExecutionModel, RandomPolicy, Simulator, explore
-from repro.moccml import LibraryRegistry
-from repro.moccml.text import parse_library
-from repro.moccml.validate import assert_valid_library
-from repro.viz import statespace_report, trace_report
+from repro.viz import run_result_report
+from repro.workbench import MoccmlSpec, Workbench
 
 PROTOCOL_LIBRARY = """
 // A MoCC for bounded request/response protocols.
@@ -45,33 +44,34 @@ library ProtocolLibrary {
 
 
 def main() -> None:
-    registry = LibraryRegistry([kernel_library()])
-    library = parse_library(PROTOCOL_LIBRARY)
-    assert_valid_library(library, registry)
-    registry.register(library)
-    print(f"defined {library!r}")
-
     # two clients sharing a server: each client has a window of 2; the
     # server acknowledges one request at a time (handshake per client)
-    events = ["c1.req", "c1.ack", "c2.req", "c2.ack"]
-    constraints = [
-        registry.instantiate("Window", ["c1.req", "c1.ack", 2],
-                             label="window(c1)"),
-        registry.instantiate("Window", ["c2.req", "c2.ack", 2],
-                             label="window(c2)"),
-        # server-side exclusion: one ack per step
-        registry.instantiate("Excludes", ["c1.ack", "c2.ack"],
-                             label="server-excl"),
-    ]
-    model = ExecutionModel(events, constraints, name="protocol")
+    spec = MoccmlSpec(
+        name="protocol",
+        events=["c1.req", "c1.ack", "c2.req", "c2.ack"],
+        constraints=[
+            ("Window", ["c1.req", "c1.ack", 2], "window(c1)"),
+            ("Window", ["c2.req", "c2.ack", 2], "window(c2)"),
+            ("Handshake", ["c1.req", "c1.ack"], "handshake(c1)"),
+            ("Handshake", ["c2.req", "c2.ack"], "handshake(c2)"),
+            # server-side exclusion: one ack per step
+            ("Excludes", ["c1.ack", "c2.ack"], "server-excl"),
+        ],
+        library_text=PROTOCOL_LIBRARY)
 
-    result = Simulator(model.clone(), RandomPolicy(seed=42)).run(16)
+    workbench = Workbench()
+    handle = workbench.add(spec)
+    print(f"defined {handle!r} from library "
+          f"{handle.metadata['libraries']}")
+
+    result = workbench.simulate(
+        "protocol", policy={"name": "random", "seed": 42}, steps=16)
     print("\n--- random simulation ---")
-    print(trace_report(result.trace))
+    print(run_result_report(result))
 
-    space = explore(model)
+    space = workbench.explore("protocol", include_graph=True)
     print("\n--- exploration ---")
-    print(statespace_report(space))
+    print(run_result_report(space))
     print("\nEvery schedule keeps at most 2 requests in flight per client "
           "and never acknowledges both clients in one step.")
 

@@ -5,19 +5,17 @@ Models the Passive Acoustic Monitoring chain, then compares the
 infinite-resource configuration with three platform deployments (mono,
 dual, quad) through exhaustive exploration and ASAP simulation — "the
 impact of the different allocations on the valid scheduling of the
-application" (paper conclusion).
+application" (paper conclusion). Each study configuration is a ``pam``
+front-end source (``"pam:mono"``), so the trace excerpt at the end is
+one more run spec in the same workbench session.
 
 Run: python examples/pam_deployment.py        (about a minute)
 """
 
-from repro.engine import AsapPolicy, Simulator
 from repro.pam import build_pam_application
-from repro.pam.experiments import (
-    build_configuration,
-    format_study,
-    run_deployment_study,
-)
+from repro.pam.experiments import format_study, run_deployment_study
 from repro.viz import sdf_to_dot
+from repro.workbench import Workbench
 
 
 def main() -> None:
@@ -42,10 +40,11 @@ def main() -> None:
     print("   infinite-resource bound.")
 
     print("\nmono-processor trace excerpt (everything serializes):")
-    mono = build_configuration("mono")
-    result = Simulator(mono, AsapPolicy()).run(18)
+    workbench = Workbench()
+    workbench.add("pam:mono", name="mono")
+    result = workbench.simulate("mono", policy="asap", steps=18)
     starts = [f"{agent.name}.start" for agent in app.get("agents")]
-    print(result.trace.to_ascii(events=starts))
+    print(result.trace().to_ascii(events=starts))
 
 
 if __name__ == "__main__":

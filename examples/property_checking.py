@@ -12,11 +12,14 @@ small sensor pipeline:
   by a sink firing, under every acceptable schedule;
 * divergence — which properties break when the MoCC changes.
 
+Both the infinite-resource model and its deployment are handles in one
+workbench session; exploration results carry the full state space, so
+the property checkers run straight off ``result.statespace()``.
+
 Run: python examples/property_checking.py
 """
 
-from repro.deployment import Allocation, Platform, deploy
-from repro.engine import explore
+from repro.deployment import Allocation, Platform
 from repro.engine.properties import (
     counterexample_path,
     eventually_reachable,
@@ -26,7 +29,8 @@ from repro.engine.properties import (
     occurs,
     together,
 )
-from repro.sdf import SdfBuilder, build_execution_model
+from repro.sdf import SdfBuilder
+from repro.workbench import DeploymentSpec, Workbench
 
 
 def build_pipeline():
@@ -36,12 +40,13 @@ def build_pipeline():
     builder.agent("log")
     builder.connect("sense", "proc", capacity=2, name="raw")
     builder.connect("proc", "log", capacity=2, name="cooked")
-    return builder.build()
+    return builder
 
 
 def main() -> None:
-    model, app = build_pipeline()
-    space = explore(build_execution_model(model).execution_model)
+    workbench = Workbench()
+    workbench.add(build_pipeline(), name="sensor")
+    space = workbench.explore("sensor", include_graph=True).statespace()
     print(f"explored {space.n_states} states / "
           f"{space.n_transitions} transitions (complete: "
           f"{not space.truncated})\n")
@@ -73,12 +78,16 @@ def main() -> None:
           leads_to(space, occurs("sense.start"), occurs("log.start")))
 
     # -- the same checks after deployment --------------------------------------
-    model2, app2 = build_pipeline()
     platform = Platform("mono")
     platform.processor("cpu")
-    deployed = deploy(model2, app2, platform, Allocation(
-        {"sense": "cpu", "proc": "cpu", "log": "cpu"}))
-    deployed_space = explore(deployed.execution_model)
+    workbench.add(
+        DeploymentSpec(
+            application=build_pipeline(),
+            deployment=(platform, Allocation(
+                {"sense": "cpu", "proc": "cpu", "log": "cpu"}))),
+        name="deployed")
+    deployed_space = workbench.explore(
+        "deployed", include_graph=True).statespace()
     print("\nafter mono-processor deployment:")
     print("  sense and log never fire together anymore:",
           never(deployed_space, together("sense.start", "log.start")))

@@ -1,52 +1,60 @@
 #!/usr/bin/env python3
-"""Quickstart: the full MoCCML pipeline on a producer/consumer model.
+"""Quickstart: the full MoCCML pipeline through the workbench facade.
 
 Reproduces Fig. 1's big picture end to end:
 
-1. a DSL model (SigPML producer -> consumer);
+1. a DSL model (SigPML producer -> consumer) — any front-end input
+   works: inline text, a ``.sigpml`` path, an ``SdfBuilder``;
 2. the MoCC (Fig. 3's PlaceConstraint + the agent-execution automaton),
-   woven through the ECL mapping of Listing 1;
+   woven through the ECL mapping of Listing 1 — ``Workbench.add`` does
+   the parse + weave and returns a uniform ``ModelHandle``;
 3. the generated execution model configuring the generic engine;
-4. simulation (a trace, rendered as a timing diagram) and exhaustive
-   exploration (the scheduling state space with its metrics).
+4. simulation and exhaustive exploration as declarative run specs,
+   returning uniform ``RunResult`` artifacts (JSON-serializable with
+   ``result.to_json()``).
 
 Run: python examples/quickstart.py
 """
 
-from repro.engine import AsapPolicy, Simulator, explore
-from repro.sdf import SdfBuilder, build_execution_model
-from repro.viz import statespace_report, trace_report
+from repro.viz import run_result_report
+from repro.workbench import Workbench
+
+APPLICATION = """
+application quickstart {
+  agent producer
+  agent consumer
+  place producer -> consumer push 1 pop 1 capacity 2
+}
+"""
 
 
 def main() -> None:
-    # -- 1. the DSL model --------------------------------------------------
-    builder = SdfBuilder("quickstart")
-    builder.agent("producer")
-    builder.agent("consumer")
-    builder.connect("producer", "consumer", push=1, pop=1, capacity=2,
-                    name="buffer")
-    model, app = builder.build()
-
-    # -- 2+3. weave the MoCC, generating the execution model ---------------
-    woven = build_execution_model(model)
+    # -- 1+2+3. load: parse the DSL text, weave the MoCC ------------------
+    workbench = Workbench()
+    handle = workbench.add(APPLICATION, name="quickstart")
     print("events of the execution model:")
-    for event in woven.execution_model.events:
+    for event in handle.execution_model.events:
         print(f"  {event}")
     print("\nconstraints:")
-    for constraint in woven.execution_model.constraints:
+    for constraint in handle.execution_model.constraints:
         print(f"  {constraint.label}")
 
-    # -- 4a. simulate under the ASAP policy ---------------------------------
-    result = Simulator(woven.execution_model.clone(), AsapPolicy()).run(12)
+    # -- 4a. simulate under the ASAP policy --------------------------------
+    result = workbench.simulate("quickstart", policy="asap", steps=12)
     print("\n--- ASAP simulation ---")
-    print(trace_report(result.trace))
+    print(run_result_report(result))
 
     # -- 4b. exhaustive exploration -----------------------------------------
-    space = explore(woven.execution_model)
+    space = workbench.explore("quickstart", include_graph=True)
     print("\n--- exhaustive exploration ---")
-    print(statespace_report(space))
+    print(run_result_report(space))
     print("\nThe buffer level bounds the schedule: the producer can run "
           "at most 2 firings ahead of the consumer (capacity 2).")
+
+    # -- 5. results are artifacts -------------------------------------------
+    print(f"\nresult.to_json() round-trips: "
+          f"{len(result.to_json())} bytes of uniform JSON "
+          f"(simulate/explore/campaign/analyze all share the format)")
 
 
 if __name__ == "__main__":

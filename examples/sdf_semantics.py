@@ -4,13 +4,14 @@
 Builds a multirate signal-processing chain, compares the MoCCML
 execution against classic SDF theory (repetition vector, PASS) and
 against the token-level baseline simulator, then shows the semantic
-variation point of §III-A: the multiport-memory PlaceConstraint variant.
+variation point of §III-A: the multiport-memory PlaceConstraint variant
+— one workbench session, one model loaded once per variant.
 
 Run: python examples/sdf_semantics.py
 """
 
-from repro.engine import AsapPolicy, Simulator, explore
-from repro.sdf import analyze, build_execution_model, parse_sigpml
+from repro.sdf import analyze
+from repro.workbench import Workbench
 
 APPLICATION = """
 application spectrum {
@@ -26,26 +27,27 @@ application spectrum {
 
 
 def main() -> None:
-    model, app = parse_sigpml(APPLICATION)
+    workbench = Workbench()
+    handle = workbench.add(APPLICATION, name="spectrum")
+    app = handle.application
 
-    # -- static SDF theory --------------------------------------------------
-    info = analyze(app)
-    print("repetition vector:", info.repetition)
-    print("PASS:", " ".join(info.schedule))
-    print("buffer bounds along the PASS:", info.buffer_bounds)
+    # -- static SDF theory: the analyze spec --------------------------------
+    info = workbench.analyze("spectrum").data
+    print("repetition vector:", info["repetition"])
+    print("PASS:", " ".join(info["schedule"]))
+    print("buffer bounds along the PASS:", info["buffer_bounds"])
 
     # -- MoCCML execution ----------------------------------------------------
-    woven = build_execution_model(model)
-    simulation = Simulator(woven.execution_model.clone(), AsapPolicy()).run(40)
-    trace = simulation.trace
+    simulation = workbench.simulate("spectrum", policy="asap", steps=40)
+    trace = simulation.trace()
     print("\nASAP firing counts over 40 steps:")
-    for agent in info.repetition:
+    for agent in info["repetition"]:
         print(f"  {agent}: {trace.count(f'{agent}.start')}")
     print("(ratios follow the repetition vector; the fft takes 2 extra "
           "cycles per firing, visible as isExecuting steps)")
     print("\ntiming diagram (first 30 steps):")
     print(trace.to_ascii(
-        events=[f"{a}.start" for a in info.repetition]
+        events=[f"{a}.start" for a in info["repetition"]]
         + ["fft.isExecuting"], width=30))
 
     # -- cross-validation: token accounting of the trace ----------------------
@@ -64,15 +66,15 @@ def main() -> None:
     print("every place stayed within [0, capacity] at every step.")
 
     # -- the variation point: multiport places -------------------------------
-    base_space = explore(build_execution_model(model).execution_model,
-                         max_states=20000)
-    multi_space = explore(
-        build_execution_model(model, place_variant="multiport")
-        .execution_model, max_states=20000)
-    print(f"\nstate space, base variant:      {base_space.n_states} states, "
-          f"{base_space.n_transitions} transitions")
-    print(f"state space, multiport variant: {multi_space.n_states} states, "
-          f"{multi_space.n_transitions} transitions")
+    workbench.add(APPLICATION, name="spectrum-multiport",
+                  place_variant="multiport")
+    base = workbench.explore("spectrum", max_states=20000).data["summary"]
+    multi = workbench.explore("spectrum-multiport",
+                              max_states=20000).data["summary"]
+    print(f"\nstate space, base variant:      {base['states']} states, "
+          f"{base['transitions']} transitions")
+    print(f"state space, multiport variant: {multi['states']} states, "
+          f"{multi['transitions']} transitions")
     print("the multiport variant admits strictly more schedules "
           "(simultaneous read+write on one place).")
 

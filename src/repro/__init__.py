@@ -1,7 +1,33 @@
 """repro — a reproduction of "Towards a Meta-Language for the
 Concurrency Concern in DSLs" (Deantoni et al., DATE 2015).
 
-The package implements the full MoCCML stack:
+The package implements the full MoCCML stack behind one facade,
+:mod:`repro.workbench`: any DSL front-end input becomes a uniform
+model handle, any engine usage a declarative run spec.
+
+Quickstart::
+
+    from repro.workbench import Workbench
+
+    wb = Workbench()
+    wb.add(\"\"\"
+    application demo {
+      agent producer
+      agent consumer
+      place producer -> consumer push 1 pop 1 capacity 2
+    }
+    \"\"\", name="demo")
+
+    result = wb.simulate("demo", policy="asap", steps=10)
+    print(result.trace().to_ascii())
+    print(result.to_json())          # uniform, serializable artifact
+
+    batch = wb.run_many(
+        [{"kind": "explore", "model": "demo"},
+         {"kind": "campaign", "model": "demo", "steps": 20}],
+        workers=4)                   # shared-kernel batch runner
+
+Layers (Fig. 1 of the paper):
 
 * :mod:`repro.kernel` — MOF-lite metamodeling (the EMF substitute);
 * :mod:`repro.boolalg` — the boolean/BDD substrate of the semantics;
@@ -13,22 +39,41 @@ The package implements the full MoCCML stack:
   exhaustive exploration);
 * :mod:`repro.sdf` — the SigPML DSL of Section III with its MoCC;
 * :mod:`repro.deployment` — the platform/deployment extension;
-* :mod:`repro.pam` — the Passive Acoustic Monitoring case study.
+* :mod:`repro.pam` — the Passive Acoustic Monitoring case study;
+* :mod:`repro.workbench` — the session facade over all of the above;
+* :mod:`repro.viz` — DOT exports and the uniform text reports.
 
-Quickstart::
+Choosing an entry point
+=======================
 
-    from repro.sdf import SdfBuilder, build_execution_model
-    from repro.engine import Simulator, AsapPolicy
+The workbench subsumes the historical per-front-end incantations; the
+old names remain as delegating shims that emit ``DeprecationWarning``.
 
-    b = SdfBuilder("demo")
-    b.agent("producer")
-    b.agent("consumer")
-    b.connect("producer", "consumer", capacity=2)
-    model, app = b.build()
+===========================================  ===================================
+old call                                     workbench equivalent
+===========================================  ===================================
+``parse_sigpml(text)`` +
+``build_execution_model(model)``             ``load(text)`` / ``wb.add(text)``
+``build_execution_model(model, variant)``    ``load(src, place_variant=...)``
+``Simulator(model, AsapPolicy()).run(n)``    ``wb.simulate(name, policy="asap",
+                                             steps=n)``
+``explore(model, max_states=n)``             ``wb.explore(name, max_states=n)``
+``run_campaign(model, steps, watch)``        ``wb.campaign(name, steps=s,
+                                             watch=[...])``
+``analyze(app)``                             ``wb.analyze(name)``
+``deploy(model, app, platform, alloc)``      ``wb.add(DeploymentSpec(...))``
+``build_configuration("mono")`` (PAM)        ``wb.add("pam:mono")``
+hand-built ``ExecutionModel`` over CCSL      ``wb.add(CcslSpec(...))`` /
+or MoCCML constraints                        ``wb.add(MoccmlSpec(...))``
+a loop of the above over many models         ``wb.run_many(specs, workers=N)``
+===========================================  ===================================
 
-    woven = build_execution_model(model)
-    result = Simulator(woven.execution_model, AsapPolicy()).run(10)
-    print(result.trace.to_ascii())
+Library-level building blocks that are *not* deprecated: the engine
+core (:func:`repro.engine.simulate_model`, :func:`repro.engine.explore`,
+:func:`repro.engine.campaign.campaign`), the SDF weaver
+(:func:`repro.sdf.weave_sdf`) and the static SDF theory
+(:func:`repro.sdf.analyze`). The workbench is a thin session layer over
+exactly these.
 """
 
 __version__ = "1.0.0"

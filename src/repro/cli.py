@@ -1,41 +1,61 @@
 """Command-line interface: ``python -m repro`` / ``repro``.
 
-Subcommands mirror the workbench facilities of the paper's tooling:
+A thin shell over the :mod:`repro.workbench` facade. Subcommands mirror
+the workbench facilities of the paper's tooling:
 
 * ``simulate`` — simulate a SigPML application under a policy;
 * ``explore`` — exhaustively explore its scheduling state space;
 * ``analyze`` — static SDF analysis (repetition vector, PASS);
 * ``dot`` — render the application, its MoCC automata, or the state
   space as DOT;
-* ``pam`` — run the PAM deployment study.
+* ``deploy`` — deploy on a platform and simulate;
+* ``pam`` — run the PAM deployment study;
+* ``campaign`` — compare scheduling policies;
+* ``batch`` — run many specs from a batch file, optionally in parallel.
+
+Every subcommand takes ``--json`` to emit the uniform
+:class:`~repro.workbench.RunResult` document instead of the text
+report, making the CLI scriptable end to end.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.engine import (
-    AsapPolicy,
-    MinimalPolicy,
-    RandomPolicy,
-    Simulator,
-    explore,
-)
 from repro.errors import ReproError
-from repro.sdf import analyze, build_execution_model, parse_sigpml, sdf_library
-from repro.viz import sdf_to_dot, statespace_report, trace_report
+from repro.viz import run_result_report, sdf_to_dot, statespace_report, \
+    trace_report
+from repro.workbench import (
+    CampaignSpec,
+    DeploymentSpec,
+    ExploreSpec,
+    SimulateSpec,
+    Workbench,
+    source_from_doc,
+)
 
-_POLICIES = {
-    "asap": AsapPolicy,
-    "minimal": MinimalPolicy,
-    "random": RandomPolicy,
-}
+#: policies offerable without structured arguments (replay needs a
+#: recorded trace and is API-only; priority takes repeated --weight)
+_CLI_POLICIES = ("asap", "minimal", "random", "priority")
 
 
-def _load_application(path: str):
-    with open(path, encoding="utf-8") as handle:
-        return parse_sigpml(handle.read(), filename=path)
+def _policy_spec(args: argparse.Namespace):
+    """The JSON policy spec for the parsed CLI arguments."""
+    if args.policy == "random":
+        return {"name": "random", "seed": args.seed}
+    if args.policy == "priority":
+        weights = {}
+        for item in args.weight or []:
+            event, _sep, weight = item.partition("=")
+            try:
+                weights[event] = int(weight)
+            except ValueError:
+                raise ReproError(
+                    f"bad --weight {item!r}; expected EVENT=INT") from None
+        return {"name": "priority", "weights": weights}
+    return args.policy
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -43,75 +63,94 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--variant", default="default",
                         choices=("default", "strict", "multiport"),
                         help="PlaceConstraint variant")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the RunResult document as JSON")
+
+
+def _workbench_for(args: argparse.Namespace) -> Workbench:
+    """A session with the argument application loaded as ``app``."""
+    workbench = Workbench()
+    workbench.add(args.application, name="app",
+                  place_variant=getattr(args, "variant", "default"))
+    return workbench
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    model, _app = _load_application(args.application)
-    woven = build_execution_model(model, place_variant=args.variant)
-    policy_factory = _POLICIES[args.policy]
-    policy = (policy_factory(seed=args.seed)
-              if args.policy == "random" else policy_factory())
-    result = Simulator(woven.execution_model, policy).run(args.steps)
-    print(trace_report(result.trace))
-    if result.deadlocked:
-        print("\nDEADLOCK: no acceptable non-empty step remains")
-    if args.vcd:
+    workbench = _workbench_for(args)
+    result = workbench.run(SimulateSpec(
+        "app", policy=_policy_spec(args), steps=args.steps))
+    if result.ok and args.vcd:
         with open(args.vcd, "w", encoding="utf-8") as handle:
-            handle.write(result.trace.to_vcd())
+            handle.write(result.trace().to_vcd())
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok else 1
+    if not result.ok:
+        raise ReproError(result.error)
+    print(run_result_report(result))
+    if args.vcd:
         print(f"\nVCD written to {args.vcd}")
     return 0
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    model, _app = _load_application(args.application)
-    woven = build_execution_model(model, place_variant=args.variant)
-    space = explore(woven.execution_model, max_states=args.max_states)
-    print(statespace_report(space))
+    workbench = _workbench_for(args)
+    result = workbench.run(ExploreSpec(
+        "app", max_states=args.max_states, include_graph=True))
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok else 1
+    if not result.ok:
+        raise ReproError(result.error)
+    print(run_result_report(result))
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    _model, app = _load_application(args.application)
-    info = analyze(app)
-    print(f"agents: {', '.join(info.agents)}")
-    print(f"consistent: {info.consistent}")
-    if info.consistent:
-        print("repetition vector:")
-        for agent, count in info.repetition.items():
-            print(f"  {agent}: {count}")
-        print(f"deadlock-free: {info.deadlock_free}")
-        if info.schedule is not None:
-            print(f"PASS: {' '.join(info.schedule)}")
-            print("buffer bounds:")
-            for place, bound in info.buffer_bounds.items():
-                print(f"  {place}: {bound}")
+    workbench = Workbench()
+    workbench.add(args.application, name="app")
+    result = workbench.analyze("app")
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok else 1
+    if not result.ok:
+        raise ReproError(result.error)
+    print(run_result_report(result))
     return 0
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
     if args.what == "application":
-        _model, app = _load_application(args.application)
-        print(sdf_to_dot(app), end="")
+        workbench = Workbench()
+        handle = workbench.add(args.application, name="app")
+        dot = sdf_to_dot(handle.application)
     elif args.what == "automaton":
         from repro.moccml.draw import automaton_to_dot
+        from repro.sdf import sdf_library
         library = sdf_library(args.variant)
         definition = library.definition_for(args.constraint)
         if definition is None:
             print(f"unknown constraint {args.constraint!r}", file=sys.stderr)
             return 2
-        print(automaton_to_dot(definition), end="")
+        dot = automaton_to_dot(definition)
     else:  # statespace
         from repro.moccml.draw import statespace_to_dot
-        model, _app = _load_application(args.application)
-        woven = build_execution_model(model, place_variant=args.variant)
-        space = explore(woven.execution_model, max_states=args.max_states)
-        print(statespace_to_dot(space), end="")
+        workbench = _workbench_for(args)
+        result = workbench.run(ExploreSpec(
+            "app", max_states=args.max_states, include_graph=True))
+        if not result.ok:
+            raise ReproError(result.error)
+        dot = statespace_to_dot(result.statespace())
+    if args.json:
+        print(json.dumps({"kind": "dot", "what": args.what, "dot": dot},
+                         indent=2, sort_keys=True))
+    else:
+        print(dot, end="")
     return 0
 
 
 def cmd_deploy(args: argparse.Namespace) -> int:
-    from repro.deployment import deploy, parse_deployment
-    model, app = _load_application(args.application)
+    from repro.deployment import parse_deployment
     with open(args.deployment, encoding="utf-8") as handle:
         platform, allocation = parse_deployment(handle.read(),
                                                 filename=args.deployment)
@@ -119,18 +158,34 @@ def cmd_deploy(args: argparse.Namespace) -> int:
         print("error: the deployment file needs both a platform and an "
               "allocation block", file=sys.stderr)
         return 2
-    result = deploy(model, app, platform, allocation,
-                    place_variant=args.variant)
-    print(f"deployed {app.name!r} on {platform.name!r}: "
-          f"{len(result.mutexes)} mutex(es), "
-          f"{len(result.comm_delays)} comm delay(s)")
+    workbench = Workbench()
+    handle = workbench.add(
+        DeploymentSpec(application=args.application,
+                       deployment=(platform, allocation),
+                       place_variant=args.variant),
+        name="app")
+    deployment = handle.deployment
+    simulation = workbench.run(SimulateSpec("app", steps=args.steps))
+    exploration = None
     if args.explore:
-        space = explore(result.execution_model.clone(),
-                        max_states=args.max_states)
-        print(statespace_report(space))
-    simulation = Simulator(result.execution_model,
-                           AsapPolicy()).run(args.steps)
-    print(trace_report(simulation.trace))
+        exploration = workbench.run(ExploreSpec(
+            "app", max_states=args.max_states, include_graph=not args.json))
+    if args.json:
+        doc = {"deployment": handle.describe(),
+               "simulate": simulation.to_doc()}
+        if exploration is not None:
+            doc["explore"] = exploration.to_doc()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if simulation.ok else 1
+    if not simulation.ok:
+        raise ReproError(simulation.error)
+    app_name = handle.application.name
+    print(f"deployed {app_name!r} on {deployment.platform.name!r}: "
+          f"{len(deployment.mutexes)} mutex(es), "
+          f"{len(deployment.comm_delays)} comm delay(s)")
+    if exploration is not None:
+        print(statespace_report(exploration.statespace()))
+    print(trace_report(simulation.trace()))
     return 0
 
 
@@ -139,20 +194,57 @@ def cmd_pam(args: argparse.Namespace) -> int:
     rows = run_deployment_study(capacity=args.capacity,
                                 max_states=args.max_states,
                                 sim_steps=args.steps)
+    if args.json:
+        print(json.dumps({"kind": "pam-study",
+                          "rows": [row.as_dict() for row in rows]},
+                         indent=2, sort_keys=True))
+        return 0
     print(format_study(rows))
     return 0
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.engine.campaign import format_campaign, run_campaign
-    model, app = _load_application(args.application)
-    woven = build_execution_model(model, place_variant=args.variant)
-    watch = args.watch or [
-        f"{agent.name}.start" for agent in app.get("agents")]
-    rows = run_campaign(woven.execution_model, steps=args.steps,
-                        watch_events=watch)
-    print(format_campaign(rows))
+    workbench = _workbench_for(args)
+    result = workbench.run(CampaignSpec(
+        "app", steps=args.steps, watch=args.watch or None))
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok else 1
+    if not result.ok:
+        raise ReproError(result.error)
+    print(run_result_report(result))
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    with open(args.specs, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, list):
+        models, runs = {}, document
+    else:
+        models = document.get("models", {})
+        runs = document.get("runs", [])
+    if not runs:
+        print("error: the batch file defines no runs", file=sys.stderr)
+        return 2
+    workbench = Workbench()
+    for name, model_doc in models.items():
+        workbench.add(source_from_doc(model_doc), name=name,
+                      **model_doc.get("options", {}))
+
+    def stream(index: int, result) -> None:
+        if not args.json:
+            print(result.summary())
+
+    results = workbench.run_many(runs, workers=args.workers,
+                                 on_result=stream)
+    emitted = [result.to_doc() for result in results]
+    failures = sum(1 for result in results if not result.ok)
+    if args.json:
+        print(json.dumps(emitted, indent=2, sort_keys=True))
+    else:
+        print(f"{len(results)} run(s), {failures} failure(s)")
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,8 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(simulate)
     simulate.add_argument("--steps", type=int, default=20)
     simulate.add_argument("--policy", default="asap",
-                          choices=sorted(_POLICIES))
+                          choices=_CLI_POLICIES)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--weight", action="append", metavar="EVENT=W",
+                          help="event weight for --policy priority")
     simulate.add_argument("--vcd", help="write the trace as VCD to this path")
     simulate.set_defaults(handler=cmd_simulate)
 
@@ -180,6 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
     analyzer = subparsers.add_parser(
         "analyze", help="static SDF analysis (repetition vector, PASS)")
     analyzer.add_argument("application", help="path to a .sigpml file")
+    analyzer.add_argument("--json", action="store_true",
+                          help="emit the RunResult document as JSON")
     analyzer.set_defaults(handler=cmd_analyze)
 
     dot = subparsers.add_parser("dot", help="DOT renderings")
@@ -192,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("--variant", default="default",
                      choices=("default", "strict", "multiport"))
     dot.add_argument("--max-states", type=int, default=500)
+    dot.add_argument("--json", action="store_true",
+                     help="wrap the DOT text in a JSON document")
     dot.set_defaults(handler=cmd_dot)
 
     deployer = subparsers.add_parser(
@@ -210,6 +308,8 @@ def build_parser() -> argparse.ArgumentParser:
     pam.add_argument("--capacity", type=int, default=1)
     pam.add_argument("--max-states", type=int, default=60_000)
     pam.add_argument("--steps", type=int, default=200)
+    pam.add_argument("--json", action="store_true",
+                     help="emit the study rows as JSON")
     pam.set_defaults(handler=cmd_pam)
 
     campaign = subparsers.add_parser(
@@ -220,6 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="events to report throughput for "
                                "(default: every agent's start)")
     campaign.set_defaults(handler=cmd_campaign)
+
+    batch = subparsers.add_parser(
+        "batch", help="run many specs from a JSON batch file")
+    batch.add_argument("specs", help="path to a batch file: a list of run "
+                                     "specs, or {models: {...}, runs: [...]}")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="thread workers for the batch fan-out")
+    batch.add_argument("--json", action="store_true",
+                       help="emit the result documents as a JSON array")
+    batch.set_defaults(handler=cmd_batch)
     return parser
 
 

@@ -24,7 +24,7 @@ from repro.ecl.weaver import WeaveResult
 from repro.errors import DeploymentError
 from repro.kernel.mobject import MObject
 from repro.kernel.model import Model
-from repro.sdf.mapping import build_execution_model
+from repro.sdf.mapping import weave_sdf
 
 
 @dataclass
@@ -71,8 +71,7 @@ def deploy(model: Model, app: MObject, platform: Platform,
             effective = original_cycles[name] * processor.speed_factor
             effective_cycles[name] = effective
             agent.set("cycles", effective)
-        weave_result = build_execution_model(model,
-                                             place_variant=place_variant)
+        weave_result = weave_sdf(model, place_variant=place_variant)
     finally:
         for name, agent in agents.items():
             agent.set("cycles", original_cycles[name])

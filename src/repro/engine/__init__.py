@@ -60,7 +60,7 @@ from repro.engine.policies import (
     SchedulingPolicy,
 )
 from repro.engine.trace import Trace
-from repro.engine.simulator import SimulationResult, Simulator
+from repro.engine.simulator import SimulationResult, Simulator, simulate_model
 from repro.engine.explorer import explore
 from repro.engine.statespace import StateSpace
 from repro.engine.analysis import (
@@ -79,7 +79,7 @@ __all__ = [
     "SchedulingPolicy", "RandomPolicy", "AsapPolicy", "MinimalPolicy",
     "PriorityPolicy", "ReplayPolicy",
     "Trace",
-    "Simulator", "SimulationResult",
+    "Simulator", "SimulationResult", "simulate_model",
     "explore", "StateSpace",
     "event_liveness", "parallelism_profile", "variable_bounds",
     "max_cycle_mean_throughput", "simulated_throughput",

@@ -13,7 +13,7 @@ import networkx as nx
 
 from repro.engine.execution_model import ExecutionModel
 from repro.engine.policies import AsapPolicy, SchedulingPolicy
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import simulate_model
 from repro.engine.statespace import StateSpace
 from repro.moccml.semantics.automata_rt import AutomatonRuntime
 
@@ -93,7 +93,7 @@ def simulated_throughput(model: ExecutionModel, events: list[str],
     policy = policy if policy is not None else AsapPolicy()
     initial = model.snapshot()
     try:
-        result = Simulator(model, policy).run(steps)
+        result = simulate_model(model, policy, steps)
     finally:
         model.restore(initial)
     return {event: result.trace.throughput(event) for event in events}

@@ -8,6 +8,7 @@ deadlock rate.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.engine.execution_model import ExecutionModel
@@ -17,7 +18,7 @@ from repro.engine.policies import (
     RandomPolicy,
     SchedulingPolicy,
 )
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import simulate_model
 
 
 @dataclass
@@ -32,6 +33,24 @@ class CampaignRow:
     #: event -> mean occurrences per step across runs
     throughput: dict[str, float] = field(default_factory=dict)
 
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serializable view (used by the workbench artifacts)."""
+        return {
+            "policy": self.policy,
+            "runs": self.runs,
+            "steps": self.steps,
+            "deadlock_rate": self.deadlock_rate,
+            "mean_parallelism": self.mean_parallelism,
+            "throughput": dict(self.throughput),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CampaignRow":
+        return cls(policy=doc["policy"], runs=doc["runs"],
+                   steps=doc["steps"], deadlock_rate=doc["deadlock_rate"],
+                   mean_parallelism=doc["mean_parallelism"],
+                   throughput=dict(doc["throughput"]))
+
 
 def default_policies(seeds: int = 5) -> list[SchedulingPolicy]:
     """ASAP, minimal, and *seeds* random policies."""
@@ -40,10 +59,10 @@ def default_policies(seeds: int = 5) -> list[SchedulingPolicy]:
     return policies
 
 
-def run_campaign(model: ExecutionModel, steps: int,
-                 watch_events: list[str],
-                 policies: list[SchedulingPolicy] | None = None
-                 ) -> list[CampaignRow]:
+def campaign(model: ExecutionModel, steps: int,
+             watch_events: list[str],
+             policies: list[SchedulingPolicy] | None = None
+             ) -> list[CampaignRow]:
     """Run every policy on a fresh clone of *model*; aggregate rows.
 
     Random policies with distinct seeds are grouped into a single
@@ -59,7 +78,7 @@ def run_campaign(model: ExecutionModel, steps: int,
     initial = work.snapshot()
     for policy in policies:
         work.restore(initial)
-        result = Simulator(work, policy).run(steps)
+        result = simulate_model(work, policy, steps)
         buckets.setdefault(policy.name, []).append(result)
 
     rows = []
@@ -78,6 +97,21 @@ def run_campaign(model: ExecutionModel, steps: int,
             throughput={k: round(v, 4) for k, v in throughput.items()},
         ))
     return rows
+
+
+def run_campaign(model: ExecutionModel, steps: int,
+                 watch_events: list[str],
+                 policies: list[SchedulingPolicy] | None = None
+                 ) -> list[CampaignRow]:
+    """Deprecated alias of :func:`campaign`.
+
+    Use :func:`campaign` — or the workbench's ``CampaignSpec`` — instead.
+    """
+    warnings.warn(
+        "run_campaign(...) is deprecated; use repro.engine.campaign(...) "
+        "or a repro.workbench CampaignSpec", DeprecationWarning,
+        stacklevel=2)
+    return campaign(model, steps, watch_events, policies)
 
 
 def format_campaign(rows: list[CampaignRow]) -> str:

@@ -1,7 +1,14 @@
-"""Step-by-step simulation of an execution model under a policy."""
+"""Step-by-step simulation of an execution model under a policy.
+
+:func:`simulate_model` is the engine-level driver; the workbench's
+``SimulateSpec`` (see :mod:`repro.workbench`) is the recommended way to
+invoke it. The historical :class:`Simulator` class remains as a
+deprecated delegating wrapper.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.engine.execution_model import ExecutionModel
@@ -23,59 +30,81 @@ class SimulationResult:
     notes: list[str] = field(default_factory=list)
 
 
-class Simulator:
-    """Drives an :class:`ExecutionModel` with a scheduling policy.
+def simulate_model(model: ExecutionModel, policy: SchedulingPolicy,
+                   max_steps: int, stop_when=None,
+                   on_deadlock: str = "stop",
+                   observers=()) -> SimulationResult:
+    """Run *model* under *policy* for up to *max_steps* steps.
 
-    The simulator mutates the execution model it is given; pass
-    ``model.clone()`` to keep the original configuration pristine.
+    The model is mutated in place; pass ``model.clone()`` to keep the
+    original configuration pristine.
+
+    Parameters
+    ----------
+    model:
+        The execution model to drive.
+    policy:
+        The scheduling policy closing the concurrency choice.
+    max_steps:
+        Step budget.
+    stop_when:
+        Optional predicate ``trace -> bool`` checked after each step.
+    on_deadlock:
+        ``"stop"`` ends the run marking ``deadlocked=True``;
+        ``"raise"`` raises :class:`~repro.errors.DeadlockError`.
+        A deadlock here means *no non-empty step is acceptable* —
+        the system can only stutter forever.
+    observers:
+        Callables ``(step_index, step, model)`` invoked after each
+        committed step — runtime monitors, progress reporting,
+        animation front ends.
+    """
+    trace = Trace(model.events)
+    result = SimulationResult(trace=trace)
+    # policies whose steps are enumerated/extracted from the step
+    # formula (or self-validated) need no second acceptability check
+    check = not getattr(policy, "yields_acceptable_steps", False)
+    for index in range(max_steps):
+        step = policy.choose_from_model(model, index)
+        if step is None:
+            result.deadlocked = True
+            result.stop_reason = "deadlock"
+            if on_deadlock == "raise":
+                raise DeadlockError(
+                    f"{model.name}: no acceptable non-empty step "
+                    f"after {index} step(s)")
+            break
+        model.advance(step, check=check)
+        trace.append(step)
+        result.steps_run += 1
+        for observer in observers:
+            observer(index, step, model)
+        if stop_when is not None and stop_when(trace):
+            result.stop_reason = "stop-condition"
+            break
+    result.final_accepting = model.is_accepting()
+    return result
+
+
+class Simulator:
+    """Deprecated: drives an :class:`ExecutionModel` with a policy.
+
+    Use :func:`simulate_model` — or better, the
+    :class:`repro.workbench.Workbench` facade — instead. The class
+    remains a thin delegating wrapper with identical behavior.
     """
 
     def __init__(self, model: ExecutionModel, policy: SchedulingPolicy):
+        warnings.warn(
+            "Simulator(...) is deprecated; use "
+            "repro.engine.simulate_model(model, policy, steps) or the "
+            "repro.workbench facade", DeprecationWarning, stacklevel=2)
         self.model = model
         self.policy = policy
 
     def run(self, max_steps: int, stop_when=None,
             on_deadlock: str = "stop", observers=()) -> SimulationResult:
-        """Run up to *max_steps* steps.
-
-        Parameters
-        ----------
-        max_steps:
-            Step budget.
-        stop_when:
-            Optional predicate ``trace -> bool`` checked after each step.
-        on_deadlock:
-            ``"stop"`` ends the run marking ``deadlocked=True``;
-            ``"raise"`` raises :class:`~repro.errors.DeadlockError`.
-            A deadlock here means *no non-empty step is acceptable* —
-            the system can only stutter forever.
-        observers:
-            Callables ``(step_index, step, model)`` invoked after each
-            committed step — runtime monitors, progress reporting,
-            animation front ends.
-        """
-        trace = Trace(self.model.events)
-        result = SimulationResult(trace=trace)
-        # policies whose steps are enumerated/extracted from the step
-        # formula (or self-validated) need no second acceptability check
-        check = not getattr(self.policy, "yields_acceptable_steps", False)
-        for index in range(max_steps):
-            step = self.policy.choose_from_model(self.model, index)
-            if step is None:
-                result.deadlocked = True
-                result.stop_reason = "deadlock"
-                if on_deadlock == "raise":
-                    raise DeadlockError(
-                        f"{self.model.name}: no acceptable non-empty step "
-                        f"after {index} step(s)")
-                break
-            self.model.advance(step, check=check)
-            trace.append(step)
-            result.steps_run += 1
-            for observer in observers:
-                observer(index, step, self.model)
-            if stop_when is not None and stop_when(trace):
-                result.stop_reason = "stop-condition"
-                break
-        result.final_accepting = self.model.is_accepting()
-        return result
+        """Run up to *max_steps* steps (see :func:`simulate_model`)."""
+        return simulate_model(self.model, self.policy, max_steps,
+                              stop_when=stop_when, on_deadlock=on_deadlock,
+                              observers=observers)

@@ -156,6 +156,11 @@ class StateSpace:
             doc = json.loads(text)
         except json.JSONDecodeError as exc:
             raise SerializationError(f"invalid JSON: {exc}") from exc
+        return cls.from_doc(doc)
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "StateSpace":
+        """Rebuild a state space from an already-parsed document."""
         if not isinstance(doc, dict) or doc.get("kind") != "statespace":
             raise SerializationError("expected a statespace document")
         if doc.get("format") != 1:

@@ -159,8 +159,19 @@ class ConstraintAutomataDefinition:
         return [state.name for state in self.states]
 
     def outgoing(self, state_name: str) -> list[Transition]:
-        """Transitions leaving *state_name*, in declaration order."""
-        return [t for t in self.transitions if t.source == state_name]
+        """Transitions leaving *state_name*, in declaration order.
+
+        The per-state lists are computed once and cached — this is on
+        the engine's per-step hot path (guard scans, advance).
+        """
+        cache = getattr(self, "_outgoing_cache", None)
+        if cache is None or self._outgoing_count != len(self.transitions):
+            cache = {}
+            for transition in self.transitions:
+                cache.setdefault(transition.source, []).append(transition)
+            self._outgoing_cache = cache
+            self._outgoing_count = len(self.transitions)
+        return cache.get(state_name, [])
 
     def effective_final_states(self) -> frozenset[str]:
         """Final states, defaulting to every state when unspecified."""

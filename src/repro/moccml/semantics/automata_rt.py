@@ -62,6 +62,8 @@ class AutomatonRuntime:
 
         self.label = label or f"{definition.name}@{id(self):x}"
         self.constrained_events = frozenset(self._event_map.values())
+        #: guard-scan memo, shared with clones (see _enabled_guards)
+        self._guard_cache: dict = {}
 
         # initial state ----------------------------------------------------
         self.current_state = definition.initial_state
@@ -109,6 +111,31 @@ class AutomatonRuntime:
             return True
         return transition.guard.evaluate(self._environment())
 
+    def _enabled_guards(self) -> tuple[int, ...]:
+        """Indices of outgoing transitions whose guard currently holds.
+
+        Memoized by (state, variable values) — exact, because guards
+        read only the bound parameters (fixed per instance) and the
+        local variables. The memo is shared with clones (identical
+        parameters), so exploration, simulation sweeps and campaigns
+        over one model family scan each guard valuation once. This is
+        the per-step hot path: ``formula_version``, ``step_formula``
+        and ``advance`` all start from this set.
+        """
+        key = (self.current_state, tuple(self._vars.values()))
+        cached = self._guard_cache.get(key)
+        if cached is None:
+            env = self._environment()
+            cached = tuple(
+                index for index, transition in enumerate(
+                    self.definition.outgoing(self.current_state))
+                if transition.guard is None
+                or transition.guard.evaluate(env))
+            if len(self._guard_cache) >= 4096:
+                self._guard_cache.clear()  # unbounded-counter backstop
+            self._guard_cache[key] = cached
+        return cached
+
     def _transition_formula(self, transition: Transition) -> BExpr:
         literals: list[BExpr] = []
         for event_param in transition.trigger.true_triggers:
@@ -122,10 +149,10 @@ class AutomatonRuntime:
 
     def step_formula(self) -> BExpr:
         """Disjunction over enabled outgoing transitions (+ stutter)."""
-        disjuncts: list[BExpr] = []
-        for transition in self.definition.outgoing(self.current_state):
-            if self._guard_holds(transition):
-                disjuncts.append(self._transition_formula(transition))
+        outgoing = self.definition.outgoing(self.current_state)
+        disjuncts: list[BExpr] = [
+            self._transition_formula(outgoing[index])
+            for index in self._enabled_guards()]
         if self.definition.allow_stutter:
             disjuncts.append(self._stutter_formula())
         if not disjuncts:
@@ -146,8 +173,17 @@ class AutomatonRuntime:
 
     def enabled_transitions(self, step: frozenset[str]) -> list[Transition]:
         """All transitions of the current state enabled by *step*."""
-        return [t for t in self.definition.outgoing(self.current_state)
-                if self._enabled_by(t, step)]
+        outgoing = self.definition.outgoing(self.current_state)
+        event_of = self.event_of
+        result = []
+        for index in self._enabled_guards():
+            transition = outgoing[index]
+            trigger = transition.trigger
+            if all(event_of(p) in step for p in trigger.true_triggers) \
+                    and not any(event_of(p) in step
+                                for p in trigger.false_triggers):
+                result.append(transition)
+        return result
 
     def advance(self, step: frozenset[str]) -> None:
         """Fire the first enabled transition, or stutter."""
@@ -179,11 +215,7 @@ class AutomatonRuntime:
         produce the same formula — sharing the compiled BDD node across
         e.g. every fill level of a place whose guards all still hold.
         """
-        enabled = tuple(
-            index for index, transition
-            in enumerate(self.definition.outgoing(self.current_state))
-            if self._guard_holds(transition))
-        return (self.current_state, enabled)
+        return (self.current_state, self._enabled_guards())
 
     def snapshot(self) -> Hashable:
         return (self.current_state, tuple(self._vars.items()))
@@ -202,6 +234,7 @@ class AutomatonRuntime:
         copy.constrained_events = self.constrained_events
         copy.current_state = self.current_state
         copy._vars = dict(self._vars)
+        copy._guard_cache = self._guard_cache  # exact memo, shareable
         return copy
 
     def is_accepting(self) -> bool:

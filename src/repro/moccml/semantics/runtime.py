@@ -116,13 +116,16 @@ class FormulaRuntime(ConstraintRuntime):
                   if constrained_events is not None else formula.support())
         super().__init__(label, events)
         self._formula = formula
+        # support() walks the expression tree; the formula is immutable,
+        # so compute it once — advance() evaluates it every step
+        self._support = tuple(formula.support())
 
     def step_formula(self) -> BExpr:
         return self._formula
 
     def advance(self, step: frozenset[str]) -> None:
         if not self._formula.evaluate(
-                {name: name in step for name in self._formula.support()}):
+                {name: name in step for name in self._support}):
             raise SemanticsError(
                 f"{self.label}: step {sorted(step)} violates {self._formula!r}")
 

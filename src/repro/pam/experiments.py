@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.deployment.weaver import deploy
-from repro.engine import AsapPolicy, Simulator, explore
+from repro.engine import AsapPolicy, explore, simulate_model
 from repro.engine.analysis import max_cycle_mean_throughput
 from repro.pam.application import build_pam_application
 from repro.pam.platforms import (
@@ -30,7 +30,7 @@ from repro.pam.platforms import (
     mono_processor_platform,
     quad_processor_platform,
 )
-from repro.sdf.mapping import build_execution_model
+from repro.sdf.mapping import weave_sdf
 
 #: configurations in presentation order
 CONFIGURATIONS = ("infinite", "mono", "dual", "quad")
@@ -77,17 +77,21 @@ def concurrent_firings(step: frozenset[str]) -> int:
 
 
 def build_configuration(name: str, capacity: int = 1,
-                        cycles: dict[str, int] | None = None):
+                        cycles: dict[str, int] | None = None,
+                        built=None):
     """Build the execution model for one study configuration.
 
     *cycles* optionally assigns per-agent execution times (§III-A: "an
     execution time can be specified, for example according to a
     deployment on a specific platform"); the default study uses the
-    N = 0 SDF abstraction.
+    N = 0 SDF abstraction. *built* reuses an existing
+    ``build_pam_application`` result instead of building a fresh one.
     """
-    model, app = build_pam_application(capacity=capacity, cycles=cycles)
+    model, app = (built if built is not None
+                  else build_pam_application(capacity=capacity,
+                                             cycles=cycles))
     if name == "infinite":
-        return build_execution_model(model).execution_model
+        return weave_sdf(model).execution_model
     platforms = {
         "mono": mono_processor_platform,
         "dual": dual_processor_platform,
@@ -111,8 +115,8 @@ def study_configuration(name: str, capacity: int = 1,
         (concurrent_firings(step) for step in space.distinct_steps()),
         default=0)
 
-    simulation = Simulator(execution_model.clone(), AsapPolicy()).run(
-        sim_steps)
+    simulation = simulate_model(execution_model.clone(), AsapPolicy(),
+                                sim_steps)
     trace = simulation.trace
     return DeploymentRow(
         deployment=name,

@@ -9,6 +9,8 @@ parse the mapping, register the libraries, weave over a model.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.ccsl.library import kernel_library
 from repro.ecl.parser import parse_ecl
 from repro.ecl.weaver import WeaveResult, weave
@@ -58,17 +60,34 @@ def sdf_registry(place_variant: str = "default",
     return registry
 
 
-def build_execution_model(model: Model, place_variant: str = "default",
-                          mapping_text: str | None = None,
-                          extra_libraries: tuple[RelationLibrary, ...] = ()
-                          ) -> WeaveResult:
+def weave_sdf(model: Model, place_variant: str = "default",
+              mapping_text: str | None = None,
+              extra_libraries: tuple[RelationLibrary, ...] = ()
+              ) -> WeaveResult:
     """Generate the execution model of a SigPML *model*.
 
     This is the paper's automatic generation step: any instance of the
     abstract syntax gets its dedicated execution model, which then
-    configures the generic engine.
+    configures the generic engine. Most callers should go through the
+    :mod:`repro.workbench` facade (``load(source)``), which wraps this
+    into a uniform :class:`~repro.workbench.ModelHandle`.
     """
     registry = sdf_registry(place_variant, extra_libraries)
     document = parse_ecl(mapping_text or SDF_MAPPING_TEXT,
                          name="sdf-mapping")
     return weave(document, model, registry)
+
+
+def build_execution_model(model: Model, place_variant: str = "default",
+                          mapping_text: str | None = None,
+                          extra_libraries: tuple[RelationLibrary, ...] = ()
+                          ) -> WeaveResult:
+    """Deprecated alias of :func:`weave_sdf`.
+
+    Use :func:`weave_sdf` — or ``repro.workbench.load(...)`` — instead.
+    """
+    warnings.warn(
+        "build_execution_model(...) is deprecated; use "
+        "repro.sdf.weave_sdf(...) or repro.workbench.load(...)",
+        DeprecationWarning, stacklevel=2)
+    return weave_sdf(model, place_variant, mapping_text, extra_libraries)

@@ -1,4 +1,4 @@
-"""Plain-text reports for traces and state spaces."""
+"""Plain-text reports for traces, state spaces and workbench results."""
 
 from __future__ import annotations
 
@@ -33,3 +33,48 @@ def statespace_report(space: StateSpace) -> str:
         for size in sorted(histogram):
             lines.append(f"    {size}: {histogram[size]}")
     return "\n".join(lines)
+
+
+def analysis_report(data: dict) -> str:
+    """Render an analyze payload (the CLI's static-analysis block)."""
+    lines = [f"agents: {', '.join(data['agents'])}",
+             f"consistent: {data['consistent']}"]
+    if data["consistent"]:
+        lines.append("repetition vector:")
+        for agent, count in data["repetition"].items():
+            lines.append(f"  {agent}: {count}")
+        lines.append(f"deadlock-free: {data['deadlock_free']}")
+        if data["schedule"] is not None:
+            lines.append(f"PASS: {' '.join(data['schedule'])}")
+            lines.append("buffer bounds:")
+            for place, bound in data["buffer_bounds"].items():
+                lines.append(f"  {place}: {bound}")
+    return "\n".join(lines)
+
+
+def run_result_report(result) -> str:
+    """The uniform text report of a workbench :class:`RunResult`.
+
+    Dispatches on the result kind to the matching renderer — the same
+    text each dedicated driver historically printed.
+    """
+    if not result.ok:
+        return f"error in {result.kind} of {result.model!r}: {result.error}"
+    if result.kind == "simulate":
+        text = trace_report(result.trace())
+        if result.data["deadlocked"]:
+            text += "\n\nDEADLOCK: no acceptable non-empty step remains"
+        return text
+    if result.kind == "explore":
+        if "statespace" in result.data:
+            return statespace_report(result.statespace())
+        lines = [f"state space of {result.model!r}:"]
+        for key, value in result.data["summary"].items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+    if result.kind == "campaign":
+        from repro.engine.campaign import format_campaign
+        return format_campaign(result.campaign_rows())
+    if result.kind == "analyze":
+        return analysis_report(result.data)
+    raise ValueError(f"unknown result kind {result.kind!r}")

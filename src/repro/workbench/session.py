@@ -1,0 +1,266 @@
+"""The :class:`Workbench` session: load models, run specs, batch runs.
+
+One workbench holds named :class:`~repro.workbench.frontends.ModelHandle`
+instances and executes :class:`~repro.workbench.artifacts.RunSpec`
+descriptions against them. :meth:`Workbench.run_many` is the batch
+runner: specs are grouped by model so every run on one model shares
+that model's persistent symbolic kernel (each run gets its own pristine
+clone; clones share compiled BDD nodes and step enumerations), and the
+groups fan out over a thread pool. Grouping also makes the fan-out
+safe: a kernel is only ever touched by one worker at a time.
+
+Results are streamed through an optional callback as they complete and
+returned in input order; every run builds its policies fresh from the
+spec, so the results — byte for byte — do not depend on ``workers``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable
+
+from repro.engine.campaign import campaign as _campaign
+from repro.engine.explorer import explore as _explore
+from repro.engine.simulator import simulate_model
+from repro.errors import ReproError
+from repro.workbench.artifacts import (
+    AnalyzeSpec,
+    CampaignSpec,
+    ExploreSpec,
+    RunResult,
+    RunSpec,
+    SimulateSpec,
+)
+from repro.workbench.frontends import FrontendError, ModelHandle, load
+from repro.workbench.policies import make_policy
+
+
+def execute(spec: RunSpec, handle: ModelHandle) -> RunResult:
+    """Run one spec against one handle; never raises on engine errors."""
+    result = RunResult(kind=spec.kind, model=spec.model, label=spec.label)
+    try:
+        # to_doc is inside the guard: a non-serializable spec (e.g. a
+        # policy instance instead of a name/mapping) yields an error
+        # result instead of aborting a whole batch
+        result.spec = spec.to_doc()
+        result.data = _EXECUTORS[spec.kind](spec, handle)
+    except ReproError as exc:
+        result.status = "error"
+        result.error = str(exc)
+    return result
+
+
+def _execute_simulate(spec: RunSpec, handle: ModelHandle) -> dict:
+    model = handle.fresh()
+    policy = make_policy(spec.policy)
+    outcome = simulate_model(model, policy, spec.steps)
+    trace = outcome.trace
+    data = {
+        "policy": policy.name,
+        "events": list(trace.events),
+        "steps_run": outcome.steps_run,
+        "deadlocked": outcome.deadlocked,
+        "stop_reason": outcome.stop_reason,
+        "final_accepting": outcome.final_accepting,
+        "counts": trace.counts(),
+        "max_parallelism": trace.max_parallelism(),
+        "mean_parallelism": round(trace.mean_parallelism(), 6),
+    }
+    if spec.options.get("include_trace", True):
+        data["trace"] = [sorted(step) for step in trace]
+    return data
+
+
+def _execute_explore(spec: RunSpec, handle: ModelHandle) -> dict:
+    space = _explore(handle.execution_model, max_states=spec.max_states,
+                     max_depth=spec.max_depth,
+                     include_empty=spec.include_empty,
+                     maximal_only=spec.maximal_only)
+    data = {
+        "summary": space.summary(),
+        "parallelism_histogram": {
+            str(size): count
+            for size, count in sorted(
+                space.parallelism_histogram().items())},
+    }
+    if spec.options.get("include_graph", False):
+        import json
+        data["statespace"] = json.loads(space.to_json())
+    return data
+
+
+def _default_watch(handle: ModelHandle) -> list[str]:
+    events = handle.execution_model.events
+    starts = [event for event in events if event.endswith(".start")]
+    return starts or list(events)
+
+
+def _execute_campaign(spec: RunSpec, handle: ModelHandle) -> dict:
+    watch = spec.watch if spec.watch is not None else _default_watch(handle)
+    policies = None
+    if spec.policies is not None:
+        policies = [make_policy(p) for p in spec.policies]
+    rows = _campaign(handle.execution_model, steps=spec.steps,
+                     watch_events=list(watch), policies=policies)
+    return {"steps": spec.steps, "watch": list(watch),
+            "rows": [row.as_dict() for row in rows]}
+
+
+def _execute_analyze(spec: RunSpec, handle: ModelHandle) -> dict:
+    from repro.sdf.analysis import analyze
+    if handle.application is None:
+        raise FrontendError(
+            f"model {handle.name!r} (front-end {handle.frontend!r}) has "
+            f"no DSL application to analyze")
+    info = analyze(handle.application)
+    data = {
+        "agents": list(info.agents),
+        "places": list(info.places),
+        "consistent": info.consistent,
+        "repetition": dict(info.repetition),
+        "schedule": list(info.schedule) if info.schedule else None,
+        "deadlock_free": info.deadlock_free,
+        "buffer_bounds": dict(info.buffer_bounds),
+    }
+    if info.consistent:
+        data["iteration_length"] = info.iteration_length
+    return data
+
+
+_EXECUTORS = {
+    "simulate": _execute_simulate,
+    "explore": _execute_explore,
+    "campaign": _execute_campaign,
+    "analyze": _execute_analyze,
+}
+
+
+class Workbench:
+    """A session over named model handles — the system's front door."""
+
+    def __init__(self):
+        self._handles: dict[str, ModelHandle] = {}
+
+    # -- loading -----------------------------------------------------------
+
+    def add(self, source, name: str | None = None,
+            frontend: str | None = None, **options) -> ModelHandle:
+        """Load *source* and register the handle (see
+        :func:`repro.workbench.load`)."""
+        handle = load(source, frontend=frontend, name=name, **options)
+        self._handles[handle.name] = handle
+        return handle
+
+    #: ``wb.load(...)`` reads naturally in sessions; same as :meth:`add`.
+    load = add
+
+    def handle(self, name: str) -> ModelHandle:
+        """The registered handle named *name*."""
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise FrontendError(
+                f"no model named {name!r} in this workbench; loaded: "
+                f"{', '.join(sorted(self._handles)) or '(none)'}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._handles)
+
+    def _resolve(self, spec: RunSpec) -> ModelHandle:
+        """Resolve ``spec.model``: a registered name, else a loadable
+        source token (a path), cached under both keys."""
+        if spec.model in self._handles:
+            return self._handles[spec.model]
+        handle = self.add(spec.model)
+        self._handles.setdefault(spec.model, handle)
+        return handle
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, spec: RunSpec | dict | str) -> RunResult:
+        """Execute one spec (a :class:`RunSpec`, doc, or JSON text)."""
+        spec = _coerce_spec(spec)
+        return execute(spec, self._resolve(spec))
+
+    def simulate(self, model: str, policy="asap", steps: int = 20,
+                 **options) -> RunResult:
+        return self.run(SimulateSpec(model, policy=policy, steps=steps,
+                                     **options))
+
+    def explore(self, model: str, **kwargs) -> RunResult:
+        return self.run(ExploreSpec(model, **kwargs))
+
+    def campaign(self, model: str, steps: int = 40,
+                 watch: list[str] | None = None,
+                 policies: list | None = None, **options) -> RunResult:
+        return self.run(CampaignSpec(model, steps=steps, watch=watch,
+                                     policies=policies, **options))
+
+    def analyze(self, model: str, **options) -> RunResult:
+        return self.run(AnalyzeSpec(model, **options))
+
+    def run_many(self, specs: Iterable[RunSpec | dict | str],
+                 workers: int = 1,
+                 on_result: Callable[[int, RunResult], None] | None = None
+                 ) -> list[RunResult]:
+        """Execute many specs, batched per model, optionally in parallel.
+
+        Specs are grouped by model; each group runs sequentially on its
+        model's shared symbolic kernel (one pristine clone per run), and
+        groups fan out over up to *workers* threads. *on_result* is
+        called as ``(index, result)`` the moment each run finishes —
+        indices refer to the input order, which the returned list also
+        follows. Results are independent of *workers*.
+        """
+        specs = [_coerce_spec(spec) for spec in specs]
+        results: list[RunResult | None] = [None] * len(specs)
+        # resolve every model up front (load errors surface immediately,
+        # and two specs naming the same source share one handle).
+        # Groups are keyed by handle *identity*, not by the spec.model
+        # string: two model strings can alias one handle (a path token
+        # and the loaded name, or an explicit alias), and the
+        # one-worker-per-kernel safety invariant is per handle.
+        handles: dict[str, ModelHandle] = {}
+        groups: dict[int, list[int]] = {}
+        group_handle: dict[int, ModelHandle] = {}
+        for index, spec in enumerate(specs):
+            handle = handles.get(spec.model)
+            if handle is None:
+                handle = handles[spec.model] = self._resolve(spec)
+            key = id(handle)
+            group_handle[key] = handle
+            groups.setdefault(key, []).append(index)
+
+        emit_lock = threading.Lock()
+
+        def run_group(key: int) -> None:
+            handle = group_handle[key]
+            for index in groups[key]:
+                outcome = execute(specs[index], handle)
+                results[index] = outcome
+                if on_result is not None:
+                    with emit_lock:
+                        on_result(index, outcome)
+
+        if workers <= 1 or len(groups) <= 1:
+            for key in groups:
+                run_group(key)
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=min(workers, len(groups)))
+            try:
+                futures = [pool.submit(run_group, key) for key in groups]
+                for future in futures:
+                    future.result()
+            finally:
+                pool.shutdown(wait=True)
+        return results  # type: ignore[return-value]
+
+
+def _coerce_spec(spec) -> RunSpec:
+    if isinstance(spec, RunSpec):
+        return spec
+    if isinstance(spec, str):
+        return RunSpec.from_json(spec)
+    return RunSpec.from_doc(spec)

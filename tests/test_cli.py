@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -104,6 +106,151 @@ class TestDot:
     def test_statespace_dot(self, app_file, capsys):
         assert main(["dot", "statespace", app_file]) == 0
         assert "digraph" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    """Golden --json output: stable, parseable, spec-complete."""
+
+    def test_simulate_json(self, app_file, capsys):
+        assert main(["simulate", app_file, "--steps", "6", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "simulate"
+        assert doc["status"] == "ok"
+        assert doc["data"]["steps_run"] == 6
+        assert doc["data"]["counts"]["src.start"] == 4
+        assert doc["spec"]["policy"] == "asap"
+        assert len(doc["data"]["trace"]) == 6
+
+    def test_simulate_json_is_byte_stable(self, app_file, capsys):
+        assert main(["simulate", app_file, "--steps", "6", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["simulate", app_file, "--steps", "6", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_simulate_json_random_policy(self, app_file, capsys):
+        assert main(["simulate", app_file, "--policy", "random",
+                     "--seed", "3", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spec"]["policy"] == {"name": "random", "seed": 3}
+
+    def test_simulate_priority_weights(self, app_file, capsys):
+        assert main(["simulate", app_file, "--policy", "priority",
+                     "--weight", "src.start=5", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spec"]["policy"]["weights"] == {"src.start": 5}
+
+    def test_explore_json_round_trips(self, app_file, capsys):
+        from repro.workbench import RunResult
+        assert main(["explore", app_file, "--json"]) == 0
+        out = capsys.readouterr().out
+        result = RunResult.from_json(out)
+        assert result.data["summary"]["deadlocks"] == 0
+        assert result.statespace().n_states \
+            == result.data["summary"]["states"]
+
+    def test_analyze_json(self, app_file, capsys):
+        assert main(["analyze", app_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["data"]["repetition"] == {"src": 1, "dst": 1}
+        assert doc["data"]["schedule"] == ["src", "dst"]
+
+    def test_campaign_json(self, app_file, capsys):
+        assert main(["campaign", app_file, "--steps", "8", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        policies = {row["policy"] for row in doc["data"]["rows"]}
+        assert policies == {"asap", "minimal", "random"}
+
+    def test_simulate_json_still_writes_vcd(self, app_file, tmp_path,
+                                            capsys):
+        vcd_path = tmp_path / "trace.vcd"
+        assert main(["simulate", app_file, "--vcd", str(vcd_path),
+                     "--json"]) == 0
+        assert "$enddefinitions" in vcd_path.read_text()
+        json.loads(capsys.readouterr().out)
+
+    def test_dot_json(self, app_file, capsys):
+        assert main(["dot", "application", app_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "dot"
+        assert doc["dot"].startswith("digraph")
+
+    def test_deploy_json(self, app_file, deployment_file, capsys):
+        assert main(["deploy", app_file, deployment_file, "--steps", "4",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["deployment"]["metadata"]["mutexes"] == 1
+        assert doc["simulate"]["data"]["steps_run"] == 4
+
+
+class TestBatch:
+    def batch_file(self, tmp_path, app_file, runs):
+        document = {
+            "models": {"demo": {"frontend": "sigpml", "path": app_file}},
+            "runs": runs,
+        }
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_two_specs_two_results(self, tmp_path, app_file, capsys):
+        path = self.batch_file(tmp_path, app_file, [
+            {"kind": "simulate", "model": "demo", "steps": 5},
+            {"kind": "explore", "model": "demo", "max_states": 100},
+        ])
+        assert main(["batch", path, "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert len(docs) == 2
+        assert [doc["kind"] for doc in docs] == ["simulate", "explore"]
+        assert all(doc["status"] == "ok" for doc in docs)
+
+    def test_text_mode_streams_summaries(self, tmp_path, app_file,
+                                         capsys):
+        path = self.batch_file(tmp_path, app_file, [
+            {"kind": "simulate", "model": "demo", "steps": 5},
+            {"kind": "analyze", "model": "demo"},
+        ])
+        assert main(["batch", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s), 0 failure(s)" in out
+        assert "simulate" in out and "analyze" in out
+
+    def test_workers_do_not_change_output(self, tmp_path, app_file,
+                                          capsys):
+        path = self.batch_file(tmp_path, app_file, [
+            {"kind": "simulate", "model": "demo", "steps": 6},
+            {"kind": "explore", "model": "demo"},
+            {"kind": "campaign", "model": "demo", "steps": 6},
+        ])
+        assert main(["batch", path, "--json"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["batch", path, "--json", "--workers", "4"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_bare_list_with_path_models(self, tmp_path, app_file, capsys):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps([
+            {"kind": "simulate", "model": app_file, "steps": 4},
+            {"kind": "simulate", "model": app_file, "steps": 5},
+        ]))
+        assert main(["batch", str(path), "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert [doc["data"]["steps_run"] for doc in docs] == [4, 5]
+
+    def test_failures_flip_the_exit_code(self, tmp_path, app_file,
+                                         capsys):
+        path = self.batch_file(tmp_path, app_file, [
+            {"kind": "simulate", "model": "demo",
+             "policy": {"name": "nope"}},
+        ])
+        assert main(["batch", path, "--json"]) == 1
+        docs = json.loads(capsys.readouterr().out)
+        assert docs[0]["status"] == "error"
+
+    def test_empty_batch_rejected(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        assert main(["batch", str(path)]) == 2
+        assert "no runs" in capsys.readouterr().err
 
 
 class TestDeploy:

@@ -1,0 +1,171 @@
+"""RunSpec/RunResult artifacts: JSON round-trips and payloads."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.workbench import (
+    AnalyzeSpec,
+    CampaignSpec,
+    ExploreSpec,
+    RunResult,
+    RunSpec,
+    SimulateSpec,
+    Workbench,
+)
+
+APPLICATION = """
+application demo {
+  agent src
+  agent dst
+  place src -> dst push 1 pop 1 capacity 2
+}
+"""
+
+
+@pytest.fixture()
+def workbench():
+    wb = Workbench()
+    wb.add(APPLICATION, name="demo")
+    return wb
+
+
+class TestRunSpec:
+    @pytest.mark.parametrize("spec", [
+        SimulateSpec("m", policy="asap", steps=7),
+        SimulateSpec("m", policy={"name": "random", "seed": 3}),
+        ExploreSpec("m", max_states=99, max_depth=4, maximal_only=True),
+        CampaignSpec("m", steps=12, watch=["a.start"],
+                     policies=["asap", {"name": "random", "seed": 1}]),
+        AnalyzeSpec("m", label="static"),
+    ])
+    def test_round_trip(self, spec):
+        clone = RunSpec.from_json(spec.to_json())
+        assert clone.to_json() == spec.to_json()
+        assert clone.kind == spec.kind
+        assert clone.model == spec.model
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SerializationError, match="unknown run kind"):
+            RunSpec(kind="fuzz", model="m")
+
+    def test_from_doc_validates(self):
+        with pytest.raises(SerializationError, match="'kind'"):
+            RunSpec.from_doc({"model": "m"})
+        with pytest.raises(SerializationError, match="'model'"):
+            RunSpec.from_doc({"kind": "simulate"})
+        with pytest.raises(SerializationError, match="unknown run-spec"):
+            RunSpec.from_doc({"kind": "simulate", "model": "m",
+                              "bogus": 1})
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(SerializationError, match="invalid"):
+            RunSpec.from_json("{nope")
+
+    def test_policy_instances_do_not_serialize(self):
+        from repro.engine import AsapPolicy
+        spec = SimulateSpec("m", policy=AsapPolicy())
+        with pytest.raises(Exception):
+            spec.to_json()
+
+
+class TestRunResultPayloads:
+    def test_simulate_payload_and_trace(self, workbench):
+        result = workbench.simulate("demo", steps=6)
+        assert result.ok
+        data = result.data
+        assert data["steps_run"] == 6
+        assert data["policy"] == "asap"
+        assert data["counts"]["src.start"] > 0
+        trace = result.trace()
+        assert len(trace) == 6
+        assert trace.counts() == data["counts"]
+
+    def test_explore_payload(self, workbench):
+        result = workbench.explore("demo", include_graph=True)
+        assert result.data["summary"]["states"] == 3
+        space = result.statespace()
+        assert space.n_states == 3
+        assert not space.truncated
+
+    def test_explore_without_graph(self, workbench):
+        result = workbench.explore("demo")
+        assert "statespace" not in result.data
+        with pytest.raises(SerializationError, match="no state-space"):
+            result.statespace()
+
+    def test_campaign_payload(self, workbench):
+        result = workbench.campaign("demo", steps=10)
+        rows = result.campaign_rows()
+        names = {row.policy for row in rows}
+        assert names == {"asap", "minimal", "random"}
+        # default watch: every agent start
+        assert result.data["watch"] == ["src.start", "dst.start"]
+
+    def test_analyze_payload(self, workbench):
+        result = workbench.analyze("demo")
+        assert result.data["consistent"]
+        assert result.data["repetition"] == {"src": 1, "dst": 1}
+        assert result.data["deadlock_free"]
+
+    def test_analyze_requires_application(self, workbench):
+        from repro.engine import ExecutionModel
+        workbench.add(ExecutionModel(["x"], name="bare"))
+        result = workbench.analyze("bare")
+        assert result.status == "error"
+        assert "no DSL application" in result.error
+
+    def test_round_trip_every_kind(self, workbench):
+        results = [
+            workbench.simulate("demo", steps=5),
+            workbench.explore("demo", include_graph=True),
+            workbench.campaign("demo", steps=5),
+            workbench.analyze("demo"),
+        ]
+        for result in results:
+            text = result.to_json()
+            clone = RunResult.from_json(text)
+            assert clone.to_json() == text
+            # the doc is plain JSON end to end
+            assert json.loads(text)["status"] == "ok"
+
+    def test_error_results_round_trip(self, workbench):
+        result = workbench.simulate("demo",
+                                    policy={"name": "nope"}, steps=2)
+        assert result.status == "error"
+        clone = RunResult.from_json(result.to_json())
+        assert clone.status == "error"
+        assert clone.error == result.error
+        assert not clone.ok
+
+    def test_canonical_json_is_stable(self, workbench):
+        one = workbench.simulate("demo", steps=6)
+        two = workbench.simulate("demo", steps=6)
+        assert one.to_json() == two.to_json()
+
+    def test_from_doc_rejects_wrong_kind(self):
+        with pytest.raises(SerializationError):
+            RunResult.from_doc({"kind": "statespace", "format": 1})
+        with pytest.raises(SerializationError):
+            RunResult.from_doc({"kind": "simulate", "model": "m",
+                                "format": 99})
+
+
+class TestUniformReports:
+    def test_run_result_report_dispatches(self, workbench):
+        from repro.viz import run_result_report
+        sim = run_result_report(workbench.simulate("demo", steps=4))
+        assert "steps: 4" in sim
+        exp = run_result_report(
+            workbench.explore("demo", include_graph=True))
+        assert "state space of" in exp
+        camp = run_result_report(workbench.campaign("demo", steps=4))
+        assert "asap" in camp
+        ana = run_result_report(workbench.analyze("demo"))
+        assert "repetition vector" in ana
+
+    def test_report_of_error_result(self, workbench):
+        from repro.viz import run_result_report
+        result = workbench.simulate("demo", policy={"name": "nope"})
+        assert "error" in run_result_report(result)

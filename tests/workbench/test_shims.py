@@ -1,0 +1,106 @@
+"""Deprecated entry points: they warn, and they still delegate."""
+
+import warnings
+
+import pytest
+
+from repro.engine import AsapPolicy, Simulator, simulate_model
+from repro.engine.campaign import campaign, run_campaign
+from repro.sdf import SdfBuilder, build_execution_model, weave_sdf
+
+
+def two_agent_model():
+    builder = SdfBuilder("shim")
+    builder.agent("p")
+    builder.agent("c")
+    builder.connect("p", "c", capacity=2)
+    return builder.build()
+
+
+class TestBuildExecutionModelShim:
+    def test_warns(self):
+        model, _app = two_agent_model()
+        with pytest.warns(DeprecationWarning, match="weave_sdf"):
+            build_execution_model(model)
+
+    def test_identical_behavior(self):
+        model, _app = two_agent_model()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = build_execution_model(model, place_variant="multiport")
+        new = weave_sdf(model, place_variant="multiport")
+        assert old.execution_model.events == new.execution_model.events
+        assert [c.label for c in old.execution_model.constraints] \
+            == [c.label for c in new.execution_model.constraints]
+
+    def test_new_name_does_not_warn(self):
+        model, _app = two_agent_model()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            weave_sdf(model)
+
+
+class TestSimulatorShim:
+    def test_warns_on_construction(self):
+        model, _app = two_agent_model()
+        woven = weave_sdf(model)
+        with pytest.warns(DeprecationWarning, match="simulate_model"):
+            Simulator(woven.execution_model.clone(), AsapPolicy())
+
+    def test_identical_behavior(self):
+        model, _app = two_agent_model()
+        woven = weave_sdf(model)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = Simulator(woven.execution_model.clone(),
+                            AsapPolicy()).run(10)
+        new = simulate_model(woven.execution_model.clone(), AsapPolicy(),
+                             10)
+        assert old.trace.steps == new.trace.steps
+        assert old.deadlocked == new.deadlocked
+        assert old.steps_run == new.steps_run
+
+    def test_core_does_not_warn(self):
+        model, _app = two_agent_model()
+        woven = weave_sdf(model)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate_model(woven.execution_model.clone(), AsapPolicy(), 5)
+
+
+class TestRunCampaignShim:
+    def test_warns(self):
+        model, _app = two_agent_model()
+        woven = weave_sdf(model)
+        with pytest.warns(DeprecationWarning, match="CampaignSpec"):
+            run_campaign(woven.execution_model, steps=5,
+                         watch_events=["p.start"])
+
+    def test_identical_behavior(self):
+        model, _app = two_agent_model()
+        woven = weave_sdf(model)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = run_campaign(woven.execution_model, steps=8,
+                               watch_events=["p.start"])
+        new = campaign(woven.execution_model, steps=8,
+                       watch_events=["p.start"])
+        assert [row.as_dict() for row in old] \
+            == [row.as_dict() for row in new]
+
+
+class TestWorkbenchUsesNoDeprecatedPaths:
+    def test_facade_is_warning_free(self):
+        from repro.workbench import Workbench
+        builder = SdfBuilder("clean")
+        builder.agent("p")
+        builder.agent("c")
+        builder.connect("p", "c", capacity=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            wb = Workbench()
+            wb.add(builder, name="clean")
+            wb.simulate("clean", steps=5)
+            wb.explore("clean")
+            wb.campaign("clean", steps=5)
+            wb.analyze("clean")
