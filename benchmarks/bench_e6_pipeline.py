@@ -10,7 +10,7 @@ import pytest
 
 from repro.engine import AsapPolicy, simulate_model
 from repro.sdf import weave_sdf, parse_sigpml
-from repro.sdf.mocc import sdf_library, sdf_library_text
+from repro.sdf.mocc import sdf_library_text
 from repro.moccml.text import parse_library
 
 APPLICATION_TEXT = """

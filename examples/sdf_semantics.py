@@ -10,7 +10,6 @@ variation point of §III-A: the multiport-memory PlaceConstraint variant
 Run: python examples/sdf_semantics.py
 """
 
-from repro.sdf import analyze
 from repro.workbench import Workbench
 
 APPLICATION = """

@@ -1,6 +1,12 @@
 """repro — a reproduction of "Towards a Meta-Language for the
 Concurrency Concern in DSLs" (Deantoni et al., DATE 2015).
 
+|CI| — every push runs the full pipeline on GitHub Actions.
+
+.. |CI| image:: ../../../actions/workflows/ci.yml/badge.svg
+   :alt: CI: pytest 3.10-3.12 matrix, ruff, bench smoke
+   :target: ../../../actions/workflows/ci.yml
+
 The package implements the full MoCCML stack behind one facade,
 :mod:`repro.workbench`: any DSL front-end input becomes a uniform
 model handle, any engine usage a declarative run spec.
@@ -74,10 +80,36 @@ core (:func:`repro.engine.simulate_model`, :func:`repro.engine.explore`,
 (:func:`repro.sdf.weave_sdf`) and the static SDF theory
 (:func:`repro.sdf.analyze`). The workbench is a thin session layer over
 exactly these.
+
+Running the suite locally vs in CI
+==================================
+
+Locally, the tier-1 suite and the benchmarks run straight off the
+source tree — no install required::
+
+    PYTHONPATH=src python -m pytest -q        # 800+ tests, ~10 s
+    PYTHONPATH=src python -m repro selftest   # symbolic/explicit cross-check
+    python benchmarks/run_all.py              # smoke benches -> BENCH_engine.json
+
+CI (``.github/workflows/ci.yml``) runs the same three layers, plus
+lint, against an installed package: the pytest matrix covers Python
+3.10/3.11/3.12 with pip caching, a bench job re-runs
+``benchmarks/run_all.py`` in smoke mode, uploads the fresh
+``BENCH_engine.json`` as an artifact and fails on regression against
+the committed baseline (``benchmarks/check_regression.py``), and a
+lint job runs ``ruff check`` plus ``ruff format --check`` with the
+configuration in ``pyproject.toml``. ``repro --version`` (also embedded
+in every ``--json`` payload as ``"version"``) ties any artifact back to
+the build that produced it.
 """
 
-__version__ = "1.0.0"
+from importlib.metadata import PackageNotFoundError, version as _version
 
 from repro import errors
+
+try:  # single source of truth: the installed package metadata
+    __version__ = _version("repro-moccml")
+except PackageNotFoundError:  # running off a source checkout (PYTHONPATH)
+    __version__ = "1.1.0"
 
 __all__ = ["errors", "__version__"]

@@ -23,6 +23,7 @@ declarations append.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Iterator, Mapping
 
 from repro.boolalg.expr import (
@@ -44,7 +45,12 @@ class Bdd:
         self._nodes: list[tuple[int, int, int]] = []
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
-        self._expr_cache: dict[BExpr, int] = {}
+        #: from_expr memo — a *bounded* LRU: expression objects can be
+        #: created in unbounded numbers by long-running sessions (every
+        #: clone/discard cycle of a stateful model contributes fresh
+        #: formulas), so entries whose expressions are no longer in use
+        #: must eventually be evicted rather than pinned forever.
+        self._expr_cache: OrderedDict[BExpr, int] = OrderedDict()
         self._order: list[str] = []
         self._levels: dict[str, int] = {}
         self.zero = self._make_terminal()
@@ -52,9 +58,14 @@ class Bdd:
         for name in order or []:
             self.declare(name)
 
-    #: soft bound on the operation caches; exceeding it drops them (the
-    #: node table itself is never dropped — node ids must stay valid).
+    #: soft bound on the ite cache; exceeding it drops it (the node
+    #: table itself is never dropped — node ids must stay valid).
     _CACHE_LIMIT = 1_000_000
+
+    #: hard bound on the from_expr memo: least-recently-used entries are
+    #: evicted one by one, so the memo stays bounded across arbitrarily
+    #: many clone/discard cycles while hot formulas stay cached.
+    _EXPR_CACHE_LIMIT = 50_000
 
     # -- variables ------------------------------------------------------------
 
@@ -122,8 +133,10 @@ class Bdd:
         self._expr_cache.clear()
 
     def _trim_caches(self) -> None:
-        if (len(self._ite_cache) + len(self._expr_cache)) > self._CACHE_LIMIT:
-            self.clear_operation_caches()
+        if len(self._ite_cache) > self._CACHE_LIMIT:
+            self._ite_cache.clear()
+        while len(self._expr_cache) > self._EXPR_CACHE_LIMIT:
+            self._expr_cache.popitem(last=False)
 
     # -- core operations -----------------------------------------------------------
 
@@ -211,6 +224,45 @@ class Bdd:
 
         return walk(node)
 
+    def rename(self, node: int, mapping: Mapping[str, str]) -> int:
+        """Substitute variables: ``mapping[old] = new`` (level-monotone).
+
+        The substitution must preserve the relative variable order over
+        the function's support — i.e. reading the support of *node* top
+        to bottom, the mapped levels must be strictly increasing and
+        must not collide with the levels of unmapped support variables.
+        That restriction makes renaming a single linear walk (no
+        re-ordering), and it is exactly the case needed by image
+        computation, where each primed state bit sits adjacent to its
+        unprimed twin. A non-monotone request raises ``ValueError``.
+        """
+        level_map: dict[int, int] = {}
+        for old, new in mapping.items():
+            if old not in self._levels:
+                continue  # variable never declared: cannot be in any support
+            level_map[self._levels[old]] = self.declare(new)
+        support = sorted(self._support_levels(node))
+        mapped = [level_map.get(level, level) for level in support]
+        if any(b <= a for a, b in zip(mapped, mapped[1:])):
+            raise ValueError(
+                "rename mapping does not preserve the variable order over "
+                f"the support ({[self._order[level] for level in support]})")
+        cache: dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current in (self.zero, self.one):
+                return current
+            cached = cache.get(current)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[current]
+            result = self._node(level_map.get(level, level),
+                                walk(low), walk(high))
+            cache[current] = result
+            return result
+
+        return walk(node)
+
     # -- building from expressions -----------------------------------------------
 
     def from_expr(self, expr: BExpr) -> int:
@@ -222,10 +274,11 @@ class Bdd:
         """
         cached = self._expr_cache.get(expr)
         if cached is not None:
+            self._expr_cache.move_to_end(expr)
             return cached
         result = self._compile(expr)
-        self._trim_caches()
         self._expr_cache[expr] = result
+        self._trim_caches()
         return result
 
     def _compile(self, expr: BExpr) -> int:

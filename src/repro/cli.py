@@ -11,11 +11,15 @@ the workbench facilities of the paper's tooling:
 * ``deploy`` — deploy on a platform and simulate;
 * ``pam`` — run the PAM deployment study;
 * ``campaign`` — compare scheduling policies;
-* ``batch`` — run many specs from a batch file, optionally in parallel.
+* ``batch`` — run many specs from a batch file, optionally in parallel;
+* ``selftest`` — cross-check the symbolic and explicit exploration
+  strategies on three bundled models (the CI smoke step).
 
 Every subcommand takes ``--json`` to emit the uniform
 :class:`~repro.workbench.RunResult` document instead of the text
-report, making the CLI scriptable end to end.
+report, making the CLI scriptable end to end; every JSON payload embeds
+the package ``version`` so artifacts are traceable to a build
+(``repro --version`` prints it).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import argparse
 import json
 import sys
 
+import repro
 from repro.errors import ReproError
 from repro.viz import run_result_report, sdf_to_dot, statespace_report, \
     trace_report
@@ -96,7 +101,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_explore(args: argparse.Namespace) -> int:
     workbench = _workbench_for(args)
     result = workbench.run(ExploreSpec(
-        "app", max_states=args.max_states, include_graph=True))
+        "app", max_states=args.max_states, strategy=args.strategy,
+        include_graph=True))
     if args.json:
         print(result.to_json())
         return 0 if result.ok else 1
@@ -142,7 +148,8 @@ def cmd_dot(args: argparse.Namespace) -> int:
             raise ReproError(result.error)
         dot = statespace_to_dot(result.statespace())
     if args.json:
-        print(json.dumps({"kind": "dot", "what": args.what, "dot": dot},
+        print(json.dumps({"kind": "dot", "what": args.what, "dot": dot,
+                          "version": repro.__version__},
                          indent=2, sort_keys=True))
     else:
         print(dot, end="")
@@ -172,7 +179,8 @@ def cmd_deploy(args: argparse.Namespace) -> int:
             "app", max_states=args.max_states, include_graph=not args.json))
     if args.json:
         doc = {"deployment": handle.describe(),
-               "simulate": simulation.to_doc()}
+               "simulate": simulation.to_doc(),
+               "version": repro.__version__}
         if exploration is not None:
             doc["explore"] = exploration.to_doc()
         print(json.dumps(doc, indent=2, sort_keys=True))
@@ -196,7 +204,8 @@ def cmd_pam(args: argparse.Namespace) -> int:
                                 sim_steps=args.steps)
     if args.json:
         print(json.dumps({"kind": "pam-study",
-                          "rows": [row.as_dict() for row in rows]},
+                          "rows": [row.as_dict() for row in rows],
+                          "version": repro.__version__},
                          indent=2, sort_keys=True))
         return 0
     print(format_study(rows))
@@ -247,10 +256,77 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+#: bundled selftest models: diverse front-ends, all finitely encodable,
+#: small enough that the cross-check runs in well under a second each.
+def _selftest_models():
+    from repro.workbench import CcslSpec, load
+    chain = """
+    application selftest_chain {
+      agent source
+      agent worker
+      agent sink
+      place source -> worker push 1 pop 1 capacity 2
+      place worker -> sink push 1 pop 1 capacity 2
+    }
+    """
+    forkjoin = """
+    application selftest_forkjoin {
+      agent split
+      agent left
+      agent right
+      agent join
+      place split -> left push 1 pop 1 capacity 1
+      place split -> right push 1 pop 1 capacity 1
+      place left -> join push 1 pop 1 capacity 1
+      place right -> join push 1 pop 1 capacity 1
+    }
+    """
+    clocks = CcslSpec("selftest_ccsl", events=["a", "b", "c", "d"],
+                      constraints=[
+                          ("Alternates", ["a", "b"]),
+                          ("BoundedPrecedes", ["b", "c", 2]),
+                          ("DelayedFor", ["d", "a", 2]),
+                      ])
+    return [load(chain, name="sigpml-chain"),
+            load(forkjoin, name="sigpml-forkjoin"),
+            load(clocks, name="ccsl-clocks")]
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """Cross-check symbolic vs explicit exploration on bundled models."""
+    from repro.engine.equivalence import cross_check
+    reports = []
+    for handle in _selftest_models():
+        report = cross_check(handle.execution_model,
+                             max_states=args.max_states)
+        report["model"] = handle.name
+        reports.append(report)
+    ok = all(report["agree"] for report in reports)
+    if args.json:
+        print(json.dumps({"kind": "selftest", "ok": ok,
+                          "version": repro.__version__,
+                          "reports": reports},
+                         indent=2, sort_keys=True))
+        return 0 if ok else 1
+    print(f"repro {repro.__version__} selftest — symbolic vs explicit "
+          f"exploration")
+    for report in reports:
+        verdict = "OK" if report["agree"] else "MISMATCH"
+        line = (f"  {report['model']:<18} {report['states']:>6} state(s) "
+                f"{report['transitions']:>6} transition(s)  {verdict}")
+        print(line)
+        for mismatch in report["mismatches"]:
+            print(f"    - {mismatch}")
+    print("selftest PASSED" if ok else "selftest FAILED")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MoCCML workbench (DATE 2015 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {repro.__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser(
@@ -269,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
         "explore", help="exhaustively explore the scheduling state space")
     _add_common(explorer)
     explorer.add_argument("--max-states", type=int, default=10_000)
+    explorer.add_argument("--strategy", default="explicit",
+                          choices=("explicit", "symbolic", "auto"),
+                          help="exploration strategy (identical result; "
+                               "symbolic compiles a BDD transition relation)")
     explorer.set_defaults(handler=cmd_explore)
 
     analyzer = subparsers.add_parser(
@@ -330,6 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", action="store_true",
                        help="emit the result documents as a JSON array")
     batch.set_defaults(handler=cmd_batch)
+
+    selftest = subparsers.add_parser(
+        "selftest",
+        help="cross-check the symbolic and explicit exploration "
+             "strategies on three bundled models")
+    selftest.add_argument("--max-states", type=int, default=20_000)
+    selftest.add_argument("--json", action="store_true",
+                          help="emit the selftest report as JSON")
+    selftest.set_defaults(handler=cmd_selftest)
     return parser
 
 

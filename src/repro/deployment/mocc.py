@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.boolalg.expr import And, BExpr, Not, Or, TRUE, Var
+from repro.boolalg.expr import And, BExpr, Not, TRUE, Var
 from repro.errors import DeploymentError, SemanticsError
 from repro.moccml.semantics.runtime import ConstraintRuntime
 

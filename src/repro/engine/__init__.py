@@ -48,6 +48,45 @@ across any number of restores. The explorer walks the whole state space
 with a *single* working model — advance, hash, restore — keeping only
 snapshot tokens in its BFS frontier; campaigns rewind one clone between
 policy runs instead of re-cloning.
+
+Choosing an exploration strategy
+================================
+
+:func:`~repro.engine.explorer.explore` takes
+``strategy="explicit" | "symbolic" | "auto"``; all three produce
+byte-identical state spaces (the :mod:`repro.engine.equivalence`
+harness asserts this corpus-wide, and ``repro selftest`` re-checks it
+on demand), so the choice is purely about cost:
+
+``"explicit"`` (the default)
+    One working model advanced and restored per edge. No setup cost and
+    no encodability requirement — the right choice for small models,
+    one-shot explorations, and models with (locally) unbounded counters
+    such as an unbounded CCSL precedence, which cannot be finitely
+    encoded.
+
+``"symbolic"``
+    The model is first compiled to a BDD transition relation over event
+    variables plus per-constraint state bits
+    (:mod:`repro.engine.symbolic`); graph construction then runs over
+    encoded states with table lookups instead of runtime mutation, and
+    the compiled system is cached on the model's kernel for reuse by
+    clones. Wins once the per-edge work dominates the compile cost —
+    larger models, repeated explorations of one family. More
+    importantly, the *fixpoint* API
+    (:func:`~repro.engine.symbolic.symbolic_reachable`) computes the
+    reachable set by image iteration and answers state counts, deadlock
+    freedom, event liveness and variable/buffer bounds directly on the
+    BDD — reaching spaces whose explicit graphs are too large to build
+    at all (see ``bench_e12``). Raises
+    :class:`~repro.errors.SymbolicEncodingError` when a constraint's
+    local state space is unbounded.
+
+``"auto"``
+    Symbolic for models with at least
+    :data:`~repro.engine.explorer.AUTO_EVENT_THRESHOLD` events, with a
+    transparent fallback to explicit when the model is not finitely
+    encodable. Use this when batching heterogeneous models.
 """
 
 from repro.engine.execution_model import ExecutionModel, SymbolicKernel
@@ -68,7 +107,19 @@ from repro.engine.analysis import (
     max_cycle_mean_throughput,
     parallelism_profile,
     simulated_throughput,
+    symbolic_check_variable_bound,
+    symbolic_deadlock_free,
+    symbolic_event_liveness,
+    symbolic_variable_bounds,
     variable_bounds,
+)
+from repro.engine.equivalence import assert_equivalent, cross_check
+from repro.engine.symbolic import (
+    CompiledStateView,
+    ReachableSet,
+    TransitionSystem,
+    compile_transition_system,
+    symbolic_reachable,
 )
 from repro.engine import properties
 from repro.engine.campaign import format_campaign, run_campaign
@@ -83,5 +134,10 @@ __all__ = [
     "explore", "StateSpace",
     "event_liveness", "parallelism_profile", "variable_bounds",
     "max_cycle_mean_throughput", "simulated_throughput",
+    "symbolic_reachable", "ReachableSet", "TransitionSystem",
+    "CompiledStateView", "compile_transition_system",
+    "symbolic_deadlock_free", "symbolic_event_liveness",
+    "symbolic_variable_bounds", "symbolic_check_variable_bound",
+    "assert_equivalent", "cross_check",
     "properties",
 ]

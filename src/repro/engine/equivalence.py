@@ -1,0 +1,106 @@
+"""Cross-checking harness: symbolic vs explicit exploration.
+
+The symbolic engine is only trustworthy if it computes *exactly* the
+state space the explicit engine computes. This module makes that a
+checkable property: :func:`cross_check` runs both strategies plus the
+pure fixpoint on one model and reports every discrepancy;
+:func:`assert_equivalent` turns discrepancies into
+:class:`~repro.errors.EquivalenceError`. The test corpus runs the
+harness on every model family (``tests/engine/test_symbolic_equivalence``),
+and ``repro selftest`` ships it to users and CI as a smoke check.
+"""
+
+from __future__ import annotations
+
+from repro.engine.explorer import explore
+from repro.engine.statespace import StateSpace
+from repro.errors import EquivalenceError
+
+
+def _graph_keys(space: StateSpace) -> set:
+    return {data["key"] for _node, data in space.graph.nodes(data=True)}
+
+
+def cross_check(
+    model,
+    max_states: int = 10_000,
+    max_depth: int | None = None,
+    include_empty: bool = False,
+    maximal_only: bool = False,
+) -> dict:
+    """Explore *model* with both strategies and diff the results.
+
+    Returns a report dictionary with the compared metrics and a
+    ``mismatches`` list (empty means the strategies agree). Alongside
+    the two graph explorations, the symbolic fixpoint is checked
+    against the explicit state count and deadlock verdict whenever the
+    comparison is meaningful (untruncated, full branching).
+    """
+    explicit = explore(
+        model,
+        max_states=max_states,
+        max_depth=max_depth,
+        include_empty=include_empty,
+        maximal_only=maximal_only,
+        strategy="explicit",
+    )
+    symbolic = explore(
+        model,
+        max_states=max_states,
+        max_depth=max_depth,
+        include_empty=include_empty,
+        maximal_only=maximal_only,
+        strategy="symbolic",
+    )
+    mismatches: list[str] = []
+
+    def check(what: str, left, right) -> None:
+        if left != right:
+            mismatches.append(f"{what}: explicit {left!r} != symbolic {right!r}")
+
+    check("states", explicit.n_states, symbolic.n_states)
+    check("transitions", explicit.n_transitions, symbolic.n_transitions)
+    check("truncated", explicit.truncated, symbolic.truncated)
+    check("reachable keys", _graph_keys(explicit), _graph_keys(symbolic))
+    check("serialized space", explicit.to_json(), symbolic.to_json())
+
+    report = {
+        "model": model.name,
+        "events": len(model.events),
+        "constraints": len(model.constraints),
+        "states": explicit.n_states,
+        "transitions": explicit.n_transitions,
+        "truncated": explicit.truncated,
+        "fixpoint": None,
+    }
+
+    if not explicit.truncated and max_depth is None and not maximal_only:
+        from repro.engine.symbolic import symbolic_reachable
+
+        reachable = symbolic_reachable(model, include_empty=include_empty)
+        check("fixpoint state count", explicit.n_states, reachable.count())
+        check("fixpoint keys", _graph_keys(explicit), set(reachable.states()))
+        check(
+            "deadlock freedom",
+            explicit.is_deadlock_free(),
+            reachable.is_deadlock_free(),
+        )
+        check("deadlock count", len(explicit.deadlocks()), reachable.deadlock_count())
+        check("dead events", explicit.dead_events(), reachable.dead_events())
+        report["fixpoint"] = {"states": reachable.count(), "depth": reachable.depth}
+
+    report["mismatches"] = mismatches
+    report["agree"] = not mismatches
+    return report
+
+
+def assert_equivalent(model, **kwargs) -> dict:
+    """:func:`cross_check`, raising on any discrepancy."""
+    report = cross_check(model, **kwargs)
+    if report["mismatches"]:
+        details = "; ".join(report["mismatches"])
+        raise EquivalenceError(
+            f"symbolic and explicit exploration disagree on "
+            f"{model.name!r}: {details}"
+        )
+    return report

@@ -88,6 +88,9 @@ class SymbolicKernel:
 
     NODE_CACHE_SIZE = 8_192
     STEPS_CACHE_SIZE = 4_096
+    #: compiled transition systems are heavyweight (own BDD manager);
+    #: keep only a few, keyed by the configuration they were built from
+    TRANSITION_SYSTEM_CACHE_SIZE = 4
 
     def __init__(self, events: Iterable[str]):
         self.events: tuple[str, ...] = tuple(events)
@@ -96,6 +99,7 @@ class SymbolicKernel:
         self._conj_cache = _LruCache(self.NODE_CACHE_SIZE)
         self._steps_cache = _LruCache(self.STEPS_CACHE_SIZE)
         self._max_step_cache = _LruCache(self.STEPS_CACHE_SIZE)
+        self._ts_cache = _LruCache(self.TRANSITION_SYSTEM_CACHE_SIZE)
         #: hit/miss counters (introspection, tests, tuning)
         self.stats = {"node_hits": 0, "node_misses": 0,
                       "steps_hits": 0, "steps_misses": 0}
@@ -128,12 +132,34 @@ class SymbolicKernel:
             self._conj_cache.put(nodes, cached)
         return cached
 
+    def transition_system(self, model: "ExecutionModel",
+                          max_local_states: int | None = None):
+        """The compiled symbolic transition system for *model*'s current
+        configuration (see :mod:`repro.engine.symbolic`).
+
+        Cached per build configuration, so clones of one model family —
+        which share this kernel — share the compiled relation across
+        explorations and analyses. *model* must be a member of the
+        family owning this kernel.
+        """
+        from repro.engine import symbolic
+        if max_local_states is None:
+            max_local_states = symbolic.DEFAULT_MAX_LOCAL_STATES
+        key = (model.configuration(), max_local_states)
+        system = self._ts_cache.get(key, _MISSING)
+        if system is _MISSING:
+            system = symbolic.compile_transition_system(
+                model, max_local_states=max_local_states)
+            self._ts_cache.put(key, system)
+        return system
+
     def cache_sizes(self) -> dict[str, int]:
         return {
             "nodes": len(self._node_cache),
             "conjunctions": len(self._conj_cache),
             "steps": len(self._steps_cache),
             "max_steps": len(self._max_step_cache),
+            "transition_systems": len(self._ts_cache),
             "bdd_nodes": self.bdd.node_count(),
         }
 
@@ -143,6 +169,7 @@ class SymbolicKernel:
         self._conj_cache.clear()
         self._steps_cache.clear()
         self._max_step_cache.clear()
+        self._ts_cache.clear()
         self.bdd.clear_operation_caches()
 
 

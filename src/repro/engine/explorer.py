@@ -1,20 +1,29 @@
 """Exhaustive exploration of the scheduling state space.
 
 From the initial configuration, the explorer enumerates every
-acceptable (non-empty) step with the BDD, advances a single working
-model, hashes the successor configuration and rewinds. The result is a
+acceptable (non-empty) step and builds a
 :class:`~repro.engine.statespace.StateSpace` — a directed multigraph
 whose nodes are global constraint configurations and whose edges are
 steps. This implements the paper's "exhaustive exploration" usage of the
 generic engine.
 
-The traversal is breadth-first over **snapshots** rather than clones:
-one working model is advanced and restored edge by edge, and only the
-lightweight :meth:`~repro.engine.execution_model.ExecutionModel.snapshot`
-tokens of frontier states are retained. Combined with the model's
-persistent symbolic kernel (compiled constraint nodes and step
-enumerations are shared across the whole traversal) this removes the
-per-edge deep-clone and per-state BDD rebuild of the naive scheme.
+Two strategies drive the same breadth-first skeleton:
+
+* ``"explicit"`` — a single working model is advanced and restored edge
+  by edge, keeping only lightweight
+  :meth:`~repro.engine.execution_model.ExecutionModel.snapshot` tokens
+  in the frontier (PR 1's scheme);
+* ``"symbolic"`` — the model is first compiled to a BDD transition
+  system (:mod:`repro.engine.symbolic`); the BFS then runs over encoded
+  states with table lookups, never touching a constraint runtime, and
+  the full reachable set is also available by fixpoint iteration
+  without building any graph at all.
+
+``"auto"`` picks symbolic for models past a size threshold and falls
+back to explicit when the model cannot be finitely encoded. Both
+strategies produce byte-identical state spaces (asserted corpus-wide by
+:mod:`repro.engine.equivalence`), including ``max_states`` truncation
+and frontier marking — the skeleton below is literally shared.
 """
 
 from __future__ import annotations
@@ -25,12 +34,21 @@ import networkx as nx
 
 from repro.engine.execution_model import ExecutionModel
 from repro.engine.statespace import StateSpace
-from repro.errors import ExplorationLimitError
+from repro.errors import EngineError, ExplorationLimitError, \
+    SymbolicEncodingError
+
+#: strategies accepted by :func:`explore`
+STRATEGIES = ("explicit", "symbolic", "auto")
+
+#: ``auto`` compiles a symbolic system once a model has at least this
+#: many events — below it, explicit search wins on setup cost.
+AUTO_EVENT_THRESHOLD = 10
 
 
 def explore(model: ExecutionModel, max_states: int = 10_000,
             max_depth: int | None = None, include_empty: bool = False,
-            strict: bool = False, maximal_only: bool = False) -> StateSpace:
+            strict: bool = False, maximal_only: bool = False,
+            strategy: str = "explicit") -> StateSpace:
     """Breadth-first exploration from the model's current configuration.
 
     Parameters
@@ -57,9 +75,49 @@ def explore(model: ExecutionModel, max_states: int = 10_000,
         count dramatically (every non-maximal step is a subset of a
         maximal one); deadlock freedom is NOT necessarily preserved in
         either direction, so safety verdicts must use the full space.
+    strategy:
+        ``"explicit"``, ``"symbolic"`` or ``"auto"`` (see module doc).
+        The produced state space is identical either way.
+    """
+    work = _working_view(model, strategy)
+    return _bfs(work, model.name, list(model.events), max_states=max_states,
+                max_depth=max_depth, include_empty=include_empty,
+                strict=strict, maximal_only=maximal_only)
+
+
+def _working_view(model: ExecutionModel, strategy: str):
+    """The BFS driver for *strategy*: a model clone, or a compiled view."""
+    if strategy not in STRATEGIES:
+        raise EngineError(
+            f"unknown exploration strategy {strategy!r}; expected one of "
+            f"{', '.join(STRATEGIES)}")
+    if strategy == "explicit":
+        return model.clone()
+    if strategy == "auto" and len(model.events) < AUTO_EVENT_THRESHOLD:
+        return model.clone()
+    from repro.engine.symbolic import CompiledStateView
+    try:
+        return CompiledStateView(model.kernel.transition_system(model))
+    except SymbolicEncodingError:
+        if strategy == "symbolic":
+            raise
+        return model.clone()  # auto: not finitely encodable
+
+
+def _bfs(work, name: str, events: list[str], max_states: int,
+         max_depth: int | None, include_empty: bool, strict: bool,
+         maximal_only: bool) -> StateSpace:
+    """The strategy-independent BFS skeleton.
+
+    *work* is anything implementing the working-model protocol:
+    ``configuration``/``snapshot``/``restore``/``acceptable_steps``/
+    ``advance``/``is_accepting`` — an :class:`ExecutionModel` clone for
+    the explicit strategy, a
+    :class:`~repro.engine.symbolic.CompiledStateView` for the symbolic
+    one. Admission order, truncation and frontier marking are therefore
+    identical across strategies by construction.
     """
     graph = nx.MultiDiGraph()
-    work = model.clone()
     root_key = work.configuration()
 
     key_to_id: dict = {root_key: 0}
@@ -90,7 +148,7 @@ def explore(model: ExecutionModel, max_states: int = 10_000,
                 if len(key_to_id) >= max_states:
                     if strict:
                         raise ExplorationLimitError(
-                            f"exploration of {model.name!r} exceeded "
+                            f"exploration of {name!r} exceeded "
                             f"{max_states} states")
                     truncated = True
                     graph.nodes[node_id]["frontier"] = True
@@ -105,8 +163,8 @@ def explore(model: ExecutionModel, max_states: int = 10_000,
             graph.add_edge(node_id, succ_id, step=step)
             work.restore(snapshot)
 
-    return StateSpace(graph=graph, initial=0, events=list(model.events),
-                      truncated=truncated, name=model.name)
+    return StateSpace(graph=graph, initial=0, events=events,
+                      truncated=truncated, name=name)
 
 
 def _maximal_steps(steps: list[frozenset[str]]) -> list[frozenset[str]]:

@@ -11,7 +11,7 @@ steady-state throughput.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

@@ -1,0 +1,662 @@
+"""Symbolic fixpoint reachability over the scheduling state space.
+
+The explicit explorer enumerates one BDD-satisfying assignment at a
+time and walks the state graph breadth-first with a working model. This
+module instead encodes the *whole transition relation* as BDDs — event
+variables plus per-constraint state bits (clock counters, automaton
+states, buffer occupancy) — and computes the reachable configuration
+set by fixpoint image iteration, the standard route from toy
+reachability to production-scale symbolic verification.
+
+The pipeline:
+
+1. **Local closure.** Every constraint runtime is driven through its
+   own finite local transition system: starting from the current
+   snapshot, all locally acceptable event assignments (projections of
+   global steps onto the constraint's alphabet) are applied until no
+   new ``state_key()`` appears. The closure over-approximates the
+   globally reachable local states — which is exactly what an encoding
+   needs — and fails fast (:class:`~repro.errors.SymbolicEncodingError`)
+   on locally unbounded constraints, letting the ``auto`` strategy fall
+   back to explicit search.
+2. **Topology-derived variable order.** Constraints are ordered by a
+   greedy BFS over the connection graph (constraints sharing events are
+   adjacent — for a pipeline this recovers the pipeline order), each
+   constraint's current and primed state bits are interleaved, and each
+   event variable is placed next to the first constraint that reads it.
+   Free events land at the end.
+3. **Relation construction.** Per constraint ``i`` the relation
+   ``T_i(bits_i, events_i, bits_i')`` disjoins one cube per discovered
+   local transition; the global relation is their conjunction, which by
+   construction enforces the same global step conjunction the explicit
+   engine evaluates.
+4. **Frontier fixpoint.** ``R_{k+1} = R_k ∨ rename(∃ state, events:
+   T ∧ F_k)`` iterated until the frontier empties, with per-layer
+   bookkeeping so depth/state budgets behave like the explicit BFS.
+
+Set-level queries (state counts, deadlock freedom, event liveness,
+variable/buffer bounds) are answered *directly on the reachable-set
+BDD* without concretizing. On-demand concretization back to an explicit
+:class:`~repro.engine.statespace.StateSpace` — so ``to_json``, viz and
+the graph analyses keep working unchanged — runs the very same BFS loop
+as the explicit strategy over a :class:`CompiledStateView`, replacing
+per-edge runtime mutation with table lookups; the two strategies
+therefore produce byte-identical state spaces, including truncation
+frontiers, which the :mod:`repro.engine.equivalence` harness asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+from repro.boolalg.bdd import Bdd
+from repro.boolalg.expr import BExpr
+from repro.engine.execution_model import _LruCache
+from repro.errors import EngineError, SemanticsError, SymbolicEncodingError
+
+#: local-closure guard rails: alphabets wider than this would make the
+#: per-state assignment sweep exponential, and closures larger than this
+#: signal a (locally) unbounded counter.
+MAX_ALPHABET = 16
+DEFAULT_MAX_LOCAL_STATES = 4_096
+
+
+class LocalSpace:
+    """The finite local transition system of one constraint runtime.
+
+    ``keys[s]`` is the runtime's ``state_key()`` in local state ``s``,
+    ``delta[s]`` maps a local event assignment (the frozenset of the
+    constraint's events occurring) to the successor local state, and
+    ``formulas[s]`` is the step formula contributed in that state.
+    State ``0`` is the state the runtime was in when the closure ran.
+    """
+
+    __slots__ = ("index", "label", "alphabet", "keys", "accepting",
+                 "formulas", "delta", "key_to_id", "bits")
+
+    def __init__(self, index: int, label: str, alphabet: tuple[str, ...]):
+        self.index = index
+        self.label = label
+        self.alphabet = alphabet
+        self.keys: list[Hashable] = []
+        self.accepting: list[bool] = []
+        self.formulas: list[BExpr] = []
+        self.delta: list[dict[frozenset[str], int]] = []
+        self.key_to_id: dict[Hashable, int] = {}
+        self.bits = 0  # assigned once the closure is complete
+
+    @property
+    def n_states(self) -> int:
+        return len(self.keys)
+
+
+def _close_local(index: int, runtime, max_local_states: int) -> LocalSpace:
+    """Explore one runtime's local state machine to fixpoint."""
+    alphabet = tuple(sorted(runtime.constrained_events))
+    if len(alphabet) > MAX_ALPHABET:
+        raise SymbolicEncodingError(
+            f"constraint {runtime.label!r} constrains {len(alphabet)} "
+            f"events; symbolic encoding caps local alphabets at "
+            f"{MAX_ALPHABET}")
+    space = LocalSpace(index, runtime.label, alphabet)
+    probe = runtime.clone()
+    tokens: list = []
+
+    def admit(key: Hashable) -> int:
+        known = space.key_to_id.get(key)
+        if known is not None:
+            return known
+        if len(space.keys) >= max_local_states:
+            raise SymbolicEncodingError(
+                f"constraint {runtime.label!r} exceeded the local-state "
+                f"closure bound ({max_local_states}); it is likely "
+                f"unbounded — use the explicit exploration strategy")
+        local_id = len(space.keys)
+        space.key_to_id[key] = local_id
+        space.keys.append(key)
+        tokens.append(probe.snapshot())
+        space.accepting.append(bool(probe.is_accepting()))
+        space.formulas.append(probe.step_formula())
+        space.delta.append({})
+        return local_id
+
+    admit(probe.state_key())
+    cursor = 0
+    while cursor < len(space.keys):
+        formula = space.formulas[cursor]
+        support = formula.support()
+        unknown = support - set(alphabet)
+        if unknown:
+            raise SymbolicEncodingError(
+                f"constraint {runtime.label!r} reads event(s) "
+                f"{sorted(unknown)} outside its declared alphabet")
+        for mask in range(1 << len(alphabet)):
+            assignment = frozenset(
+                alphabet[bit] for bit in range(len(alphabet))
+                if mask >> bit & 1)
+            if not formula.evaluate(
+                    {name: name in assignment for name in alphabet}):
+                continue
+            probe.restore(tokens[cursor])
+            try:
+                probe.advance(assignment)
+            except SemanticsError as exc:
+                raise SymbolicEncodingError(
+                    f"constraint {runtime.label!r} accepted step "
+                    f"{sorted(assignment)} in its formula but rejected it "
+                    f"in advance(): {exc}") from exc
+            space.delta[cursor][assignment] = admit(probe.state_key())
+        cursor += 1
+    space.bits = max(1, (len(space.keys) - 1).bit_length())
+    return space
+
+
+def _constraint_order(constraints: Sequence) -> list[int]:
+    """Greedy BFS over the constraint connection graph.
+
+    Starts from a weakly connected constraint (an end of the pipeline),
+    then repeatedly visits the unvisited neighbour sharing the most
+    events — for chain/mesh topologies this keeps coupled state bits
+    adjacent in the variable order, which is what keeps intermediate
+    image BDDs small.
+    """
+    n = len(constraints)
+    by_event: dict[str, list[int]] = {}
+    for index, constraint in enumerate(constraints):
+        for event in sorted(constraint.constrained_events):
+            by_event.setdefault(event, []).append(index)
+    weight: list[dict[int, int]] = [{} for _ in range(n)]
+    for members in by_event.values():
+        for a in members:
+            for b in members:
+                if a != b:
+                    weight[a][b] = weight[a].get(b, 0) + 1
+    order: list[int] = []
+    seen: set[int] = set()
+    while len(order) < n:
+        start = min((i for i in range(n) if i not in seen),
+                    key=lambda i: (len(weight[i]), i))
+        queue = [start]
+        seen.add(start)
+        while queue:
+            current = queue.pop(0)
+            order.append(current)
+            neighbours = sorted(weight[current].items(),
+                                key=lambda item: (-item[1], item[0]))
+            for neighbour, _shared in neighbours:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+    return order
+
+
+class TransitionSystem:
+    """The BDD-encoded transition relation of one execution model.
+
+    Owns a dedicated :class:`~repro.boolalg.bdd.Bdd` manager whose
+    variable order follows the connection-topology heuristic (the
+    model's :class:`~repro.engine.execution_model.SymbolicKernel` keeps
+    event variables first, which is the right order for per-step
+    enumeration but not for image computation — hence the second,
+    purpose-ordered manager, cached on the kernel so clones share it).
+    """
+
+    def __init__(self, model, max_local_states: int = DEFAULT_MAX_LOCAL_STATES):
+        self.name = model.name
+        self.events: list[str] = list(model.events)
+        self.spaces: list[LocalSpace] = [
+            _close_local(index, constraint, max_local_states)
+            for index, constraint in enumerate(model.constraints)]
+        self.order: list[int] = _constraint_order(model.constraints)
+        self.bdd = Bdd()
+        self._declare_variables()
+        self._compile_relation()
+        self.initial_ids: tuple[int, ...] = tuple(0 for _ in self.spaces)
+        self.initial_node = self._encode_state(self.initial_ids)
+        # concretization caches (conjunction of per-state formula nodes,
+        # enumerated step lists, per-step local projections) — bounded
+        # LRUs: the system is pinned on the kernel for the model
+        # family's lifetime, so unbounded dicts would grow with every
+        # exploration (eviction merely costs a recompute)
+        self._conj_cache = _LruCache(8_192)
+        self._steps_cache = _LruCache(4_096)
+        self._proj_cache = _LruCache(4_096)
+        self._step_relation_cache: dict[bool, int] = {}
+
+    # -- encoding ----------------------------------------------------------
+
+    def _declare_variables(self) -> None:
+        bdd = self.bdd
+        event_position = {event: i for i, event in enumerate(self.events)}
+        declared: set[str] = set()
+        self.cur_names: list[list[str]] = [[] for _ in self.spaces]
+        self.primed_names: list[list[str]] = [[] for _ in self.spaces]
+        for index in self.order:
+            space = self.spaces[index]
+            for event in sorted(space.alphabet, key=event_position.get):
+                if event not in declared:
+                    declared.add(event)
+                    bdd.declare(event)
+            for bit in range(space.bits):
+                cur = f"#s{index}.{bit}"
+                primed = f"#s{index}.{bit}'"
+                bdd.declare(cur)
+                bdd.declare(primed)
+                self.cur_names[index].append(cur)
+                self.primed_names[index].append(primed)
+        for event in self.events:  # free events (constrained by nothing)
+            if event not in declared:
+                declared.add(event)
+                bdd.declare(event)
+        self.all_cur = [name for index in self.order
+                        for name in self.cur_names[index]]
+        self.all_primed = [name for index in self.order
+                          for name in self.primed_names[index]]
+        self.primed_to_cur = dict(zip(self.all_primed, self.all_cur))
+
+    def _encode_local(self, index: int, local_id: int,
+                      primed: bool = False) -> int:
+        bdd = self.bdd
+        names = (self.primed_names if primed else self.cur_names)[index]
+        node = bdd.one
+        for bit, name in enumerate(names):
+            literal = bdd.var(name) if local_id >> bit & 1 else bdd.nvar(name)
+            node = bdd.apply_and(node, literal)
+        return node
+
+    def _encode_state(self, ids: Sequence[int]) -> int:
+        node = self.bdd.one
+        for index in self.order:
+            node = self.bdd.apply_and(node,
+                                      self._encode_local(index, ids[index]))
+        return node
+
+    def _compile_relation(self) -> None:
+        bdd = self.bdd
+        self.formula_nodes: list[list[int]] = []
+        for space in self.spaces:
+            self.formula_nodes.append(
+                [bdd.from_expr(formula) for formula in space.formulas])
+        self.parts: list[int] = []
+        for index in self.order:
+            self.parts.append(self._relation_part(index))
+        self.relation = bdd.conjoin(self.parts)
+
+    def _relation_part(self, index: int) -> int:
+        """``T_i``: one cube per discovered local transition."""
+        bdd = self.bdd
+        space = self.spaces[index]
+        part = bdd.zero
+        for local_id, transitions in enumerate(space.delta):
+            by_succ: dict[int, list[frozenset[str]]] = {}
+            for assignment, succ in transitions.items():
+                by_succ.setdefault(succ, []).append(assignment)
+            moves = bdd.zero
+            for succ in sorted(by_succ):
+                triggers = bdd.zero
+                for assignment in by_succ[succ]:
+                    triggers = bdd.apply_or(
+                        triggers, self._minterm(space.alphabet, assignment))
+                moves = bdd.apply_or(
+                    moves,
+                    bdd.apply_and(triggers,
+                                  self._encode_local(index, succ,
+                                                     primed=True)))
+            part = bdd.apply_or(
+                part,
+                bdd.apply_and(self._encode_local(index, local_id), moves))
+        return part
+
+    def _minterm(self, alphabet: Sequence[str],
+                 assignment: frozenset[str]) -> int:
+        bdd = self.bdd
+        node = bdd.one
+        for event in alphabet:
+            literal = (bdd.var(event) if event in assignment
+                       else bdd.nvar(event))
+            node = bdd.apply_and(node, literal)
+        return node
+
+    # -- relation views ----------------------------------------------------
+
+    def step_relation(self, include_empty: bool = False) -> int:
+        """The relation restricted to steps the explorer would follow:
+        non-empty steps, plus — with *include_empty* — empty steps that
+        change the configuration (stuttering self-loops carry no
+        information either way)."""
+        cached = self._step_relation_cache.get(include_empty)
+        if cached is not None:
+            return cached
+        bdd = self.bdd
+        some_event = bdd.zero
+        for event in self.events:
+            some_event = bdd.apply_or(some_event, bdd.var(event))
+        guard = some_event
+        if include_empty:
+            same = bdd.one
+            for cur, primed in zip(self.all_cur, self.all_primed):
+                bit_same = bdd.apply_not(
+                    bdd.apply_xor(bdd.var(cur), bdd.var(primed)))
+                same = bdd.apply_and(same, bit_same)
+            guard = bdd.apply_or(some_event, bdd.apply_not(same))
+        result = bdd.apply_and(self.relation, guard)
+        self._step_relation_cache[include_empty] = result
+        return result
+
+    def image(self, frontier: int, include_empty: bool = False) -> int:
+        """Successor states of the *frontier* set, over current bits."""
+        bdd = self.bdd
+        conj = bdd.apply_and(self.step_relation(include_empty), frontier)
+        succ = bdd.exists(conj, self.all_cur + self.events)
+        return bdd.rename(succ, self.primed_to_cur)
+
+    def count_states(self, node: int) -> int:
+        return self.bdd.sat_count(node, self.all_cur)
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def reachable(self, include_empty: bool = False,
+                  max_depth: int | None = None,
+                  max_states: int | None = None) -> "ReachableSet":
+        """Frontier-based fixpoint iteration from the initial state."""
+        bdd = self.bdd
+        reached = self.initial_node
+        frontier = self.initial_node
+        layers = [self.initial_node]
+        truncated = False
+        depth = 0
+        while frontier != bdd.zero:
+            if max_depth is not None and depth >= max_depth:
+                truncated = True
+                break
+            successors = self.image(frontier, include_empty)
+            fresh = bdd.apply_and(successors, bdd.apply_not(reached))
+            if fresh == bdd.zero:
+                break
+            reached = bdd.apply_or(reached, fresh)
+            frontier = fresh
+            layers.append(fresh)
+            depth += 1
+            if max_states is not None and self.count_states(
+                    reached) > max_states:
+                truncated = True
+                break
+        return ReachableSet(self, reached, layers, truncated, include_empty)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode_key(self, ids: Sequence[int]) -> tuple:
+        """The explicit configuration key of an encoded state."""
+        return tuple(space.keys[ids[index]]
+                     for index, space in enumerate(self.spaces))
+
+    def encode_assignment(self, ids: Sequence[int]) -> dict[str, bool]:
+        """A current-bit assignment selecting exactly the state *ids*."""
+        assignment: dict[str, bool] = {}
+        for index, space in enumerate(self.spaces):
+            for bit, name in enumerate(self.cur_names[index]):
+                assignment[name] = bool(ids[index] >> bit & 1)
+        return assignment
+
+    def n_local_states(self) -> dict[str, int]:
+        return {space.label: space.n_states for space in self.spaces}
+
+    def state_bits(self) -> int:
+        return len(self.all_cur)
+
+    # -- concretization support (CompiledStateView) ------------------------
+
+    def steps_at(self, ids: tuple[int, ...],
+                 include_empty: bool = False) -> tuple:
+        """Acceptable steps at an encoded state, ordered exactly as
+        :meth:`ExecutionModel.acceptable_steps` orders them."""
+        nodes = tuple(self.formula_nodes[index][ids[index]]
+                      for index in range(len(self.spaces)))
+        conj = self._conj_cache.get(nodes)
+        if conj is None:
+            conj = self.bdd.conjoin(nodes)
+            self._conj_cache.put(nodes, conj)
+        key = (conj, include_empty)
+        steps = self._steps_cache.get(key)
+        if steps is None:
+            collected = []
+            for model in self.bdd.iter_models(conj, self.events):
+                step = frozenset(name for name, value in model.items()
+                                 if value)
+                if step or include_empty:
+                    collected.append(step)
+            collected.sort(key=lambda s: (len(s), sorted(s)))
+            steps = tuple(collected)
+            self._steps_cache.put(key, steps)
+        return steps
+
+    def successor(self, ids: tuple[int, ...],
+                  step: frozenset[str]) -> tuple[int, ...]:
+        """The unique successor of an encoded state under *step*."""
+        projections = self._proj_cache.get(step)
+        if projections is None:
+            projections = tuple(step & frozenset(space.alphabet)
+                                for space in self.spaces)
+            self._proj_cache.put(step, projections)
+        try:
+            return tuple(
+                space.delta[ids[index]][projections[index]]
+                for index, space in enumerate(self.spaces))
+        except KeyError:
+            raise EngineError(
+                f"step {sorted(step)} is not acceptable in the compiled "
+                f"system of {self.name!r}") from None
+
+
+class ReachableSet:
+    """The reachable configuration set as a BDD, plus layer structure.
+
+    All queries answer on the symbolic set without concretizing; use
+    :meth:`to_statespace` (or ``explore(strategy='symbolic')``) when the
+    explicit graph is needed.
+    """
+
+    def __init__(self, system: TransitionSystem, node: int,
+                 layers: list[int], truncated: bool, include_empty: bool):
+        self.system = system
+        self.node = node
+        self.layers = layers
+        self.truncated = truncated
+        self.include_empty = include_empty
+
+    @property
+    def depth(self) -> int:
+        """Number of completed image iterations (BFS layers - 1)."""
+        return len(self.layers) - 1
+
+    def count(self) -> int:
+        """Exact number of reachable states — no enumeration."""
+        return self.system.count_states(self.node)
+
+    def layer_counts(self) -> list[int]:
+        return [self.system.count_states(layer) for layer in self.layers]
+
+    def contains(self, ids: Sequence[int]) -> bool:
+        return self.system.bdd.evaluate(
+            self.node, self.system.encode_assignment(ids))
+
+    def _require_complete(self, what: str) -> None:
+        if self.truncated:
+            raise EngineError(
+                f"{what} needs the complete reachable set; this fixpoint "
+                f"was truncated by its depth/state budget")
+
+    # -- invariant checks (answered on the BDD) ----------------------------
+
+    def deadlock_node(self) -> int:
+        """States in the set with no outgoing step (per the exploration
+        semantics: non-empty steps, plus configuration-changing empty
+        steps when the set was computed with ``include_empty``)."""
+        self._require_complete("deadlock analysis")
+        bdd = self.system.bdd
+        can_step = bdd.exists(
+            self.system.step_relation(self.include_empty),
+            self.system.all_primed + self.system.events)
+        return bdd.apply_and(self.node, bdd.apply_not(can_step))
+
+    def deadlock_count(self) -> int:
+        return self.system.count_states(self.deadlock_node())
+
+    def is_deadlock_free(self) -> bool:
+        return self.deadlock_node() == self.system.bdd.zero
+
+    def live_events(self) -> set[str]:
+        """Events occurring on at least one transition from the set."""
+        self._require_complete("liveness analysis")
+        bdd = self.system.bdd
+        outgoing = bdd.apply_and(
+            self.system.step_relation(self.include_empty), self.node)
+        alive = set()
+        for event in self.system.events:
+            if bdd.apply_and(outgoing, bdd.var(event)) != bdd.zero:
+                alive.add(event)
+        return alive
+
+    def dead_events(self) -> set[str]:
+        return set(self.system.events) - self.live_events()
+
+    def local_states(self, constraint: int | str) -> list[Hashable]:
+        """Reachable local ``state_key()`` values of one constraint —
+        the projection of the set onto that constraint's state bits
+        (buffer occupancies, automaton states, counter values)."""
+        system = self.system
+        if isinstance(constraint, str):
+            matches = [space for space in system.spaces
+                       if space.label == constraint]
+            if not matches:
+                raise EngineError(
+                    f"no constraint labelled {constraint!r} in "
+                    f"{system.name!r}")
+            space = matches[0]
+        else:
+            space = system.spaces[constraint]
+        bdd = system.bdd
+        mine = set(system.cur_names[space.index])
+        others = [name for name in system.all_cur if name not in mine]
+        projected = bdd.exists(self.node, others)
+        ids = set()
+        for model in bdd.iter_models(projected,
+                                     system.cur_names[space.index]):
+            local_id = sum(
+                1 << bit
+                for bit, name in enumerate(system.cur_names[space.index])
+                if model[name])
+            if local_id < space.n_states:
+                ids.add(local_id)
+        return [space.keys[local_id] for local_id in sorted(ids)]
+
+    # -- enumeration / concretization --------------------------------------
+
+    def states(self) -> Iterator[tuple]:
+        """Enumerate reachable configuration keys (deterministic order)."""
+        system = self.system
+        for model in system.bdd.iter_models(self.node, system.all_cur):
+            ids = []
+            for index in range(len(system.spaces)):
+                ids.append(sum(
+                    1 << bit
+                    for bit, name in enumerate(system.cur_names[index])
+                    if model[name]))
+            yield system.decode_key(ids)
+
+    def to_statespace(self, max_states: int = 10_000,
+                      max_depth: int | None = None, strict: bool = False,
+                      maximal_only: bool = False):
+        """Concretize to an explicit :class:`StateSpace` — identical to
+        ``explore(model, strategy='symbolic')`` with the same budgets."""
+        from repro.engine.explorer import _bfs
+        return _bfs(CompiledStateView(self.system), self.system.name,
+                    self.system.events, max_states=max_states,
+                    max_depth=max_depth, include_empty=self.include_empty,
+                    strict=strict, maximal_only=maximal_only)
+
+    def summary(self) -> dict[str, object]:
+        data: dict[str, object] = {
+            "states": self.count(),
+            "depth": self.depth,
+            "state_bits": self.system.state_bits(),
+            "bdd_nodes": self.system.bdd.node_count(),
+            "truncated": self.truncated,
+        }
+        if not self.truncated:
+            data["deadlocks"] = self.deadlock_count()
+            data["dead_events"] = sorted(self.dead_events())
+        return data
+
+    def __repr__(self):
+        status = " (truncated)" if self.truncated else ""
+        return (f"ReachableSet({self.system.name!r}, {self.count()} "
+                f"states, depth {self.depth}{status})")
+
+
+class CompiledStateView:
+    """Drives the explorer's BFS loop over a compiled system.
+
+    Implements the working-model protocol the explorer needs
+    (``configuration``/``snapshot``/``restore``/``acceptable_steps``/
+    ``advance``/``is_accepting``) with table lookups on the
+    :class:`TransitionSystem` — no constraint runtime is ever touched,
+    which is what makes the symbolic strategy's concretization faster
+    than explicit exploration while producing the identical graph.
+    """
+
+    def __init__(self, system: TransitionSystem):
+        self.system = system
+        self._current: tuple[int, ...] = system.initial_ids
+
+    def configuration(self) -> tuple:
+        return self.system.decode_key(self._current)
+
+    def snapshot(self) -> tuple[int, ...]:
+        return self._current
+
+    def restore(self, token: tuple[int, ...]) -> None:
+        self._current = token
+
+    def acceptable_steps(self,
+                         include_empty: bool = False) -> list[frozenset[str]]:
+        return list(self.system.steps_at(self._current, include_empty))
+
+    def advance(self, step: frozenset[str], check: bool = True) -> None:
+        self._current = self.system.successor(self._current, step)
+
+    def is_accepting(self) -> bool:
+        return all(space.accepting[self._current[index]]
+                   for index, space in enumerate(self.system.spaces))
+
+
+def compile_transition_system(
+        model, max_local_states: int = DEFAULT_MAX_LOCAL_STATES
+) -> TransitionSystem:
+    """Compile *model*'s transition relation (see :class:`TransitionSystem`).
+
+    Prefer :meth:`SymbolicKernel.transition_system
+    <repro.engine.execution_model.SymbolicKernel.transition_system>`,
+    which caches the compiled system on the model's kernel so clones and
+    repeated analyses share it.
+    """
+    return TransitionSystem(model, max_local_states=max_local_states)
+
+
+def symbolic_reachable(model, include_empty: bool = False,
+                       max_depth: int | None = None,
+                       max_states: int | None = None,
+                       max_local_states: int = DEFAULT_MAX_LOCAL_STATES
+                       ) -> ReachableSet:
+    """The reachable configuration set of *model*, by fixpoint iteration.
+
+    The compiled system is cached on the model's symbolic kernel; the
+    fixpoint itself is recomputed per call (budgets differ). Raises
+    :class:`~repro.errors.SymbolicEncodingError` when the model cannot
+    be finitely encoded (use ``explore(strategy='auto')`` to fall back
+    to explicit search automatically).
+    """
+    system = model.kernel.transition_system(
+        model, max_local_states=max_local_states)
+    return system.reachable(include_empty=include_empty,
+                            max_depth=max_depth, max_states=max_states)

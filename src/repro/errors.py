@@ -106,6 +106,16 @@ class ExplorationLimitError(EngineError):
     """Exhaustive exploration hit the configured state or depth bound."""
 
 
+class SymbolicEncodingError(EngineError):
+    """A model could not be finitely encoded for symbolic reachability
+    (e.g. a constraint's local state space exceeded the closure bound)."""
+
+
+class EquivalenceError(EngineError):
+    """The symbolic and explicit exploration strategies disagreed —
+    raised by the cross-checking harness; always a bug, never user error."""
+
+
 # ---------------------------------------------------------------------------
 # domain (SDF / deployment) errors
 # ---------------------------------------------------------------------------

@@ -20,7 +20,6 @@ from repro.kernel.metamodel import (
     MetaClass,
     MetaModel,
     MetaReference,
-    PRIMITIVE_TYPES,
 )
 
 #: Flags understood in attribute/reference shorthand tuples.

@@ -15,10 +15,9 @@ behave like any other definition.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Union
+from typing import Callable, Iterable, Union
 
 from repro.errors import MoccmlError
-from repro.iexpr.ast import IntExpr
 from repro.kernel.names import check_identifier
 from repro.moccml.automata import ConstraintAutomataDefinition
 from repro.moccml.declarations import ConstraintDeclaration

@@ -30,7 +30,6 @@ class AutomatonRuntime:
     def __init__(self, definition: ConstraintAutomataDefinition,
                  bindings: Mapping[str, str | int],
                  label: str | None = None):
-        from repro.moccml.semantics.runtime import ConstraintRuntime
         # bind parameters -------------------------------------------------
         self.definition = definition
         declaration = definition.declaration

@@ -51,6 +51,7 @@ class RunSpec:
     max_depth: int | None = None
     include_empty: bool = False
     maximal_only: bool = False
+    strategy: str = "explicit"
     # -- campaign ----------------------------------------------------------
     watch: list[str] | None = None
     policies: list | None = None
@@ -83,6 +84,8 @@ class RunSpec:
                 doc["include_empty"] = True
             if self.maximal_only:
                 doc["maximal_only"] = True
+            if self.strategy != "explicit":
+                doc["strategy"] = self.strategy
         elif self.kind == "campaign":
             doc["steps"] = self.steps
             if self.watch is not None:
@@ -105,7 +108,7 @@ class RunSpec:
             raise SerializationError("a run spec document needs a 'model'")
         known = {"format", "kind", "model", "label", "policy", "steps",
                  "max_states", "max_depth", "include_empty", "maximal_only",
-                 "watch", "policies", "options"}
+                 "strategy", "watch", "policies", "options"}
         unknown = set(doc) - known
         if unknown:
             raise SerializationError(
@@ -117,6 +120,7 @@ class RunSpec:
             max_depth=doc.get("max_depth"),
             include_empty=bool(doc.get("include_empty", False)),
             maximal_only=bool(doc.get("maximal_only", False)),
+            strategy=doc.get("strategy", "explicit"),
             watch=(list(doc["watch"]) if doc.get("watch") is not None
                    else None),
             policies=(list(doc["policies"])
@@ -137,12 +141,18 @@ def SimulateSpec(model: str, policy: object = "asap", steps: int = 20,
 
 def ExploreSpec(model: str, max_states: int = 10_000,
                 max_depth: int | None = None, include_empty: bool = False,
-                maximal_only: bool = False, label: str | None = None,
-                **options) -> RunSpec:
-    """An exhaustive-exploration spec."""
+                maximal_only: bool = False, strategy: str = "explicit",
+                label: str | None = None, **options) -> RunSpec:
+    """An exhaustive-exploration spec.
+
+    *strategy* is ``"explicit"``, ``"symbolic"`` or ``"auto"`` — see
+    :func:`repro.engine.explorer.explore`; the result is identical
+    either way.
+    """
     return RunSpec(kind="explore", model=model, max_states=max_states,
                    max_depth=max_depth, include_empty=include_empty,
-                   maximal_only=maximal_only, label=label, options=options)
+                   maximal_only=maximal_only, strategy=strategy,
+                   label=label, options=options)
 
 
 def CampaignSpec(model: str, steps: int = 40,
@@ -228,9 +238,10 @@ class RunResult:
     # -- serialization -----------------------------------------------------
 
     def to_doc(self) -> dict:
+        import repro
         doc = {"format": _FORMAT, "kind": self.kind, "model": self.model,
                "status": self.status, "spec": self.spec,
-               "data": self.data}
+               "data": self.data, "version": repro.__version__}
         if self.label is not None:
             doc["label"] = self.label
         if self.error is not None:
@@ -242,6 +253,9 @@ class RunResult:
 
     @classmethod
     def from_doc(cls, doc: dict) -> "RunResult":
+        """Rebuild a result; the writer's ``version`` stamp is accepted
+        from any build (the payload format itself is versioned by
+        ``format``)."""
         if not isinstance(doc, dict) or doc.get("kind") not in KINDS:
             raise SerializationError("expected a run-result document")
         if doc.get("format") != _FORMAT:

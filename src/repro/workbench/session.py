@@ -76,8 +76,10 @@ def _execute_explore(spec: RunSpec, handle: ModelHandle) -> dict:
     space = _explore(handle.execution_model, max_states=spec.max_states,
                      max_depth=spec.max_depth,
                      include_empty=spec.include_empty,
-                     maximal_only=spec.maximal_only)
+                     maximal_only=spec.maximal_only,
+                     strategy=spec.strategy)
     data = {
+        "strategy": spec.strategy,
         "summary": space.summary(),
         "parallelism_histogram": {
             str(size): count

@@ -148,3 +148,69 @@ class TestOperations:
         second = bdd.from_expr(And(a, b))
         assert first == second
         assert bdd.node_count() == before
+
+
+class TestRename:
+    def test_order_preserving_substitution(self):
+        bdd = Bdd(order=["a", "a'", "b", "b'"])
+        node = bdd.from_expr(And(Var("a'"), Not(Var("b'"))))
+        renamed = bdd.rename(node, {"a'": "a", "b'": "b"})
+        assert renamed == bdd.from_expr(And(a, Not(b)))
+
+    def test_identity_on_unrelated_function(self):
+        bdd = Bdd(order=["a", "b", "c"])
+        node = bdd.from_expr(Or(a, c))
+        assert bdd.rename(node, {"b": "x"}) == node
+
+    def test_undeclared_source_is_ignored(self):
+        bdd = Bdd(order=["a"])
+        node = bdd.from_expr(a)
+        assert bdd.rename(node, {"zzz": "a"}) == node
+
+    def test_non_monotone_mapping_rejected(self):
+        bdd = Bdd(order=["a", "b"])
+        node = bdd.from_expr(And(a, Not(b)))
+        with pytest.raises(ValueError, match="variable order"):
+            bdd.rename(node, {"a": "z"})  # z is declared after b
+
+    def test_swap_rejected(self):
+        bdd = Bdd(order=["a", "b"])
+        node = bdd.from_expr(And(a, Not(b)))
+        with pytest.raises(ValueError, match="variable order"):
+            bdd.rename(node, {"a": "b", "b": "a"})
+
+    def test_rename_preserves_models(self):
+        bdd = Bdd(order=["p", "p'", "q", "q'"])
+        node = bdd.from_expr(Iff(Var("p'"), Var("q'")))
+        renamed = bdd.rename(node, {"p'": "p", "q'": "q"})
+        for assignment in all_assignments(frozenset({"p", "q"})):
+            primed = {name + "'": value
+                      for name, value in assignment.items()}
+            assert bdd.evaluate(renamed, assignment) == \
+                bdd.evaluate(node, primed)
+
+
+class TestExprMemoBound:
+    def test_memo_is_evicted_not_pinned(self):
+        bdd = Bdd()
+        limit = Bdd._EXPR_CACHE_LIMIT
+        total = limit + 500
+        for index in range(total):
+            bdd.from_expr(Or(Var(f"v{index}"), Var(f"v{index + 1}")))
+            assert bdd.cache_sizes()["expr"] <= limit
+        assert bdd.cache_sizes()["expr"] == limit
+
+    def test_hot_entries_survive_eviction(self):
+        bdd = Bdd()
+        hot = And(a, b)
+        bdd.from_expr(hot)
+        original_limit = Bdd._EXPR_CACHE_LIMIT
+        try:
+            Bdd._EXPR_CACHE_LIMIT = 64
+            for index in range(200):
+                bdd.from_expr(hot)  # keep it recently used
+                bdd.from_expr(Or(Var(f"w{index}"), c))
+            assert hot in bdd._expr_cache
+            assert bdd.cache_sizes()["expr"] <= 64
+        finally:
+            Bdd._EXPR_CACHE_LIMIT = original_limit

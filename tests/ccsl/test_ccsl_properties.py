@@ -123,7 +123,6 @@ def test_clone_transparency(steps):
     original = PrecedesRuntime("a", "b", bound=2)
     accepted = drive(original, steps)
     replay = PrecedesRuntime("a", "b", bound=2)
-    clones = [replay]
     for step in accepted:
         replay = replay.clone()
         replay.advance(step)

@@ -228,3 +228,40 @@ class TestDriversOnTheKernel:
         rates = simulated_throughput(model, ["w", "r"], steps=20)
         assert model.configuration() == before
         assert rates["w"] > 0
+
+
+class TestBoundedExprMemo:
+    """The kernel Bdd's from_expr memo must stay bounded when clones are
+    created and discarded in bulk (dead clones' formulas must be evicted
+    rather than pinned forever)."""
+
+    def test_memo_bounded_across_1k_clone_discard_cycles(self):
+        from repro.boolalg import Or, Var
+        from repro.boolalg.bdd import Bdd
+        model = ExecutionModel(
+            ["a", "b"], [PrecedesRuntime("a", "b", bound=4)],
+            name="cycles")
+        kernel = model.kernel
+        original = Bdd._EXPR_CACHE_LIMIT
+        try:
+            Bdd._EXPR_CACHE_LIMIT = limit = 256
+            for cycle in range(1_000):
+                clone = model.clone()  # shares the kernel
+                clone.acceptable_steps()
+                clone.advance(frozenset({"a"}), check=False)
+                clone.acceptable_steps()
+                # a fresh formula per cycle simulates structurally new
+                # expressions flowing through the shared manager
+                kernel.bdd.from_expr(Or(Var(f"g{cycle}"), Var("a")))
+                del clone  # the dead clone must not pin its formulas
+                assert kernel.bdd.cache_sizes()["expr"] <= limit
+        finally:
+            Bdd._EXPR_CACHE_LIMIT = original
+
+    def test_clear_caches_detaches_dead_kernel(self):
+        model = ExecutionModel(
+            ["a", "b"], [PrecedesRuntime("a", "b", bound=2)], name="det")
+        model.acceptable_steps()
+        old_kernel = model.kernel
+        model.clear_caches()
+        assert model.kernel is not old_kernel

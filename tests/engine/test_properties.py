@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ccsl import AlternatesRuntime, PrecedesRuntime, subclock
+from repro.ccsl import AlternatesRuntime, PrecedesRuntime
 from repro.engine import ExecutionModel, explore
 from repro.engine.properties import (
     always,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ccsl import AlternatesRuntime, PrecedesRuntime
 from repro.engine import (
     AsapPolicy,
     ExecutionModel,

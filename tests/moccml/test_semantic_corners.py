@@ -1,7 +1,6 @@
 """Semantic corner cases: empty-step transitions, trigger-free
 transitions, final states, and include_empty exploration."""
 
-import pytest
 
 from repro.engine import ExecutionModel, explore
 from repro.moccml import LibraryRegistry

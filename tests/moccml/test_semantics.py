@@ -8,11 +8,11 @@ when both are.
 
 import pytest
 
-from repro.boolalg import Var, iter_models
+from repro.boolalg import iter_models
 from repro.errors import MoccmlError, SemanticsError
 from repro.moccml import LibraryRegistry, RelationLibrary
 from repro.moccml.semantics import AutomatonRuntime
-from tests.moccml.test_ast import place_declaration, place_definition
+from tests.moccml.test_ast import place_definition
 
 
 def make_runtime(push=1, pop=1, delay=0, capacity=2, definition=None):
@@ -131,7 +131,7 @@ class TestRuntimePlumbing:
 
     def test_extra_binding_rejected(self):
         with pytest.raises(MoccmlError):
-            make_runtime_extra = AutomatonRuntime(place_definition(), {
+            AutomatonRuntime(place_definition(), {
                 "write": "w", "read": "r", "pushRate": 1, "popRate": 1,
                 "itsDelay": 0, "itsCapacity": 1, "bogus": 9})
 

@@ -17,7 +17,7 @@ from repro.pam.experiments import (
     format_study,
     study_configuration,
 )
-from repro.sdf import analyze, check_application, build_execution_model
+from repro.sdf import analyze, check_application
 
 
 class TestApplication:

@@ -74,7 +74,7 @@ class TestValidation:
         builder.agent("a")
         builder.agent("b")
         builder.connect("a", "b", capacity=1, delay=1)
-        place = builder.connect("a", "b", capacity=2, delay=3, name="bad")
+        builder.connect("a", "b", capacity=2, delay=3, name="bad")
         _model, app = builder.build()
         issues = check_application(app)
         assert any("bad" in issue and "exceed" in issue for issue in issues)

@@ -272,3 +272,75 @@ class TestDeploy:
         partial = tmp_path / "partial.deploy"
         partial.write_text("platform p {\n processor cpu\n}\n")
         assert main(["deploy", app_file, str(partial)]) == 2
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_version_in_json_payloads(self, app_file, capsys):
+        import repro
+        assert main(["explore", app_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == repro.__version__
+
+    def test_version_in_dot_json(self, capsys):
+        import repro
+        assert main(["dot", "automaton", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == repro.__version__
+
+    def test_fallback_version_matches_pyproject(self):
+        # the source-checkout fallback in repro/__init__.py must track
+        # the single declared version in pyproject.toml (3.10-compatible
+        # regex parse; tomllib only exists from 3.11)
+        import re
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        declared = re.search(r'^version = "([^"]+)"', pyproject.read_text(),
+                             re.MULTILINE).group(1)
+        source = (Path(__file__).resolve().parents[1] / "src" / "repro"
+                  / "__init__.py").read_text()
+        fallback = re.search(r'__version__ = "([^"]+)"', source).group(1)
+        assert fallback == declared
+
+
+class TestExploreStrategy:
+    def test_symbolic_matches_explicit(self, app_file, capsys):
+        outputs = {}
+        for strategy in ("explicit", "symbolic", "auto"):
+            assert main(["explore", app_file, "--strategy", strategy]) == 0
+            outputs[strategy] = capsys.readouterr().out
+        assert outputs["explicit"] == outputs["symbolic"]
+        assert outputs["explicit"] == outputs["auto"]
+
+    def test_strategy_recorded_in_json(self, app_file, capsys):
+        assert main(["explore", app_file, "--strategy", "symbolic",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["data"]["strategy"] == "symbolic"
+        assert doc["spec"]["strategy"] == "symbolic"
+
+
+class TestSelftest:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest PASSED" in out
+        assert "sigpml-chain" in out
+        assert "ccsl-clocks" in out
+
+    def test_selftest_json(self, capsys):
+        import repro
+        assert main(["selftest", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "selftest"
+        assert doc["ok"] is True
+        assert doc["version"] == repro.__version__
+        assert len(doc["reports"]) == 3
+        assert all(report["agree"] for report in doc["reports"])

@@ -169,3 +169,32 @@ class TestUniformReports:
         from repro.viz import run_result_report
         result = workbench.simulate("demo", policy={"name": "nope"})
         assert "error" in run_result_report(result)
+
+
+class TestExploreStrategySpec:
+    def test_strategy_round_trips(self):
+        spec = ExploreSpec("demo", strategy="symbolic", max_states=50)
+        doc = spec.to_doc()
+        assert doc["strategy"] == "symbolic"
+        assert RunSpec.from_doc(doc).strategy == "symbolic"
+
+    def test_default_strategy_omitted_from_doc(self):
+        assert "strategy" not in ExploreSpec("demo").to_doc()
+        assert RunSpec.from_doc(
+            {"kind": "explore", "model": "demo"}).strategy == "explicit"
+
+    def test_strategies_agree_through_the_workbench(self, workbench):
+        explicit = workbench.explore("demo", include_graph=True)
+        symbolic = workbench.explore("demo", strategy="symbolic",
+                                     include_graph=True)
+        assert explicit.data["summary"] == symbolic.data["summary"]
+        assert explicit.data["statespace"] == symbolic.data["statespace"]
+        assert symbolic.data["strategy"] == "symbolic"
+
+    def test_result_doc_carries_version(self, workbench):
+        import repro
+        doc = workbench.explore("demo").to_doc()
+        assert doc["version"] == repro.__version__
+        # round-trip re-stamps with the current build
+        assert RunResult.from_doc(doc).to_doc()["version"] == \
+            repro.__version__
