@@ -24,6 +24,14 @@ import json
 import sys
 from pathlib import Path
 
+#: benchmark files the gate requires in every fresh report even when
+#: the committed baseline predates them — a new acceptance-critical
+#: bench cannot silently drop out of the smoke run.
+REQUIRED_FILES = (
+    "bench_e12_symbolic_reachability.py",
+    "bench_e13_ctl_check.py",
+)
+
 
 def _index_files(report: dict) -> dict[str, dict]:
     return {record["file"]: record for record in report.get("files", [])}
@@ -68,6 +76,17 @@ def compare(baseline: dict, fresh: dict, factor: float, floor: float) -> list[st
                     f"{bench_name}: mean {base_mean:.4f}s -> "
                     f"{fresh_mean:.4f}s ({fresh_mean / base_mean:.1f}x)"
                 )
+
+    for name in REQUIRED_FILES:
+        fresh_record = fresh_files.get(name)
+        baseline_status = baseline_files.get(name, {}).get("status")
+        if fresh_record is None:
+            problems.append(f"{name}: required benchmark missing from the run")
+        elif fresh_record["status"] != "ok" and baseline_status != "ok":
+            # the ok->non-ok transition is already flagged by the main
+            # loop; this catches a required bench that was never ok (or
+            # whose baseline record is itself broken)
+            problems.append(f"{name}: required benchmark {fresh_record['status']}")
 
     for name in sorted(set(fresh_files) - set(baseline_files)):
         print(f"note: new benchmark file {name} (no baseline yet)")

@@ -97,6 +97,22 @@ def main() -> None:
           "exclusion) while preserving liveness — checked over every "
           "schedule, not just one simulation.")
 
+    # -- the unified checker: one property text, any backend ---------------
+    # The same questions as CTL text, answered through CheckSpec — and by
+    # the symbolic backend, which never builds the graph at all.
+    print("\nunified checker (repro check / CheckSpec):")
+    for text in ("AG !deadlock",
+                 "AF occurs(log.start)",
+                 "occurs(sense.start) leads_to occurs(log.start)",
+                 "AG var(PlaceLimitation@Place:raw.size) <= 2"):
+        result = workbench.check("sensor", text, strategy="symbolic")
+        print(f"  {text:55s} {result.data['verdict'].upper()}")
+    refuted = workbench.check("sensor", "AG occurs(sense.start)")
+    print(f"  {'AG occurs(sense.start)':55s} "
+          f"{refuted.data['verdict'].upper()} "
+          f"(counterexample of {len(refuted.data['trace'])} step(s), "
+          f"replayable via result.trace())")
+
 
 if __name__ == "__main__":
     main()

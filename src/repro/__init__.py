@@ -64,6 +64,8 @@ old call                                     workbench equivalent
 ``Simulator(model, AsapPolicy()).run(n)``    ``wb.simulate(name, policy="asap",
                                              steps=n)``
 ``explore(model, max_states=n)``             ``wb.explore(name, max_states=n)``
+``properties.always/never/...(space, p)``    ``wb.check(name, "AG !deadlock")``
+                                             / ``CheckSpec(name, prop)``
 ``run_campaign(model, steps, watch)``        ``wb.campaign(name, steps=s,
                                              watch=[...])``
 ``analyze(app)``                             ``wb.analyze(name)``

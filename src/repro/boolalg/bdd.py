@@ -263,6 +263,42 @@ class Bdd:
 
         return walk(node)
 
+    def substitute(self, node: int, mapping: Mapping[str, str]) -> int:
+        """Simultaneous variable substitution: ``mapping[old] = new``.
+
+        Unlike :meth:`rename`, the mapping may be arbitrary — in
+        particular it may *swap* variables (the current↔primed exchange
+        of relational image/preimage computation, where the target
+        variables are themselves in the function's support). Implemented
+        as a vector compose: every variable is replaced by the function
+        of its image variable in one bottom-up pass, so the substitution
+        is simultaneous by construction. Costs ITE work per node instead
+        of :meth:`rename`'s single linear walk — prefer :meth:`rename`
+        when the mapping is order-monotone over the support.
+        """
+        level_map: dict[int, int] = {}
+        for old, new in mapping.items():
+            if old not in self._levels:
+                continue  # variable never declared: cannot be in any support
+            level_map[self._levels[old]] = self.declare(new)
+        cache: dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current in (self.zero, self.one):
+                return current
+            cached = cache.get(current)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[current]
+            low_walked, high_walked = walk(low), walk(high)
+            target = level_map.get(level, level)
+            guard = self._node(target, self.zero, self.one)
+            result = self.ite(guard, high_walked, low_walked)
+            cache[current] = result
+            return result
+
+        return walk(node)
+
     # -- building from expressions -----------------------------------------------
 
     def from_expr(self, expr: BExpr) -> int:

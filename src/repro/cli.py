@@ -5,6 +5,10 @@ the workbench facilities of the paper's tooling:
 
 * ``simulate`` — simulate a SigPML application under a policy;
 * ``explore`` — exhaustively explore its scheduling state space;
+* ``check`` — verify a temporal property of every acceptable schedule
+  (``repro check app.sigpml "AG !deadlock"``), with three-valued
+  verdicts (HOLDS/FAILS/UNKNOWN — never a definitive answer from a
+  truncated exploration) and replayable witness/counterexample traces;
 * ``analyze`` — static SDF analysis (repetition vector, PASS);
 * ``dot`` — render the application, its MoCC automata, or the state
   space as DOT;
@@ -34,6 +38,7 @@ from repro.viz import run_result_report, sdf_to_dot, statespace_report, \
     trace_report
 from repro.workbench import (
     CampaignSpec,
+    CheckSpec,
     DeploymentSpec,
     ExploreSpec,
     SimulateSpec,
@@ -110,6 +115,20 @@ def cmd_explore(args: argparse.Namespace) -> int:
         raise ReproError(result.error)
     print(run_result_report(result))
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    workbench = _workbench_for(args)
+    result = workbench.run(CheckSpec(
+        "app", args.property, strategy=args.strategy,
+        max_states=args.max_states))
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok and result.data["verdict"] == "holds" else 1
+    if not result.ok:
+        raise ReproError(result.error)
+    print(run_result_report(result))
+    return 0 if result.data["verdict"] == "holds" else 1
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -312,8 +331,10 @@ def cmd_selftest(args: argparse.Namespace) -> int:
           f"exploration")
     for report in reports:
         verdict = "OK" if report["agree"] else "MISMATCH"
+        checked = len(report.get("properties") or [])
         line = (f"  {report['model']:<18} {report['states']:>6} state(s) "
-                f"{report['transitions']:>6} transition(s)  {verdict}")
+                f"{report['transitions']:>6} transition(s) "
+                f"{checked:>2} properties  {verdict}")
         print(line)
         for mismatch in report["mismatches"]:
             print(f"    - {mismatch}")
@@ -350,6 +371,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="exploration strategy (identical result; "
                                "symbolic compiles a BDD transition relation)")
     explorer.set_defaults(handler=cmd_explore)
+
+    checker = subparsers.add_parser(
+        "check",
+        help="check a temporal property of every acceptable schedule")
+    _add_common(checker)
+    checker.add_argument("property",
+                         help="property text, e.g. 'AG !deadlock', "
+                              "'AF occurs(sink.start)', "
+                              "'occurs(a) leads_to occurs(b)'")
+    checker.add_argument("--strategy", default="auto",
+                         choices=("explicit", "symbolic", "auto"),
+                         help="checking backend: explicit exploration "
+                              "(three-valued on truncation), symbolic "
+                              "fixpoints on the BDD relation, or auto")
+    checker.add_argument("--max-states", type=int, default=10_000,
+                         help="explicit-strategy state budget; exceeding "
+                              "it yields the UNKNOWN verdict")
+    checker.set_defaults(handler=cmd_check)
 
     analyzer = subparsers.add_parser(
         "analyze", help="static SDF analysis (repetition vector, PASS)")

@@ -49,21 +49,29 @@ with a *single* working model — advance, hash, restore — keeping only
 snapshot tokens in its BFS frontier; campaigns rewind one clone between
 policy runs instead of re-cloning.
 
-Choosing an exploration strategy
-================================
+Choosing a strategy — exploration and property checking
+=======================================================
 
-:func:`~repro.engine.explorer.explore` takes
-``strategy="explicit" | "symbolic" | "auto"``; all three produce
-byte-identical state spaces (the :mod:`repro.engine.equivalence`
-harness asserts this corpus-wide, and ``repro selftest`` re-checks it
-on demand), so the choice is purely about cost:
+:func:`~repro.engine.explorer.explore` and the temporal-property
+checker :func:`~repro.engine.ctl.check` both take
+``strategy="explicit" | "symbolic" | "auto"``. Exploration produces
+byte-identical state spaces either way, and property checks return
+identical verdicts *and* identical witness traces (the
+:mod:`repro.engine.equivalence` harness asserts both corpus-wide, and
+``repro selftest`` re-checks them on demand) — so the choice is about
+cost, and about what a bounded budget can soundly conclude:
 
-``"explicit"`` (the default)
+``"explicit"``
     One working model advanced and restored per edge. No setup cost and
     no encodability requirement — the right choice for small models,
     one-shot explorations, and models with (locally) unbounded counters
     such as an unbounded CCSL precedence, which cannot be finitely
-    encoded.
+    encoded. Property checks on an explicit space are *three-valued*
+    (:class:`~repro.engine.properties.Verdict`): when the
+    ``max_states``/``max_depth`` budget truncates the exploration, a
+    check returns ``HOLDS``/``FAILS`` only if the explored region alone
+    proves it (e.g. a safety violation was found) and ``UNKNOWN``
+    otherwise — never "verified" from a partial search.
 
 ``"symbolic"``
     The model is first compiled to a BDD transition relation over event
@@ -71,22 +79,46 @@ on demand), so the choice is purely about cost:
     (:mod:`repro.engine.symbolic`); graph construction then runs over
     encoded states with table lookups instead of runtime mutation, and
     the compiled system is cached on the model's kernel for reuse by
-    clones. Wins once the per-edge work dominates the compile cost —
-    larger models, repeated explorations of one family. More
-    importantly, the *fixpoint* API
-    (:func:`~repro.engine.symbolic.symbolic_reachable`) computes the
-    reachable set by image iteration and answers state counts, deadlock
-    freedom, event liveness and variable/buffer bounds directly on the
-    BDD — reaching spaces whose explicit graphs are too large to build
-    at all (see ``bench_e12``). Raises
-    :class:`~repro.errors.SymbolicEncodingError` when a constraint's
-    local state space is unbounded.
+    clones. The *fixpoint* APIs never build a graph at all:
+    :func:`~repro.engine.symbolic.symbolic_reachable` computes the
+    reachable set by forward image iteration, and
+    :func:`~repro.engine.ctl.check` evaluates full CTL (EX/EF/EG/EU and
+    the A-duals, plus ``leads_to``) by backward
+    :meth:`~repro.engine.symbolic.TransitionSystem.preimage` fixpoints
+    on that relation — definitive verdicts on spaces whose explicit
+    graphs are far too large to build (``bench_e12``/``bench_e13``).
+    Raises :class:`~repro.errors.SymbolicEncodingError` when a
+    constraint's local state space is unbounded.
 
 ``"auto"``
     Symbolic for models with at least
     :data:`~repro.engine.explorer.AUTO_EVENT_THRESHOLD` events, with a
     transparent fallback to explicit when the model is not finitely
-    encodable. Use this when batching heterogeneous models.
+    encodable; for property checks on small models it additionally
+    escalates to symbolic whenever the explicit verdict comes back
+    ``UNKNOWN``. Use this when batching heterogeneous models — it is
+    the default of ``repro check`` and ``CheckSpec``.
+
+Property syntax, worked example
+===============================
+
+Properties are state formulas over atoms ``occurs(event)`` (a step
+containing *event* is acceptable here), ``deadlock``,
+``state(label, value)`` (a constraint's local control state) and
+``var(label.name) OP k`` (automaton variable bounds), combined with
+``!``/``&``/``|``/``->`` and the CTL operators ``AG AF AX EG EF EX``,
+``A[p U q]``/``E[p U q]`` and the response pattern ``p leads_to q``::
+
+    from repro.workbench import Workbench
+    wb = Workbench()
+    wb.add("app.sigpml", name="app")
+    result = wb.check("app", "AG !deadlock")          # CheckSpec
+    result.data["verdict"]                            # "holds"
+    bad = wb.check("app", "occurs(a.start) leads_to occurs(b.start)")
+    bad.trace().to_ascii()   # counterexample schedule, when one exists
+
+or from the shell: ``repro check app.sigpml "AF occurs(b.start)"
+--strategy symbolic`` (exit code 0 iff the verdict is HOLDS).
 """
 
 from repro.engine.execution_model import ExecutionModel, SymbolicKernel
@@ -114,6 +146,14 @@ from repro.engine.analysis import (
     variable_bounds,
 )
 from repro.engine.equivalence import assert_equivalent, cross_check
+from repro.engine.ctl import (
+    CheckResult,
+    check,
+    check_space,
+    parse_property,
+    replay_steps,
+)
+from repro.engine.properties import Verdict
 from repro.engine.symbolic import (
     CompiledStateView,
     ReachableSet,
@@ -140,4 +180,6 @@ __all__ = [
     "symbolic_variable_bounds", "symbolic_check_variable_bound",
     "assert_equivalent", "cross_check",
     "properties",
+    "check", "check_space", "parse_property", "replay_steps",
+    "CheckResult", "Verdict",
 ]

@@ -5,9 +5,14 @@ state space the explicit engine computes. This module makes that a
 checkable property: :func:`cross_check` runs both strategies plus the
 pure fixpoint on one model and reports every discrepancy;
 :func:`assert_equivalent` turns discrepancies into
-:class:`~repro.errors.EquivalenceError`. The test corpus runs the
-harness on every model family (``tests/engine/test_symbolic_equivalence``),
-and ``repro selftest`` ships it to users and CI as a smoke check.
+:class:`~repro.errors.EquivalenceError`. The same contract covers the
+temporal-property layer: a battery of CTL checks
+(:data:`PROPERTY_BATTERY`) runs through both :mod:`repro.engine.ctl`
+backends and must agree on every verdict, produce identical witness
+step sequences, and every witness must replay as an actual schedule
+prefix of the model. The test corpus runs the harness on every model
+family (``tests/engine/test_symbolic_equivalence``), and
+``repro selftest`` ships it to users and CI as a smoke check.
 """
 
 from __future__ import annotations
@@ -15,6 +20,21 @@ from __future__ import annotations
 from repro.engine.explorer import explore
 from repro.engine.statespace import StateSpace
 from repro.errors import EquivalenceError
+
+#: property templates cross-checked on every corpus model; ``{e0}`` and
+#: ``{e1}`` are substituted with the model's first two events.
+PROPERTY_BATTERY = (
+    "AG !deadlock",
+    "EF deadlock",
+    "EF occurs({e0})",
+    "AF occurs({e0})",
+    "AG occurs({e0})",
+    "EG !occurs({e1})",
+    "E[!occurs({e1}) U occurs({e0})]",
+    "A[!occurs({e1}) U occurs({e0})]",
+    "occurs({e0}) leads_to occurs({e1})",
+    "AX (occurs({e0}) | occurs({e1}) | deadlock)",
+)
 
 
 def _graph_keys(space: StateSpace) -> set:
@@ -88,10 +108,60 @@ def cross_check(
         check("deadlock count", len(explicit.deadlocks()), reachable.deadlock_count())
         check("dead events", explicit.dead_events(), reachable.dead_events())
         report["fixpoint"] = {"states": reachable.count(), "depth": reachable.depth}
+        report["properties"] = _cross_check_properties(
+            model, explicit, include_empty, check
+        )
 
     report["mismatches"] = mismatches
     report["agree"] = not mismatches
     return report
+
+
+def _cross_check_properties(model, space, include_empty, check) -> list[dict]:
+    """Run the property battery through both ctl backends — the
+    explicit one over the already-explored *space* — and diff verdicts,
+    witness steps, and witness replayability."""
+    from repro.engine.ctl import check as check_property
+    from repro.engine.ctl import check_space, replay_steps
+
+    events = sorted(model.events)
+    if events:
+        templates = PROPERTY_BATTERY
+        substitutions = {"e0": events[0],
+                         "e1": events[min(1, len(events) - 1)]}
+    else:  # event-free model: only the event-free templates apply
+        templates = tuple(t for t in PROPERTY_BATTERY if "{e" not in t)
+        substitutions = {}
+    results = []
+    for template in templates:
+        text = template.format(**substitutions)
+        explicit = check_space(space, text)
+        symbolic = check_property(
+            model, text, strategy="symbolic", include_empty=include_empty
+        )
+        check(f"verdict of {text!r}", explicit.verdict, symbolic.verdict)
+        check(
+            f"witness steps of {text!r}",
+            explicit.witness_steps,
+            symbolic.witness_steps,
+        )
+        for result in (explicit, symbolic):
+            if result.witness_steps is not None and not replay_steps(
+                model, result.witness_steps
+            ):
+                check(
+                    f"witness replay of {text!r} ({result.strategy})",
+                    "replayable",
+                    "rejected",
+                )
+        results.append(
+            {
+                "property": text,
+                "verdict": explicit.verdict.value,
+                "witness": explicit.witness_kind,
+            }
+        )
+    return results
 
 
 def assert_equivalent(model, **kwargs) -> dict:

@@ -91,6 +91,9 @@ class SymbolicKernel:
     #: compiled transition systems are heavyweight (own BDD manager);
     #: keep only a few, keyed by the configuration they were built from
     TRANSITION_SYSTEM_CACHE_SIZE = 4
+    #: explored state spaces kept for repeated analyses (the property
+    #: checker's explicit backend) — also heavyweight, also few
+    EXPLORED_SPACE_CACHE_SIZE = 4
 
     def __init__(self, events: Iterable[str]):
         self.events: tuple[str, ...] = tuple(events)
@@ -100,6 +103,7 @@ class SymbolicKernel:
         self._steps_cache = _LruCache(self.STEPS_CACHE_SIZE)
         self._max_step_cache = _LruCache(self.STEPS_CACHE_SIZE)
         self._ts_cache = _LruCache(self.TRANSITION_SYSTEM_CACHE_SIZE)
+        self._space_cache = _LruCache(self.EXPLORED_SPACE_CACHE_SIZE)
         #: hit/miss counters (introspection, tests, tuning)
         self.stats = {"node_hits": 0, "node_misses": 0,
                       "steps_hits": 0, "steps_misses": 0}
@@ -153,6 +157,28 @@ class SymbolicKernel:
             self._ts_cache.put(key, system)
         return system
 
+    def explored_space(self, model: "ExecutionModel",
+                       max_states: int = 10_000,
+                       max_depth: int | None = None,
+                       include_empty: bool = False):
+        """An explicitly explored state space for *model*'s current
+        configuration, cached per (configuration, budgets) — repeated
+        property checks of one model share one exploration. Treat the
+        returned space as immutable; *model* must belong to the family
+        owning this kernel.
+        """
+        from repro.engine.explorer import explore
+        key = (model.configuration(), max_states, max_depth,
+               include_empty)
+        space = self._space_cache.get(key, _MISSING)
+        if space is _MISSING:
+            space = explore(model, max_states=max_states,
+                            max_depth=max_depth,
+                            include_empty=include_empty,
+                            strategy="explicit")
+            self._space_cache.put(key, space)
+        return space
+
     def cache_sizes(self) -> dict[str, int]:
         return {
             "nodes": len(self._node_cache),
@@ -160,6 +186,7 @@ class SymbolicKernel:
             "steps": len(self._steps_cache),
             "max_steps": len(self._max_step_cache),
             "transition_systems": len(self._ts_cache),
+            "explored_spaces": len(self._space_cache),
             "bdd_nodes": self.bdd.node_count(),
         }
 
@@ -170,6 +197,7 @@ class SymbolicKernel:
         self._steps_cache.clear()
         self._max_step_cache.clear()
         self._ts_cache.clear()
+        self._space_cache.clear()
         self.bdd.clear_operation_caches()
 
 

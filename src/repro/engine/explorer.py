@@ -164,7 +164,8 @@ def _bfs(work, name: str, events: list[str], max_states: int,
             work.restore(snapshot)
 
     return StateSpace(graph=graph, initial=0, events=events,
-                      truncated=truncated, name=name)
+                      truncated=truncated, name=name,
+                      maximal_only=maximal_only)
 
 
 def _maximal_steps(steps: list[frozenset[str]]) -> list[frozenset[str]]:

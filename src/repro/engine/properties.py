@@ -18,16 +18,73 @@ standard finite-state checks over a :class:`StateSpace`:
 
 Step predicates receive the transition's event set; helpers
 :func:`occurs` and :func:`together` build the common ones.
+
+Soundness on truncated spaces
+=============================
+
+Every check returns a three-valued :class:`Verdict`. On a *complete*
+space the verdict is definitive (``HOLDS``/``FAILS``). On a *partial*
+space — truncated by a budget, or explored with ``maximal_only`` (the
+ASAP reduction, which drops non-maximal steps and therefore
+under-approximates the branching) — only verdicts witnessed inside the
+explored region are definitive: "no violation found in the explored
+2,000 of 14 million states" is **not** "verified", so the checks
+return ``Verdict.UNKNOWN`` instead of an unsound ``True``/``False``.
+``Verdict`` is truthy/falsy for the definitive values and *raises* when
+an ``UNKNOWN`` is forced into a boolean, so the historical
+``assert always(space, pred)`` idiom stays sound: it passes on a
+verified property, fails on a refuted one, and errors loudly — instead
+of silently "passing" — when the space was too large to finish.
+:func:`inevitable` and :func:`leads_to` need the complete cycle
+structure and keep raising ``ValueError`` on truncated spaces.
+
+For richer temporal logic (full CTL, nested operators, symbolic
+fixpoint evaluation that never builds the graph), see
+:mod:`repro.engine.ctl`, which subsumes these checks.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import deque
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.engine.statespace import StateSpace
 
 StepPredicate = Callable[[frozenset[str]], bool]
+
+
+class Verdict(enum.Enum):
+    """Three-valued outcome of a property check.
+
+    ``HOLDS`` and ``FAILS`` are definitive; ``UNKNOWN`` means the
+    explored region was truncated before the check could conclude.
+    ``HOLDS`` is truthy and ``FAILS`` falsy, so definitive verdicts
+    drop into boolean contexts unchanged; coercing ``UNKNOWN`` to a
+    boolean raises ``ValueError`` — the exact unsound coercion this
+    type exists to prevent. Use :attr:`definitive` (or compare against
+    ``Verdict.UNKNOWN``) to branch without risking the raise.
+    """
+
+    HOLDS = "holds"
+    FAILS = "fails"
+    UNKNOWN = "unknown"
+
+    @property
+    def definitive(self) -> bool:
+        return self is not Verdict.UNKNOWN
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __bool__(self) -> bool:
+        if self is Verdict.UNKNOWN:
+            raise ValueError(
+                "verdict is UNKNOWN (the state space was truncated before "
+                "the check could conclude); re-check with a larger budget "
+                "or the symbolic strategy (repro.engine.ctl.check) instead "
+                "of coercing to a boolean")
+        return self is Verdict.HOLDS
 
 
 def occurs(event: str) -> StepPredicate:
@@ -41,22 +98,45 @@ def together(*events: str) -> StepPredicate:
     return lambda step: required <= step
 
 
-def always(space: StateSpace, predicate: StepPredicate) -> bool:
-    """AG over transitions: *predicate* holds on every reachable step."""
-    return all(predicate(data["step"])
-               for _u, _v, data in space.graph.edges(data=True))
+def _partial(space: StateSpace) -> bool:
+    """Whether *space* shows only part of the model's behaviour —
+    budget-truncated, or branching-reduced by ``maximal_only``."""
+    return space.truncated or space.maximal_only
 
 
-def never(space: StateSpace, predicate: StepPredicate) -> bool:
+def always(space: StateSpace, predicate: StepPredicate) -> Verdict:
+    """AG over transitions: *predicate* holds on every reachable step.
+
+    A violating transition refutes the property even on a partial
+    space (every explored edge is a real acceptable step); the absence
+    of one verifies it only when the space is complete (``UNKNOWN``
+    otherwise).
+    """
+    violated = any(not predicate(data["step"])
+                   for _u, _v, data in space.graph.edges(data=True))
+    if violated:
+        return Verdict.FAILS
+    return Verdict.UNKNOWN if _partial(space) else Verdict.HOLDS
+
+
+def never(space: StateSpace, predicate: StepPredicate) -> Verdict:
     """Safety: no reachable step satisfies *predicate*."""
     return always(space, lambda step: not predicate(step))
 
 
 def eventually_reachable(space: StateSpace,
-                         predicate: StepPredicate) -> bool:
-    """EF over transitions: some reachable step satisfies *predicate*."""
-    return any(predicate(data["step"])
-               for _u, _v, data in space.graph.edges(data=True))
+                         predicate: StepPredicate) -> Verdict:
+    """EF over transitions: some reachable step satisfies *predicate*.
+
+    A witnessing transition verifies the property even on a partial
+    space; the absence of one refutes it only when the space is
+    complete (``UNKNOWN`` otherwise).
+    """
+    found = any(predicate(data["step"])
+                for _u, _v, data in space.graph.edges(data=True))
+    if found:
+        return Verdict.HOLDS
+    return Verdict.UNKNOWN if _partial(space) else Verdict.FAILS
 
 
 def counterexample_path(space: StateSpace, predicate: StepPredicate
@@ -85,91 +165,94 @@ def counterexample_path(space: StateSpace, predicate: StepPredicate
     return None
 
 
-def inevitable(space: StateSpace, predicate: StepPredicate) -> bool:
+def _avoidance_traps(space: StateSpace, predicate: StepPredicate
+                     ) -> set[int]:
+    """States from which some maximal run avoids *predicate* forever.
+
+    Remove every edge satisfying the predicate; a state is a trap iff,
+    in the remaining "avoiding" subgraph, it can reach a deadlock of
+    the original space or a cycle. One backward reachability pass over
+    the whole graph — shared by :func:`inevitable` (which asks about
+    the initial state) and :func:`leads_to` (which asks about every
+    trigger target at once).
+    """
+    adjacency: dict[int, list[int]] = {}
+    reverse: dict[int, list[int]] = {}
+    for u, v, data in space.graph.edges(data=True):
+        if predicate(data["step"]):
+            continue
+        adjacency.setdefault(u, []).append(v)
+        reverse.setdefault(v, []).append(u)
+
+    # seed 1: deadlocks of the original space (maximal finite runs that
+    # end without ever satisfying the predicate)
+    seeds: set[int] = set(space.deadlocks())
+    # seed 2: nodes on a cycle of the avoiding subgraph (infinite runs);
+    # iteratively strip nodes with no avoiding successor — what survives
+    # is exactly the set of nodes with an infinite avoiding path, which
+    # contains every avoiding cycle
+    out_degree = {u: len(targets) for u, targets in adjacency.items()}
+    stripped = deque(
+        node for node in space.graph.nodes if out_degree.get(node, 0) == 0)
+    removed: set[int] = set()
+    while stripped:
+        node = stripped.popleft()
+        if node in removed:
+            continue
+        removed.add(node)
+        for predecessor in reverse.get(node, []):
+            out_degree[predecessor] -= 1
+            if out_degree[predecessor] == 0:
+                stripped.append(predecessor)
+    seeds.update(node for node in space.graph.nodes if node not in removed)
+
+    # backward closure: anything that reaches a seed through avoiding
+    # edges is itself a trap
+    traps: set[int] = set()
+    stack = list(seeds)
+    while stack:
+        node = stack.pop()
+        if node in traps:
+            continue
+        traps.add(node)
+        stack.extend(reverse.get(node, []))
+    return traps
+
+
+def inevitable(space: StateSpace, predicate: StepPredicate) -> Verdict:
     """AF over transitions: every run eventually takes a step satisfying
     *predicate*.
 
-    Computed as: no infinite run (cycle, or path into a deadlock) avoids
-    the predicate. Concretely, remove every edge satisfying the
-    predicate; the property fails iff the remaining graph, restricted to
-    what is reachable from the initial state, contains a cycle or a
-    path to a node that was a deadlock in the original space.
+    Computed as: no maximal run (infinite, or ending in a deadlock)
+    avoids the predicate — the initial state must not be an avoidance
+    trap (see :func:`_avoidance_traps`).
     """
-    if space.truncated:
+    if _partial(space):
         raise ValueError(
-            "inevitability is undecidable on a truncated state space")
-    avoiding = {
-        (u, v, key)
-        for u, v, key, data in space.graph.edges(keys=True, data=True)
-        if not predicate(data["step"])}
-    # reachability through avoiding edges only
-    reachable: set[int] = set()
-    stack = [space.initial]
-    adjacency: dict[int, list[int]] = {}
-    for u, v, key in avoiding:
-        adjacency.setdefault(u, []).append(v)
-    while stack:
-        node = stack.pop()
-        if node in reachable:
-            continue
-        reachable.add(node)
-        stack.extend(adjacency.get(node, []))
-    # a deadlock reachable while avoiding the predicate -> a maximal
-    # finite run that never satisfies it
-    deadlocks = set(space.deadlocks())
-    if reachable & deadlocks:
-        return False
-    # a cycle within the avoiding subgraph reachable from the start ->
-    # an infinite run that never satisfies it
-    return not _has_cycle(reachable, adjacency)
-
-
-def _has_cycle(nodes: set[int], adjacency: dict[int, list[int]]) -> bool:
-    state: dict[int, int] = {}  # 0 in-progress, 1 done
-
-    def visit(start: int) -> bool:
-        stack: list[tuple[int, Iterable[int]]] = [
-            (start, iter(adjacency.get(start, [])))]
-        state[start] = 0
-        while stack:
-            node, children = stack[-1]
-            advanced = False
-            for child in children:
-                if child not in nodes:
-                    continue
-                if child not in state:
-                    state[child] = 0
-                    stack.append((child, iter(adjacency.get(child, []))))
-                    advanced = True
-                    break
-                if state[child] == 0:
-                    return True
-            if not advanced:
-                state[node] = 1
-                stack.pop()
-        return False
-
-    for node in nodes:
-        if node not in state and visit(node):
-            return True
-    return False
+            "inevitability is undecidable on a truncated or "
+            "maximal_only state space")
+    if space.initial in _avoidance_traps(space, predicate):
+        return Verdict.FAILS
+    return Verdict.HOLDS
 
 
 def leads_to(space: StateSpace, trigger: StepPredicate,
-             target: StepPredicate) -> bool:
+             target: StepPredicate) -> Verdict:
     """Response property: whenever a *trigger* step is taken, every
-    continuation eventually takes a *target* step."""
-    if space.truncated:
+    continuation eventually takes a *target* step.
+
+    One shared backward pass computes the avoidance traps of *target*
+    for the whole graph; the property fails iff any trigger step enters
+    a trap. (Historically this rebuilt a state space and re-ran
+    :func:`inevitable` per trigger source — O(sources × graph).)
+    """
+    if _partial(space):
         raise ValueError(
-            "leads-to is undecidable on a truncated state space")
-    # collect the states entered by a trigger step, then check
-    # inevitability of the target from each of them
+            "leads-to is undecidable on a truncated or maximal_only "
+            "state space")
+    traps = _avoidance_traps(space, target)
     sources = {v for _u, v, data in space.graph.edges(data=True)
                if trigger(data["step"])}
-    for source in sources:
-        sub_space = StateSpace(graph=space.graph, initial=source,
-                               events=space.events, truncated=False,
-                               name=f"{space.name}@{source}")
-        if not inevitable(sub_space, target):
-            return False
-    return True
+    if sources & traps:
+        return Verdict.FAILS
+    return Verdict.HOLDS

@@ -27,6 +27,10 @@ class StateSpace:
     events: list[str]
     truncated: bool = False
     name: str = "state-space"
+    #: True when only ⊆-maximal steps were followed (the ASAP
+    #: reduction) — such a space under-approximates the branching and
+    #: is rejected by the property checker (repro.engine.ctl)
+    maximal_only: bool = False
 
     # -- sizes -------------------------------------------------------------------
 
@@ -147,6 +151,8 @@ class StateSpace:
             "nodes": nodes,
             "edges": edges,
         }
+        if self.maximal_only:  # omitted when False: full spaces keep
+            doc["maximal_only"] = True  # their historical byte layout
         return json.dumps(doc, indent=2)
 
     @classmethod
@@ -178,7 +184,8 @@ class StateSpace:
                            step=frozenset(edge_doc["step"]))
         return cls(graph=graph, initial=doc["initial"],
                    events=list(doc["events"]),
-                   truncated=bool(doc["truncated"]), name=doc["name"])
+                   truncated=bool(doc["truncated"]), name=doc["name"],
+                   maximal_only=bool(doc.get("maximal_only", False)))
 
     def __repr__(self):
         status = " (truncated)" if self.truncated else ""

@@ -36,7 +36,10 @@ The pipeline:
 
 Set-level queries (state counts, deadlock freedom, event liveness,
 variable/buffer bounds) are answered *directly on the reachable-set
-BDD* without concretizing. On-demand concretization back to an explicit
+BDD* without concretizing, and :meth:`TransitionSystem.preimage` — the
+backward relational product paired with :meth:`~TransitionSystem.image`
+— gives the CTL checker of :mod:`repro.engine.ctl` its EX/EF/EG/EU
+fixpoints on the same relation. On-demand concretization back to an explicit
 :class:`~repro.engine.statespace.StateSpace` — so ``to_json``, viz and
 the graph analyses keep working unchanged — runs the very same BFS loop
 as the explicit strategy over a :class:`CompiledStateView`, replacing
@@ -47,7 +50,7 @@ frontiers, which the :mod:`repro.engine.equivalence` harness asserts.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, Sequence
+from typing import Hashable, Iterable, Iterator, Sequence
 
 from repro.boolalg.bdd import Bdd
 from repro.boolalg.expr import BExpr
@@ -222,6 +225,11 @@ class TransitionSystem:
         self._steps_cache = _LruCache(4_096)
         self._proj_cache = _LruCache(4_096)
         self._step_relation_cache: dict[bool, int] = {}
+        self._reachable_cache: dict[bool, "ReachableSet"] = {}
+        #: scratch space for higher analysis layers (the CTL checker
+        #: parks its reach-restricted evaluator here) — lives and dies
+        #: with the compiled system
+        self.analysis_cache: dict = {}
 
     # -- encoding ----------------------------------------------------------
 
@@ -253,6 +261,7 @@ class TransitionSystem:
         self.all_primed = [name for index in self.order
                           for name in self.primed_names[index]]
         self.primed_to_cur = dict(zip(self.all_primed, self.all_cur))
+        self.cur_to_primed = dict(zip(self.all_cur, self.all_primed))
 
     def _encode_local(self, index: int, local_id: int,
                       primed: bool = False) -> int:
@@ -350,6 +359,58 @@ class TransitionSystem:
         succ = bdd.exists(conj, self.all_cur + self.events)
         return bdd.rename(succ, self.primed_to_cur)
 
+    def preimage(self, targets: int, include_empty: bool = False,
+                 relation: int | None = None) -> int:
+        """Predecessor states of the *targets* set, over current bits.
+
+        The backward relational product ``∃ events, primed:
+        T ∧ targets[cur := primed]`` — the primitive every backward CTL
+        fixpoint (EX/EF/EG/EU) is built from. *targets* must be a
+        function of the current state bits; the current→primed shift
+        uses the manager's general :meth:`~repro.boolalg.bdd.Bdd.\
+        substitute` (the paired twin of the primed→current
+        :meth:`~repro.boolalg.bdd.Bdd.rename` used by :meth:`image`).
+        *relation* overrides the step relation — pass a restricted
+        relation (e.g. conjoined with the reachable set) to keep the
+        fixpoint iterates small.
+        """
+        bdd = self.bdd
+        primed = bdd.substitute(targets, self.cur_to_primed)
+        if relation is None:
+            relation = self.step_relation(include_empty)
+        conj = bdd.apply_and(relation, primed)
+        return bdd.exists(conj, self.all_primed + self.events)
+
+    def can_step_node(self, include_empty: bool = False,
+                      relation: int | None = None) -> int:
+        """States with at least one outgoing step (over current bits).
+        *relation* overrides the step relation, as in :meth:`preimage`."""
+        if relation is None:
+            relation = self.step_relation(include_empty)
+        return self.bdd.exists(relation, self.all_primed + self.events)
+
+    def occurs_node(self, event: str, include_empty: bool = False,
+                    relation: int | None = None) -> int:
+        """States with an outgoing step containing *event*."""
+        bdd = self.bdd
+        if event not in self.events:
+            raise EngineError(
+                f"unknown event {event!r} in {self.name!r}; known: "
+                f"{sorted(self.events)}")
+        if relation is None:
+            relation = self.step_relation(include_empty)
+        taking = bdd.apply_and(relation, bdd.var(event))
+        return bdd.exists(taking, self.all_primed + self.events)
+
+    def local_states_node(self, index: int, local_ids: Iterable[int]) -> int:
+        """The set of states whose constraint *index* is in one of the
+        given local states (a disjunction of current-bit cubes)."""
+        bdd = self.bdd
+        node = bdd.zero
+        for local_id in local_ids:
+            node = bdd.apply_or(node, self._encode_local(index, local_id))
+        return node
+
     def count_states(self, node: int) -> int:
         return self.bdd.sat_count(node, self.all_cur)
 
@@ -382,6 +443,17 @@ class TransitionSystem:
                 truncated = True
                 break
         return ReachableSet(self, reached, layers, truncated, include_empty)
+
+    def reachable_set(self, include_empty: bool = False) -> "ReachableSet":
+        """The *complete* (budget-free) reachable set, cached on this
+        system — repeated analyses of one model family (the property
+        battery, successive ``check()`` calls) share one fixpoint run.
+        """
+        cached = self._reachable_cache.get(include_empty)
+        if cached is None:
+            cached = self.reachable(include_empty=include_empty)
+            self._reachable_cache[include_empty] = cached
+        return cached
 
     # -- decoding ----------------------------------------------------------
 
@@ -658,5 +730,7 @@ def symbolic_reachable(model, include_empty: bool = False,
     """
     system = model.kernel.transition_system(
         model, max_local_states=max_local_states)
+    if max_depth is None and max_states is None:
+        return system.reachable_set(include_empty=include_empty)
     return system.reachable(include_empty=include_empty,
                             max_depth=max_depth, max_states=max_states)

@@ -18,6 +18,17 @@ class Trace:
         self.events = list(dict.fromkeys(events))
         self.steps: list[frozenset[str]] = []
 
+    @classmethod
+    def from_steps(cls, events: Iterable[str],
+                   steps: Iterable[Iterable[str]]) -> "Trace":
+        """Rebuild a trace from serialized steps (any iterables of
+        event names) — the shared payload→Trace path of the workbench
+        artifacts and reports."""
+        trace = cls(events)
+        for step in steps:
+            trace.append(frozenset(step))
+        return trace
+
     # -- recording -------------------------------------------------------------
 
     def append(self, step: frozenset[str]) -> None:

@@ -8,10 +8,11 @@ and small report formatters used by the CLI and the examples.
 from repro.viz.dot import sdf_to_dot
 from repro.viz.report import (
     analysis_report,
+    check_report,
     run_result_report,
     statespace_report,
     trace_report,
 )
 
 __all__ = ["sdf_to_dot", "statespace_report", "trace_report",
-           "analysis_report", "run_result_report"]
+           "analysis_report", "run_result_report", "check_report"]

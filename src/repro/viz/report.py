@@ -77,4 +77,25 @@ def run_result_report(result) -> str:
         return format_campaign(result.campaign_rows())
     if result.kind == "analyze":
         return analysis_report(result.data)
+    if result.kind == "check":
+        return check_report(result.data)
     raise ValueError(f"unknown result kind {result.kind!r}")
+
+
+def check_report(data: dict) -> str:
+    """Render a property-check payload: verdict, evidence, witness."""
+    lines = [f"property: {data['property']}",
+             f"verdict:  {data['verdict'].upper()}"]
+    scope = f"{data['states']} state(s)"
+    if data.get("truncated"):
+        scope += ", truncated"
+    lines.append(f"checked:  {data['strategy']} strategy, {scope}")
+    if data.get("reason"):
+        lines.append(f"note:     {data['reason']}")
+    if data.get("witness_kind"):
+        steps = data["trace"]
+        lines.append(f"{data['witness_kind']}: {len(steps)} step(s)")
+        if steps:
+            lines.append("")
+            lines.append(Trace.from_steps(data["events"], steps).to_ascii())
+    return "\n".join(lines)

@@ -24,9 +24,15 @@ Four pieces:
   :func:`register_policy`) naming every scheduling policy, priorities
   and replays included;
 * **artifacts** — declarative :class:`RunSpec` (``SimulateSpec``,
-  ``ExploreSpec``, ``CampaignSpec``, ``AnalyzeSpec``) and uniform
-  :class:`RunResult` with canonical ``to_json()``/``from_json()``
-  round-trips for external tooling;
+  ``ExploreSpec``, ``CampaignSpec``, ``AnalyzeSpec``, ``CheckSpec``)
+  and uniform :class:`RunResult` with canonical
+  ``to_json()``/``from_json()`` round-trips for external tooling.
+  ``CheckSpec`` carries a temporal property ("AG !deadlock",
+  "AF occurs(sink.start)" — :func:`repro.engine.ctl.parse_property`);
+  its result payload is a three-valued verdict
+  (``holds``/``fails``/``unknown`` — *unknown* whenever the explicit
+  budget truncated before the verdict was proven) plus a replayable
+  witness/counterexample trace;
 * the **session** — :class:`Workbench` with :meth:`Workbench.run` and
   the batch runner :meth:`Workbench.run_many`, which shares one
   symbolic kernel per model across a whole batch and fans out over
@@ -56,6 +62,7 @@ from repro.workbench.policies import (
 from repro.workbench.artifacts import (
     AnalyzeSpec,
     CampaignSpec,
+    CheckSpec,
     ExploreSpec,
     RunResult,
     RunSpec,
@@ -71,4 +78,5 @@ __all__ = [
     "make_policy", "register_policy", "policy_names", "PolicyError",
     "RunSpec", "RunResult",
     "SimulateSpec", "ExploreSpec", "CampaignSpec", "AnalyzeSpec",
+    "CheckSpec",
 ]

@@ -24,7 +24,7 @@ from repro.errors import SerializationError
 from repro.workbench.policies import policy_doc
 
 #: The spec kinds, in presentation order.
-KINDS = ("simulate", "explore", "campaign", "analyze")
+KINDS = ("simulate", "explore", "campaign", "analyze", "check")
 
 #: doc format version for both artifacts
 _FORMAT = 1
@@ -46,12 +46,14 @@ class RunSpec:
     # -- simulate ----------------------------------------------------------
     policy: object = "asap"
     steps: int = 20
-    # -- explore -----------------------------------------------------------
+    # -- explore / check ---------------------------------------------------
     max_states: int = 10_000
     max_depth: int | None = None
     include_empty: bool = False
     maximal_only: bool = False
     strategy: str = "explicit"
+    # -- check -------------------------------------------------------------
+    prop: str | None = None
     # -- campaign ----------------------------------------------------------
     watch: list[str] | None = None
     policies: list | None = None
@@ -86,6 +88,19 @@ class RunSpec:
                 doc["maximal_only"] = True
             if self.strategy != "explicit":
                 doc["strategy"] = self.strategy
+        elif self.kind == "check":
+            if self.prop is None:
+                raise SerializationError(
+                    "a check spec needs a 'property' (the temporal "
+                    "property text, e.g. 'AG !deadlock')")
+            doc["property"] = self.prop
+            doc["max_states"] = self.max_states
+            if self.max_depth is not None:
+                doc["max_depth"] = self.max_depth
+            if self.include_empty:
+                doc["include_empty"] = True
+            if self.strategy != "auto":  # the check default, cf. from_doc
+                doc["strategy"] = self.strategy
         elif self.kind == "campaign":
             doc["steps"] = self.steps
             if self.watch is not None:
@@ -108,7 +123,7 @@ class RunSpec:
             raise SerializationError("a run spec document needs a 'model'")
         known = {"format", "kind", "model", "label", "policy", "steps",
                  "max_states", "max_depth", "include_empty", "maximal_only",
-                 "strategy", "watch", "policies", "options"}
+                 "strategy", "property", "watch", "policies", "options"}
         unknown = set(doc) - known
         if unknown:
             raise SerializationError(
@@ -120,7 +135,12 @@ class RunSpec:
             max_depth=doc.get("max_depth"),
             include_empty=bool(doc.get("include_empty", False)),
             maximal_only=bool(doc.get("maximal_only", False)),
-            strategy=doc.get("strategy", "explicit"),
+            # check defaults to auto (as CheckSpec/CLI do); explore keeps
+            # its historical explicit default
+            strategy=doc.get("strategy",
+                             "auto" if doc["kind"] == "check"
+                             else "explicit"),
+            prop=doc.get("property"),
             watch=(list(doc["watch"]) if doc.get("watch") is not None
                    else None),
             policies=(list(doc["policies"])
@@ -170,6 +190,28 @@ def AnalyzeSpec(model: str, label: str | None = None, **options) -> RunSpec:
                    options=options)
 
 
+def CheckSpec(model: str, prop: str, strategy: str = "auto",
+              max_states: int = 10_000, max_depth: int | None = None,
+              include_empty: bool = False, label: str | None = None,
+              **options) -> RunSpec:
+    """A temporal-property check spec.
+
+    *prop* is the property text of :func:`repro.engine.ctl.\
+    parse_property` (e.g. ``"AG !deadlock"``, ``"AF occurs(sink.start)"``).
+    *strategy* picks the backend (``"explicit"``/``"symbolic"``/
+    ``"auto"``); the explicit budget is ``max_states``/``max_depth`` and
+    an exhausted budget yields the ``"unknown"`` verdict — never an
+    unsound definitive one. The result payload carries the three-valued
+    verdict, the backend that answered, and — when the top-level
+    operator admits one — a witness/counterexample replayable via
+    ``result.trace()``.
+    """
+    return RunSpec(kind="check", model=model, prop=prop, strategy=strategy,
+                   max_states=max_states, max_depth=max_depth,
+                   include_empty=include_empty, label=label,
+                   options=options)
+
+
 @dataclass
 class RunResult:
     """The uniform outcome of one spec: status plus a JSON payload."""
@@ -189,14 +231,11 @@ class RunResult:
     # -- payload accessors -------------------------------------------------
 
     def trace(self) -> Trace:
-        """Rebuild the simulation trace from the payload."""
+        """Rebuild the simulation/witness trace from the payload."""
         if "trace" not in self.data:
             raise SerializationError(
                 f"result of kind {self.kind!r} carries no trace")
-        trace = Trace(self.data["events"])
-        for step in self.data["trace"]:
-            trace.append(frozenset(step))
-        return trace
+        return Trace.from_steps(self.data["events"], self.data["trace"])
 
     def statespace(self):
         """Rebuild the full state space (needs ``include_graph``)."""
@@ -229,9 +268,19 @@ class RunResult:
             summary = data["summary"]
             return (f"{head} {summary['states']} state(s), "
                     f"{summary['transitions']} transition(s), "
-                    f"deadlocks={summary['deadlocks']}")
+                    f"deadlocks={summary['deadlocks']}"
+                    f"{' (truncated)' if summary.get('truncated') else ''}")
         if self.kind == "campaign":
             return f"{head} {len(data['rows'])} policy row(s)"
+        if self.kind == "check":
+            tail = ""
+            if data.get("witness_kind"):
+                tail = f", {data['witness_kind']} of {len(data['trace'])} " \
+                       f"step(s)"
+            return (f"{head} {data['verdict'].upper()} "
+                    f"[{data['strategy']}, {data['states']} state(s)"
+                    f"{', truncated' if data.get('truncated') else ''}]"
+                    f"{tail}")
         return (f"{head} consistent={data['consistent']}, "
                 f"deadlock_free={data.get('deadlock_free', False)}")
 

@@ -27,6 +27,7 @@ from repro.errors import ReproError
 from repro.workbench.artifacts import (
     AnalyzeSpec,
     CampaignSpec,
+    CheckSpec,
     ExploreSpec,
     RunResult,
     RunSpec,
@@ -109,6 +110,19 @@ def _execute_campaign(spec: RunSpec, handle: ModelHandle) -> dict:
             "rows": [row.as_dict() for row in rows]}
 
 
+def _execute_check(spec: RunSpec, handle: ModelHandle) -> dict:
+    from repro.engine.ctl import check
+    if not spec.prop:
+        raise FrontendError(
+            "a check spec needs a 'property' (e.g. 'AG !deadlock')")
+    outcome = check(handle.execution_model, spec.prop,
+                    strategy=spec.strategy, max_states=spec.max_states,
+                    max_depth=spec.max_depth,
+                    include_empty=spec.include_empty,
+                    witness=spec.options.get("include_witness", True))
+    return outcome.to_doc()
+
+
 def _execute_analyze(spec: RunSpec, handle: ModelHandle) -> dict:
     from repro.sdf.analysis import analyze
     if handle.application is None:
@@ -135,6 +149,7 @@ _EXECUTORS = {
     "explore": _execute_explore,
     "campaign": _execute_campaign,
     "analyze": _execute_analyze,
+    "check": _execute_check,
 }
 
 
@@ -201,6 +216,11 @@ class Workbench:
 
     def analyze(self, model: str, **options) -> RunResult:
         return self.run(AnalyzeSpec(model, **options))
+
+    def check(self, model: str, prop: str, strategy: str = "auto",
+              **options) -> RunResult:
+        return self.run(CheckSpec(model, prop, strategy=strategy,
+                                  **options))
 
     def run_many(self, specs: Iterable[RunSpec | dict | str],
                  workers: int = 1,

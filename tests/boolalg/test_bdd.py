@@ -190,6 +190,55 @@ class TestRename:
                 bdd.evaluate(node, primed)
 
 
+class TestSubstitute:
+    """The general simultaneous substitution — rename's paired twin for
+    the non-monotone (current↔primed swap) case."""
+
+    def test_swap_is_simultaneous(self):
+        bdd = Bdd(order=["a", "b"])
+        node = bdd.from_expr(And(a, Not(b)))
+        swapped = bdd.substitute(node, {"a": "b", "b": "a"})
+        assert swapped == bdd.from_expr(And(b, Not(a)))
+
+    def test_current_primed_shift_both_ways(self):
+        bdd = Bdd(order=["p", "p'", "q", "q'"])
+        node = bdd.from_expr(Iff(Var("p"), Not(Var("q"))))
+        primed = bdd.substitute(node, {"p": "p'", "q": "q'"})
+        assert primed == bdd.from_expr(Iff(Var("p'"), Not(Var("q'"))))
+        # and back — the round trip is the identity
+        assert bdd.substitute(primed, {"p'": "p", "q'": "q"}) == node
+
+    def test_agrees_with_rename_on_monotone_maps(self):
+        bdd = Bdd(order=["a", "a'", "b", "b'"])
+        node = bdd.from_expr(And(Var("a'"), Not(Var("b'"))))
+        mapping = {"a'": "a", "b'": "b"}
+        assert bdd.substitute(node, mapping) == bdd.rename(node, mapping)
+
+    def test_undeclared_source_is_ignored(self):
+        bdd = Bdd(order=["a"])
+        node = bdd.from_expr(a)
+        assert bdd.substitute(node, {"zzz": "a"}) == node
+
+    def test_swap_preserves_models(self):
+        bdd = Bdd(order=["p", "q", "r"])
+        node = bdd.from_expr(Or(And(Var("p"), Var("q")), Not(Var("r"))))
+        swapped = bdd.substitute(node, {"p": "r", "r": "p"})
+        for assignment in all_assignments(frozenset({"p", "q", "r"})):
+            exchanged = dict(assignment, p=assignment["r"],
+                             r=assignment["p"])
+            assert bdd.evaluate(swapped, assignment) == \
+                bdd.evaluate(node, exchanged)
+
+    def test_interleaved_relation_shift(self):
+        # the exact shape image/preimage uses: cur/primed interleaved
+        # with an event variable in between
+        bdd = Bdd(order=["e", "s0", "s0'", "s1", "s1'"])
+        node = bdd.from_expr(And(Var("s0"), Or(Var("s1"), Var("e"))))
+        shifted = bdd.substitute(node, {"s0": "s0'", "s1": "s1'"})
+        assert shifted == bdd.from_expr(
+            And(Var("s0'"), Or(Var("s1'"), Var("e"))))
+
+
 class TestExprMemoBound:
     def test_memo_is_evicted_not_pinned(self):
         bdd = Bdd()

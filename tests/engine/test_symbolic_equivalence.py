@@ -119,6 +119,33 @@ class TestCorpusEquivalence:
         assert report["mismatches"] == []
 
 
+class TestPropertyCrossCheck:
+    """The property battery rides every cross_check: both ctl backends
+    must agree on verdicts and witnesses for every corpus model."""
+
+    def test_report_carries_property_results(self):
+        report = cross_check(sdf_chain(3, capacity=2))
+        assert report["agree"]
+        battery = report["properties"]
+        assert len(battery) == 10
+        verdicts = {entry["verdict"] for entry in battery}
+        assert verdicts <= {"holds", "fails"}  # complete space: definitive
+        assert any(entry["witness"] for entry in battery)
+
+    def test_deadlocking_model_battery(self):
+        from repro.ccsl import DelayedForRuntime
+        model = ExecutionModel(
+            ["a", "b"],
+            [PrecedesRuntime("a", "b", bound=1),
+             DelayedForRuntime("b", "a", 3)],
+            name="deadlocker")
+        report = assert_equivalent(model)
+        deadlock_entries = {entry["property"]: entry["verdict"]
+                            for entry in report["properties"]}
+        assert deadlock_entries["EF deadlock"] == "holds"
+        assert deadlock_entries["AG !deadlock"] == "fails"
+
+
 class TestNonEncodableModels:
     def make_unbounded(self):
         return ExecutionModel(["a", "b"], [PrecedesRuntime("a", "b")],

@@ -78,6 +78,57 @@ class TestExplore:
         assert main(["explore", app_file, "--variant", "multiport"]) == 0
 
 
+class TestCheck:
+    def test_holds_exit_zero(self, app_file, capsys):
+        assert main(["check", app_file, "AG !deadlock"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:  HOLDS" in out
+        assert "property: AG !deadlock" in out
+
+    def test_fails_exit_one_with_counterexample(self, app_file, capsys):
+        assert main(["check", app_file, "AG occurs(src.start)"]) == 1
+        out = capsys.readouterr().out
+        assert "verdict:  FAILS" in out
+        assert "counterexample:" in out
+        assert "src.start" in out  # the ASCII trace diagram
+
+    def test_unknown_exit_one_with_reason(self, app_file, capsys):
+        assert main(["check", app_file, "AG !deadlock",
+                     "--strategy", "explicit", "--max-states", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "verdict:  UNKNOWN" in out
+        assert "truncated" in out
+
+    def test_strategies_agree(self, app_file, capsys):
+        for strategy in ("explicit", "symbolic", "auto"):
+            assert main(["check", app_file, "AF occurs(dst.start)",
+                         "--strategy", strategy]) == 0
+
+    def test_json_payload(self, app_file, capsys):
+        assert main(["check", app_file, "EF occurs(dst.start)",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "check"
+        assert doc["data"]["verdict"] == "holds"
+        assert doc["data"]["witness_kind"] == "witness"
+        assert "version" in doc
+
+    def test_syntax_error_reported(self, app_file, capsys):
+        assert main(["check", app_file, "AG (((("]) == 1
+        assert "property syntax" in capsys.readouterr().err
+
+    def test_batch_check_spec(self, app_file, tmp_path, capsys):
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps({
+            "models": {"demo": {"frontend": "sigpml", "path": app_file}},
+            "runs": [{"kind": "check", "model": "demo",
+                      "property": "AG !deadlock", "strategy": "auto"}],
+        }))
+        assert main(["batch", str(batch)]) == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+
+
 class TestAnalyze:
     def test_repetition_and_pass(self, app_file, capsys):
         assert main(["analyze", app_file]) == 0

@@ -8,6 +8,7 @@ from repro.errors import SerializationError
 from repro.workbench import (
     AnalyzeSpec,
     CampaignSpec,
+    CheckSpec,
     ExploreSpec,
     RunResult,
     RunSpec,
@@ -39,6 +40,9 @@ class TestRunSpec:
         CampaignSpec("m", steps=12, watch=["a.start"],
                      policies=["asap", {"name": "random", "seed": 1}]),
         AnalyzeSpec("m", label="static"),
+        CheckSpec("m", "AG !deadlock"),
+        CheckSpec("m", "AF occurs(dst.start)", strategy="explicit",
+                  max_states=77, max_depth=3, include_empty=True),
     ])
     def test_round_trip(self, spec):
         clone = RunSpec.from_json(spec.to_json())
@@ -68,6 +72,80 @@ class TestRunSpec:
         spec = SimulateSpec("m", policy=AsapPolicy())
         with pytest.raises(Exception):
             spec.to_json()
+
+    def test_check_spec_needs_a_property(self):
+        with pytest.raises(SerializationError, match="property"):
+            RunSpec(kind="check", model="m").to_doc()
+
+    def test_check_doc_defaults_to_auto_strategy(self):
+        # hand-written batch docs without a strategy must behave like
+        # CheckSpec/CLI (auto), while explore keeps its explicit default
+        spec = RunSpec.from_doc(
+            {"kind": "check", "model": "m", "property": "AG !deadlock"})
+        assert spec.strategy == "auto"
+        assert RunSpec.from_doc(
+            {"kind": "explore", "model": "m"}).strategy == "explicit"
+
+    def test_check_spec_doc_shape(self):
+        doc = CheckSpec("m", "AG !deadlock").to_doc()
+        assert doc["kind"] == "check"
+        assert doc["property"] == "AG !deadlock"
+        assert "strategy" not in doc  # auto is the check default
+        clone = RunSpec.from_doc(doc)
+        assert clone.prop == "AG !deadlock"
+        assert clone.strategy == "auto"
+        explicit = CheckSpec("m", "true", strategy="explicit").to_doc()
+        assert explicit["strategy"] == "explicit"
+
+
+class TestCheckResults:
+    def test_check_payload_holds(self, workbench):
+        result = workbench.check("demo", "AG !deadlock")
+        assert result.ok
+        assert result.data["verdict"] == "holds"
+        assert result.data["truncated"] is False
+        assert result.data["strategy"] in ("explicit", "symbolic")
+        assert "propertie" not in result.data  # payload is the check doc
+
+    def test_check_counterexample_trace_rebuilds(self, workbench):
+        result = workbench.check("demo", "AG occurs(src.start)")
+        assert result.ok
+        assert result.data["verdict"] == "fails"
+        assert result.data["witness_kind"] == "counterexample"
+        trace = result.trace()
+        assert len(trace) == len(result.data["trace"]) > 0
+
+    def test_check_unknown_propagates_truncation(self, workbench):
+        result = workbench.run(CheckSpec(
+            "demo", "AG !deadlock", strategy="explicit", max_states=1))
+        assert result.ok
+        assert result.data["verdict"] == "unknown"
+        assert result.data["truncated"] is True
+        assert "truncated" in result.data["reason"]
+        assert "UNKNOWN" in result.summary()
+
+    def test_check_summary_line(self, workbench):
+        result = workbench.check("demo", "EF occurs(dst.start)")
+        line = result.summary()
+        assert "HOLDS" in line and "state(s)" in line
+        assert "witness" in line
+
+    def test_bad_property_is_an_error_result(self, workbench):
+        result = workbench.check("demo", "AG (((")
+        assert not result.ok
+        assert "property syntax" in result.error
+
+    def test_check_result_json_round_trip(self, workbench):
+        result = workbench.check("demo", "AG !deadlock")
+        clone = RunResult.from_json(result.to_json())
+        assert clone.to_json() == result.to_json()
+        assert clone.data["verdict"] == "holds"
+
+    def test_witness_suppressed_via_options(self, workbench):
+        result = workbench.run(CheckSpec(
+            "demo", "EF occurs(dst.start)", include_witness=False))
+        assert result.ok
+        assert "trace" not in result.data
 
 
 class TestRunResultPayloads:
