@@ -30,6 +30,7 @@ from pathlib import Path
 REQUIRED_FILES = (
     "bench_e12_symbolic_reachability.py",
     "bench_e13_ctl_check.py",
+    "bench_e14_farm.py",
 )
 
 

@@ -47,6 +47,8 @@ Layers (Fig. 1 of the paper):
 * :mod:`repro.deployment` — the platform/deployment extension;
 * :mod:`repro.pam` — the Passive Acoustic Monitoring case study;
 * :mod:`repro.workbench` — the session facade over all of the above;
+* :mod:`repro.farm` — the result farm: content-addressed artifact
+  store plus the multiprocess execution backend;
 * :mod:`repro.viz` — DOT exports and the uniform text reports.
 
 Choosing an entry point
@@ -83,6 +85,45 @@ core (:func:`repro.engine.simulate_model`, :func:`repro.engine.explore`,
 (:func:`repro.sdf.analyze`). The workbench is a thin session layer over
 exactly these.
 
+Caching & parallelism
+=====================
+
+Every analysis is a pure function of (model, spec, engine version), so
+repeated traffic never has to recompute: give the workbench (or
+``repro batch``) a **content-addressed artifact store** and pick an
+**execution backend** (:mod:`repro.farm`)::
+
+    wb = Workbench(store="~/.cache/repro-farm")
+    wb.run_many(specs, workers=8, backend="process")
+
+    repro batch specs.json --store .farm --backend process --workers 8
+    repro store stats .farm && repro store gc .farm --max-bytes 100000000
+
+Choosing a backend:
+
+==========  =========================================================
+backend     when to use it
+==========  =========================================================
+``serial``  debugging and baselines — one group after another in the
+            calling thread
+``thread``  the default: free startup, shares warm kernels; the GIL
+            keeps the pure-Python engine near-serial, so expect
+            overlap only for I/O-ish work
+``process`` cold batches over several models on a multi-core box —
+            workers rebuild each model from its declarative source
+            doc and results merge deterministically
+==========  =========================================================
+
+Fingerprint caveats: cache keys hash the model's canonical
+serialization, the spec's canonical JSON **and the engine version**, so
+a version bump invalidates every artifact (recompute, never a stale
+read); models whose constraints the fingerprint encoder does not know,
+and specs carrying bare policy instances, are computed fresh every time
+rather than risking a collision. Results served from the store are
+byte-identical to cold computations — ``result.cached`` (and the
+``cached`` flag in ``repro batch --store --json`` documents) is the
+only difference.
+
 Running the suite locally vs in CI
 ==================================
 
@@ -112,6 +153,6 @@ from repro import errors
 try:  # single source of truth: the installed package metadata
     __version__ = _version("repro-moccml")
 except PackageNotFoundError:  # running off a source checkout (PYTHONPATH)
-    __version__ = "1.1.0"
+    __version__ = "1.2.0"
 
 __all__ = ["errors", "__version__"]

@@ -15,9 +15,15 @@ the workbench facilities of the paper's tooling:
 * ``deploy`` — deploy on a platform and simulate;
 * ``pam`` — run the PAM deployment study;
 * ``campaign`` — compare scheduling policies;
-* ``batch`` — run many specs from a batch file, optionally in parallel;
+* ``batch`` — run many specs from a batch file, optionally in parallel
+  (``--backend serial|thread|process``) and optionally backed by a
+  content-addressed artifact store (``--store DIR``: previously
+  computed results are served byte-identically instead of recomputed);
+* ``store`` — inspect (``stats``) or prune (``gc``) such a store;
 * ``selftest`` — cross-check the symbolic and explicit exploration
-  strategies on three bundled models (the CI smoke step).
+  strategies on three bundled models, then prove the artifact store
+  round-trip (cold run == warm run, byte for byte) — the CI smoke
+  step.
 
 Every subcommand takes ``--json`` to emit the uniform
 :class:`~repro.workbench.RunResult` document instead of the text
@@ -255,24 +261,71 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if not runs:
         print("error: the batch file defines no runs", file=sys.stderr)
         return 2
-    workbench = Workbench()
+    workers = args.workers
+    if workers is None:
+        # the process backend exists to use the cores; without an
+        # explicit --workers it would silently run serial at 1
+        import os
+        workers = (os.cpu_count() or 1) if args.backend == "process" else 1
+    workbench = Workbench(store=args.store)
     for name, model_doc in models.items():
         workbench.add(source_from_doc(model_doc), name=name,
                       **model_doc.get("options", {}))
 
     def stream(index: int, result) -> None:
         if not args.json:
-            print(result.summary())
+            line = result.summary()
+            print(f"{line}  [cached]" if result.cached else line)
 
-    results = workbench.run_many(runs, workers=args.workers,
-                                 on_result=stream)
-    emitted = [result.to_doc() for result in results]
+    results = workbench.run_many(runs, workers=workers,
+                                 backend=args.backend, on_result=stream)
+    emitted = []
+    for result in results:
+        doc = result.to_doc()
+        if args.store:
+            # transport metadata, not part of the canonical artifact:
+            # a cache hit is byte-identical to the cold computation
+            doc["cached"] = result.cached
+        emitted.append(doc)
     failures = sum(1 for result in results if not result.ok)
+    hits = sum(1 for result in results if result.cached)
     if args.json:
         print(json.dumps(emitted, indent=2, sort_keys=True))
     else:
-        print(f"{len(results)} run(s), {failures} failure(s)")
+        tail = f", {hits} cache hit(s)" if args.store else ""
+        print(f"{len(results)} run(s), {failures} failure(s){tail}")
     return 1 if failures else 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    import os
+    from repro.farm import ArtifactStore
+    if not os.path.isdir(args.root):
+        # inspection must not conjure an empty store out of a typo
+        print(f"error: no artifact store at {args.root!r} (directory "
+              f"does not exist)", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.root)
+    if args.store_command == "stats":
+        report = store.stats()
+        del report["session"]  # a fresh process has nothing to report
+    else:  # gc
+        report = store.gc(max_entries=args.max_entries,
+                          max_bytes=args.max_bytes)
+        report["root"] = str(store.root)
+    if args.json:
+        print(json.dumps({"kind": f"store-{args.store_command}",
+                          "version": repro.__version__, **report},
+                         indent=2, sort_keys=True))
+        return 0
+    if args.store_command == "stats":
+        print(f"store {report['root']}: {report['entries']} artifact(s), "
+              f"{report['total_bytes']} byte(s)")
+    else:
+        print(f"store {report['root']}: removed {report['removed']} "
+              f"artifact(s) ({report['freed_bytes']} byte(s)), "
+              f"kept {report['kept']}")
+    return 0
 
 
 #: bundled selftest models: diverse front-ends, all finitely encodable,
@@ -311,20 +364,61 @@ def _selftest_models():
             load(clocks, name="ccsl-clocks")]
 
 
+def _selftest_store_roundtrip(handles) -> dict:
+    """Farm phase of the selftest: run a spec battery cold into a
+    throwaway store, re-run it warm, and demand (a) every warm result
+    is a cache hit and (b) the artifacts are byte-identical."""
+    import tempfile
+    from repro.workbench import CheckSpec, ExploreSpec, SimulateSpec
+    specs = []
+    for handle in handles:
+        specs.append(ExploreSpec(handle.name, max_states=2_000))
+        specs.append(SimulateSpec(handle.name, steps=15))
+        specs.append(CheckSpec(handle.name, "AG !deadlock",
+                               max_states=2_000))
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-farm-") as root:
+        workbench = Workbench(store=root)
+        for handle in handles:
+            workbench.add(handle)
+        cold = workbench.run_many(specs)
+        warm = workbench.run_many(specs)
+    cold_bytes = [result.to_json() for result in cold]
+    warm_bytes = [result.to_json() for result in warm]
+    mismatches = []
+    if any(result.cached for result in cold):
+        mismatches.append("cold run reported cache hits in a fresh store")
+    misses = sum(1 for result in warm if not result.cached)
+    if misses:
+        mismatches.append(f"warm run missed the store {misses} time(s)")
+    if cold_bytes != warm_bytes:
+        differing = [index for index, (one, two)
+                     in enumerate(zip(cold_bytes, warm_bytes)) if one != two]
+        mismatches.append(
+            f"cold and warm artifacts differ at spec(s) {differing}")
+    return {"specs": len(specs),
+            "warm_hits": len(specs) - misses,
+            "mismatches": mismatches,
+            "agree": not mismatches}
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     """Cross-check symbolic vs explicit exploration on bundled models."""
     from repro.engine.equivalence import cross_check
+    handles = _selftest_models()
     reports = []
-    for handle in _selftest_models():
+    for handle in handles:
         report = cross_check(handle.execution_model,
                              max_states=args.max_states)
         report["model"] = handle.name
         reports.append(report)
-    ok = all(report["agree"] for report in reports)
+    store_report = _selftest_store_roundtrip(handles)
+    ok = all(report["agree"] for report in reports) \
+        and store_report["agree"]
     if args.json:
         print(json.dumps({"kind": "selftest", "ok": ok,
                           "version": repro.__version__,
-                          "reports": reports},
+                          "reports": reports,
+                          "store": store_report},
                          indent=2, sort_keys=True))
         return 0 if ok else 1
     print(f"repro {repro.__version__} selftest — symbolic vs explicit "
@@ -338,6 +432,12 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         print(line)
         for mismatch in report["mismatches"]:
             print(f"    - {mismatch}")
+    store_verdict = "OK" if store_report["agree"] else "MISMATCH"
+    print(f"  artifact store     {store_report['specs']:>6} spec(s) "
+          f"{store_report['warm_hits']:>6} warm hit(s) "
+          f"cold==warm  {store_verdict}")
+    for mismatch in store_report["mismatches"]:
+        print(f"    - {mismatch}")
     print("selftest PASSED" if ok else "selftest FAILED")
     return 0 if ok else 1
 
@@ -444,11 +544,42 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="run many specs from a JSON batch file")
     batch.add_argument("specs", help="path to a batch file: a list of run "
                                      "specs, or {models: {...}, runs: [...]}")
-    batch.add_argument("--workers", type=int, default=1,
-                       help="thread workers for the batch fan-out")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="workers for the batch fan-out (default: 1; "
+                            "with --backend process, the core count)")
+    batch.add_argument("--backend", default="thread",
+                       choices=("serial", "thread", "process"),
+                       help="fan-out backend; 'process' scales the "
+                            "pure-Python engine with cores")
+    batch.add_argument("--store", default=None, metavar="DIR",
+                       help="content-addressed artifact store: cached "
+                            "results are served byte-identically instead "
+                            "of recomputed, fresh ones written through")
     batch.add_argument("--json", action="store_true",
-                       help="emit the result documents as a JSON array")
+                       help="emit the result documents as a JSON array "
+                            "(with --store, each document carries a "
+                            "'cached' flag)")
     batch.set_defaults(handler=cmd_batch)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or prune a batch artifact store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="entry count and size of a store")
+    store_stats.add_argument("root", help="store directory")
+    store_stats.add_argument("--json", action="store_true",
+                             help="emit the stats as JSON")
+    store_stats.set_defaults(handler=cmd_store)
+    store_gc = store_sub.add_parser(
+        "gc", help="drop least-recently-used artifacts over the limits")
+    store_gc.add_argument("root", help="store directory")
+    store_gc.add_argument("--max-entries", type=int, default=None,
+                          help="keep at most this many artifacts")
+    store_gc.add_argument("--max-bytes", type=int, default=None,
+                          help="keep at most this many payload bytes")
+    store_gc.add_argument("--json", action="store_true",
+                          help="emit the gc report as JSON")
+    store_gc.set_defaults(handler=cmd_store)
 
     selftest = subparsers.add_parser(
         "selftest",

@@ -36,7 +36,34 @@ Four pieces:
 * the **session** — :class:`Workbench` with :meth:`Workbench.run` and
   the batch runner :meth:`Workbench.run_many`, which shares one
   symbolic kernel per model across a whole batch and fans out over
-  thread workers with results independent of the worker count.
+  worker threads or processes with results independent of the worker
+  count.
+
+Caching & parallelism
+=====================
+
+Sessions scale through :mod:`repro.farm`. ``Workbench(store=path)``
+(or ``run_many(..., store=...)``) keys every run by a canonical
+fingerprint — SHA-256 over the model's canonical serialization, the
+spec's canonical JSON, and the engine version — and serves previously
+computed results byte-identically from the content-addressed store
+(``result.cached`` tells you which happened). ``run_many(...,
+backend=...)`` picks the executor:
+
+==========  ========================================================
+``serial``  the baseline every backend must match byte for byte
+``thread``  default; cheap startup, warm shared kernels, but the GIL
+            serializes the pure-Python engine
+``process`` true multi-core scaling for cold multi-model batches;
+            workers rebuild models from their declarative source
+            docs (handles without one — builders, bare execution
+            models — transparently run in the parent)
+==========  ========================================================
+
+Fingerprint caveats: an engine version bump invalidates every cached
+artifact by construction, and unfingerprintable models/specs (unknown
+runtime classes, bare policy instances) recompute every time rather
+than risk a collision.
 
 The CLI (``python -m repro``) is a thin shell over this module.
 """

@@ -223,6 +223,11 @@ class RunResult:
     spec: dict = field(default_factory=dict)
     data: dict = field(default_factory=dict)
     error: Optional[str] = None
+    #: True when this result was served from an artifact store instead
+    #: of computed. Deliberately NOT part of :meth:`to_doc`: a cache
+    #: hit must be byte-identical to the cold computation, so the flag
+    #: is transport metadata (the CLI reports it out of band).
+    cached: bool = False
 
     @property
     def ok(self) -> bool:

@@ -111,6 +111,11 @@ class ModelHandle:
     #: the :class:`~repro.deployment.weaver.DeploymentResult`, if deployed
     deployment: object | None = None
     metadata: dict = field(default_factory=dict)
+    #: a declarative, JSON-able description that rebuilds this handle
+    #: (``source_from_doc`` + loader options) — the ticket the process
+    #: backend ships to workers. ``None`` for programmatic sources
+    #: (builders, bare execution models), which then run in-parent.
+    source_doc: dict | None = None
 
     def fresh(self) -> ExecutionModel:
         """A pristine clone of the execution model (shared kernel)."""
@@ -301,12 +306,19 @@ def _load_sigpml(source, place_variant: str = "default",
     model, app = parse_sigpml(text, filename=filename)
     woven = weave_sdf(model, place_variant=place_variant,
                       mapping_text=mapping_text)
+    options: dict = {"place_variant": place_variant}
+    if mapping_text is not None:
+        options["mapping_text"] = mapping_text
     return ModelHandle(
         name=app.name, frontend="sigpml",
         execution_model=woven.execution_model,
         application=app, source_model=model, weave=woven,
         metadata={"place_variant": place_variant,
-                  **({"path": filename} if filename else {})})
+                  **({"path": filename} if filename else {})},
+        # ship the *text*, not the path: workers rebuild exactly what
+        # the parent loaded even if the file changes underneath
+        source_doc={"frontend": "sigpml", "text": text,
+                    "options": options})
 
 
 def _is_sdf_pair(source) -> bool:
@@ -353,6 +365,7 @@ def _load_deployment(source, **options) -> ModelHandle:
         name = source.platform.name
         result = source
         spec_meta = {}
+        source_doc = None
     else:
         base = load(source.application,
                     place_variant=source.place_variant)
@@ -360,28 +373,42 @@ def _load_deployment(source, **options) -> ModelHandle:
             raise FrontendError(
                 "the application of a DeploymentSpec must resolve to a "
                 "SigPML application (sigpml or sdf front-end)")
-        platform, allocation = _resolve_deployment(source.deployment)
+        platform, allocation, deployment_text = _resolve_deployment(
+            source.deployment)
         result = deploy(base.source_model, base.application, platform,
                         allocation, place_variant=source.place_variant)
         app = base.application
         name = source.name or f"{base.name}@{platform.name}"
         spec_meta = {"place_variant": source.place_variant}
+        source_doc = None
+        if deployment_text is not None and base.source_doc is not None \
+                and "text" in base.source_doc:
+            source_doc = {"frontend": "deployment",
+                          "application_text": base.source_doc["text"],
+                          "deployment_text": deployment_text,
+                          "place_variant": source.place_variant,
+                          "options": {}}
+            if source.name is not None:
+                source_doc["name"] = source.name
     return ModelHandle(
         name=name, frontend="deployment",
         execution_model=result.execution_model,
         application=app, weave=result.weave, deployment=result,
         metadata={"platform": result.platform.name,
                   "mutexes": len(result.mutexes),
-                  "comm_delays": len(result.comm_delays), **spec_meta})
+                  "comm_delays": len(result.comm_delays), **spec_meta},
+        source_doc=source_doc)
 
 
 def _resolve_deployment(deployment):
-    """(Platform, Allocation) from a pair, text, or path."""
+    """(Platform, Allocation, source text or None) from a pair, text,
+    or path — the text (when there is one) feeds the handle's
+    ``source_doc`` so deployed models stay process-shippable."""
     from repro.deployment.parser import parse_deployment
 
     if isinstance(deployment, tuple) and len(deployment) == 2 \
             and not isinstance(deployment[0], str):
-        return deployment
+        return deployment[0], deployment[1], None
     filename = None
     text = deployment
     if isinstance(deployment, str) and "{" not in deployment \
@@ -394,7 +421,7 @@ def _resolve_deployment(deployment):
         raise FrontendError(
             "the deployment document needs both a platform and an "
             "allocation block")
-    return platform, allocation
+    return platform, allocation, text
 
 
 @register_frontend(
@@ -419,11 +446,35 @@ def _load_pam(source, **options) -> ModelHandle:
         source.configuration, capacity=source.capacity,
         cycles=source.cycles, built=built)
     _model, app = built
+    source_doc = {"frontend": "pam",
+                  "configuration": source.configuration,
+                  "capacity": source.capacity}
+    if source.cycles is not None:
+        source_doc["cycles"] = dict(source.cycles)
     return ModelHandle(
         name=f"pam-{source.configuration}", frontend="pam",
         execution_model=execution_model, application=app,
         metadata={"configuration": source.configuration,
-                  "capacity": source.capacity})
+                  "capacity": source.capacity},
+        source_doc=source_doc)
+
+
+def _constraint_docs(constraints) -> list[dict]:
+    """CCSL/MoCCML constraint specs in their JSON mapping form (tuples
+    normalized), for handle source docs."""
+    docs = []
+    for item in constraints:
+        if isinstance(item, dict):
+            doc = {"relation": item["relation"],
+                   "args": list(item.get("args", []))}
+            if item.get("label") is not None:
+                doc["label"] = item["label"]
+        else:
+            doc = {"relation": item[0], "args": list(item[1])}
+            if len(item) > 2 and item[2] is not None:
+                doc["label"] = item[2]
+        docs.append(doc)
+    return docs
 
 
 def _instantiate_constraints(registry, events, constraints):
@@ -458,7 +509,12 @@ def _load_ccsl(source: CcslSpec, **options) -> ModelHandle:
                                      name=source.name)
     return ModelHandle(name=source.name, frontend="ccsl",
                        execution_model=execution_model,
-                       metadata={"relations": len(runtimes)})
+                       metadata={"relations": len(runtimes)},
+                       source_doc={
+                           "frontend": "ccsl", "name": source.name,
+                           "events": list(source.events),
+                           "constraints": _constraint_docs(
+                               source.constraints)})
 
 
 @register_frontend(
@@ -483,7 +539,13 @@ def _load_moccml(source: MoccmlSpec, **options) -> ModelHandle:
                                         source.constraints)
     execution_model = ExecutionModel(source.events, runtimes,
                                      name=source.name)
+    source_doc = {"frontend": "moccml", "name": source.name,
+                  "events": list(source.events),
+                  "constraints": _constraint_docs(source.constraints)}
+    if source.library_text is not None:
+        source_doc["library_text"] = source.library_text
     return ModelHandle(name=source.name, frontend="moccml",
                        execution_model=execution_model,
                        metadata={"libraries": libraries,
-                                 "relations": len(runtimes)})
+                                 "relations": len(runtimes)},
+                       source_doc=source_doc)

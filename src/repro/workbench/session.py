@@ -6,24 +6,56 @@ descriptions against them. :meth:`Workbench.run_many` is the batch
 runner: specs are grouped by model so every run on one model shares
 that model's persistent symbolic kernel (each run gets its own pristine
 clone; clones share compiled BDD nodes and step enumerations), and the
-groups fan out over a thread pool. Grouping also makes the fan-out
-safe: a kernel is only ever touched by one worker at a time.
+groups fan out over one of the :mod:`repro.farm.backend` executors —
+``"serial"``, ``"thread"`` (the default) or ``"process"`` (rebuilds
+models in workers from their declarative source docs; the only backend
+that scales pure-Python BDD/BFS work with cores). Grouping also makes
+every fan-out safe: a kernel is only ever touched by one worker at a
+time.
+
+Caching & parallelism
+=====================
+
+A workbench (or a single ``run_many`` call) may carry an
+:class:`~repro.farm.store.ArtifactStore`: every spec is fingerprinted
+against its model (:mod:`repro.farm.fingerprint` — SHA-256 over the
+model's canonical serialization, the spec's canonical JSON and the
+engine version), previously computed results are served byte-identical
+from the store with ``result.cached = True``, and fresh results are
+written through. Choosing a backend:
+
+============  ========================================================
+``serial``    one group after another in the caller's thread — the
+              baseline every other backend must match byte for byte
+``thread``    overlaps I/O and C-extension work; the GIL keeps the
+              pure-Python engine near-serial, but startup is free and
+              every warm kernel is shared
+``process``   true multi-core scaling for cold batches over several
+              models; workers rebuild models from handle source docs,
+              so programmatic handles (builders, bare execution
+              models) transparently fall back to the parent
+============  ========================================================
+
+Fingerprint caveats: an engine version bump invalidates every cached
+artifact (by construction — the version is hashed), and handles whose
+constraints the fingerprint encoder does not know are computed fresh
+every time rather than risking a collision.
 
 Results are streamed through an optional callback as they complete and
 returned in input order; every run builds its policies fresh from the
-spec, so the results — byte for byte — do not depend on ``workers``.
+spec, so the results — byte for byte — do not depend on ``workers``,
+``backend``, or cache temperature.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable
 
 from repro.engine.campaign import campaign as _campaign
 from repro.engine.explorer import explore as _explore
 from repro.engine.simulator import simulate_model
-from repro.errors import ReproError
+from repro.errors import ReproError, SerializationError
 from repro.workbench.artifacts import (
     AnalyzeSpec,
     CampaignSpec,
@@ -50,6 +82,11 @@ def execute(spec: RunSpec, handle: ModelHandle) -> RunResult:
         result.status = "error"
         result.error = str(exc)
     return result
+
+
+#: default sentinel: "use the session store" (an explicit ``store=None``
+#: disables caching for one call)
+_SESSION_STORE = object()
 
 
 def _execute_simulate(spec: RunSpec, handle: ModelHandle) -> dict:
@@ -154,10 +191,17 @@ _EXECUTORS = {
 
 
 class Workbench:
-    """A session over named model handles — the system's front door."""
+    """A session over named model handles — the system's front door.
 
-    def __init__(self):
+    *store* (optional) is an :class:`~repro.farm.store.ArtifactStore`
+    or a path to create one at; with it, every run the session executes
+    is served from / written through the content-addressed result
+    store (see the module docstring's caching section).
+    """
+
+    def __init__(self, store=None):
         self._handles: dict[str, ModelHandle] = {}
+        self.store = _coerce_store(store)
 
     # -- loading -----------------------------------------------------------
 
@@ -196,9 +240,27 @@ class Workbench:
     # -- running -----------------------------------------------------------
 
     def run(self, spec: RunSpec | dict | str) -> RunResult:
-        """Execute one spec (a :class:`RunSpec`, doc, or JSON text)."""
+        """Execute one spec (a :class:`RunSpec`, doc, or JSON text).
+
+        With a session store the result is served from / written
+        through the cache (``result.cached`` says which happened).
+        """
         spec = _coerce_spec(spec)
-        return execute(spec, self._resolve(spec))
+        handle = self._resolve(spec)
+        if self.store is None:
+            return execute(spec, handle)
+        from repro.farm import try_fingerprint
+        document = _try_model_doc(handle)
+        fingerprint = None
+        if document is not None:
+            fingerprint = try_fingerprint(handle.execution_model, spec,
+                                          model_document=document)
+        cached = _store_lookup(self.store, fingerprint)
+        if cached is not None:
+            return cached
+        result = execute(spec, handle)
+        _store_write(self.store, fingerprint, result)
+        return result
 
     def simulate(self, model: str, policy="asap", steps: int = 20,
                  **options) -> RunResult:
@@ -224,18 +286,31 @@ class Workbench:
 
     def run_many(self, specs: Iterable[RunSpec | dict | str],
                  workers: int = 1,
-                 on_result: Callable[[int, RunResult], None] | None = None
-                 ) -> list[RunResult]:
+                 on_result: Callable[[int, RunResult], None] | None = None,
+                 backend: str = "thread",
+                 store=_SESSION_STORE) -> list[RunResult]:
         """Execute many specs, batched per model, optionally in parallel.
 
         Specs are grouped by model; each group runs sequentially on its
-        model's shared symbolic kernel (one pristine clone per run), and
-        groups fan out over up to *workers* threads. *on_result* is
-        called as ``(index, result)`` the moment each run finishes —
-        indices refer to the input order, which the returned list also
-        follows. Results are independent of *workers*.
+        model's shared symbolic kernel (one pristine clone per run),
+        and the groups fan out over the chosen *backend* (``"serial"``,
+        ``"thread"``, ``"process"`` — see :mod:`repro.farm.backend`)
+        with up to *workers* workers. *store* (an
+        :class:`~repro.farm.store.ArtifactStore` or path) overrides the
+        session store: cached results are served byte-identically with
+        ``result.cached = True``, fresh ones are written through.
+
+        *on_result* is called as ``(index, result)`` the moment each
+        run finishes — indices refer to the input order, which the
+        returned list also follows. Results are independent of
+        *workers*, *backend*, and cache temperature. An explicit
+        ``store=None`` disables caching for this call only.
         """
+        from repro.farm import GroupTask, execute_groups, try_fingerprint
+
         specs = [_coerce_spec(spec) for spec in specs]
+        store = (self.store if store is _SESSION_STORE
+                 else _coerce_store(store))
         results: list[RunResult | None] = [None] * len(specs)
         # resolve every model up front (load errors surface immediately,
         # and two specs naming the same source share one handle).
@@ -255,28 +330,44 @@ class Workbench:
             groups.setdefault(key, []).append(index)
 
         emit_lock = threading.Lock()
+        fingerprints: list[str | None] = [None] * len(specs)
 
-        def run_group(key: int) -> None:
-            handle = group_handle[key]
-            for index in groups[key]:
-                outcome = execute(specs[index], handle)
-                results[index] = outcome
-                if on_result is not None:
-                    with emit_lock:
-                        on_result(index, outcome)
+        def deliver(index: int, outcome: RunResult) -> None:
+            results[index] = outcome
+            if store is not None and not outcome.cached:
+                _store_write(store, fingerprints[index], outcome)
+            if on_result is not None:
+                with emit_lock:
+                    on_result(index, outcome)
 
-        if workers <= 1 or len(groups) <= 1:
-            for key in groups:
-                run_group(key)
-        else:
-            pool = ThreadPoolExecutor(
-                max_workers=min(workers, len(groups)))
-            try:
-                futures = [pool.submit(run_group, key) for key in groups]
-                for future in futures:
-                    future.result()
-            finally:
-                pool.shutdown(wait=True)
+        # warm pass: serve every fingerprintable spec that is already
+        # in the store; only the misses go to the backend
+        cold: dict[int, list[int]] = groups
+        if store is not None:
+            cold = {}
+            model_docs: dict[int, object] = {}
+            for key, indices in groups.items():
+                handle = group_handle[key]
+                if key not in model_docs:
+                    model_docs[key] = _try_model_doc(handle)
+                for index in indices:
+                    fingerprint = None
+                    if model_docs[key] is not None:
+                        fingerprint = try_fingerprint(
+                            handle.execution_model, specs[index],
+                            model_document=model_docs[key])
+                    fingerprints[index] = fingerprint
+                    cached = _store_lookup(store, fingerprint)
+                    if cached is not None:
+                        deliver(index, cached)
+                    else:
+                        cold.setdefault(key, []).append(index)
+
+        tasks = [GroupTask(handle=group_handle[key], indices=indices,
+                           specs=[specs[index] for index in indices])
+                 for key, indices in cold.items()]
+        execute_groups(tasks, backend=backend, workers=workers,
+                       deliver=deliver)
         return results  # type: ignore[return-value]
 
 
@@ -286,3 +377,72 @@ def _coerce_spec(spec) -> RunSpec:
     if isinstance(spec, str):
         return RunSpec.from_json(spec)
     return RunSpec.from_doc(spec)
+
+
+def _coerce_store(store):
+    """An ArtifactStore from an instance, a path, or None."""
+    if store is None:
+        return None
+    from repro.farm import ArtifactStore
+    if isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)
+
+
+def _try_model_doc(handle: ModelHandle):
+    """The handle model's canonical serialization, or None when the
+    model is not fingerprintable (then nothing on it is cached).
+
+    Memoized on the handle: the full structural walk is O(model), and
+    a session firing many runs at one handle would otherwise redo it
+    per run. The memo key — event alphabet plus configuration — is a
+    cheap summary that changes whenever the serialization could."""
+    from repro.farm import FingerprintError, model_doc
+    model = handle.execution_model
+    key = (tuple(model.events), len(model.constraints),
+           model.configuration())
+    memo = getattr(handle, "_farm_doc_memo", None)
+    if memo is not None and memo[0] == key:
+        return memo[1]
+    try:
+        document = model_doc(model)
+    except FingerprintError:
+        document = None
+    handle._farm_doc_memo = (key, document)
+    return document
+
+
+def _store_lookup(store, fingerprint: str | None) -> RunResult | None:
+    """A cached result for *fingerprint*, marked ``cached``, or None.
+
+    A stored document that no longer parses as a result (written by an
+    incompatible build, hand-edited) counts as a miss — recompute."""
+    if store is None or fingerprint is None:
+        return None
+    document = store.get(fingerprint)
+    if document is None:
+        return None
+    try:
+        result = RunResult.from_doc(document)
+    except (SerializationError, TypeError, ValueError):
+        # a digest-consistent envelope can still hold a document that
+        # is not a result (wrong container types, hand-edited) — e.g.
+        # dict() over a list raises TypeError, not SerializationError
+        return None
+    result.cached = True
+    return result
+
+
+def _store_write(store, fingerprint: str | None, result: RunResult) -> None:
+    """Write-through for a freshly computed result; errors are not
+    artifacts (a transient failure must not be replayed forever).
+
+    A failing write (disk full, permissions) is swallowed: the store is
+    a pure accelerator and must never cost a computed result."""
+    from repro.farm import StoreError
+    if store is None or fingerprint is None or not result.ok:
+        return
+    try:
+        store.put(fingerprint, result.to_doc())
+    except StoreError:
+        pass

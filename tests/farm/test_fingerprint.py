@@ -1,0 +1,130 @@
+"""Fingerprints: stable, structure-sensitive, version-sensitive."""
+
+import pytest
+
+from repro.engine.execution_model import ExecutionModel
+from repro.farm import FingerprintError, fingerprint, model_doc, \
+    try_fingerprint
+from repro.farm.fingerprint import canonical_json
+from repro.moccml.semantics.runtime import ConstraintRuntime
+from repro.workbench import CcslSpec, ExploreSpec, SimulateSpec, load
+
+APPLICATION = """
+application fpdemo {
+  agent src
+  agent dst
+  place src -> dst push 1 pop 1 capacity 2
+}
+"""
+
+
+def sigpml_model():
+    return load(APPLICATION).execution_model
+
+
+def ccsl_model(bound=2):
+    spec = CcslSpec("clocks", events=["a", "b", "c"],
+                    constraints=[("Alternates", ["a", "b"]),
+                                 ("BoundedPrecedes", ["b", "c", bound])])
+    return load(spec).execution_model
+
+
+class TestStability:
+    def test_same_source_same_fingerprint(self):
+        spec = ExploreSpec("fpdemo", max_states=100)
+        assert fingerprint(sigpml_model(), spec) \
+            == fingerprint(sigpml_model(), spec)
+
+    def test_fingerprint_is_hex_sha256(self):
+        value = fingerprint(sigpml_model(), SimulateSpec("fpdemo"))
+        assert len(value) == 64
+        int(value, 16)  # parses as hex
+
+    def test_model_doc_is_canonical_json_able(self):
+        document = model_doc(ccsl_model())
+        assert canonical_json(document) == canonical_json(
+            model_doc(ccsl_model()))
+
+    def test_runs_do_not_drift_the_fingerprint(self):
+        # explore/simulate work on clones; the handle model must
+        # fingerprint identically before and after a batch
+        from repro.engine.explorer import explore
+        model = sigpml_model()
+        spec = ExploreSpec("fpdemo", max_states=100)
+        before = fingerprint(model, spec)
+        explore(model, max_states=100)
+        assert fingerprint(model, spec) == before
+
+
+class TestSensitivity:
+    def test_different_spec_different_fingerprint(self):
+        model = sigpml_model()
+        assert fingerprint(model, ExploreSpec("fpdemo", max_states=100)) \
+            != fingerprint(model, ExploreSpec("fpdemo", max_states=200))
+
+    def test_different_kind_different_fingerprint(self):
+        model = sigpml_model()
+        assert fingerprint(model, SimulateSpec("fpdemo", steps=20)) \
+            != fingerprint(model, ExploreSpec("fpdemo"))
+
+    def test_constraint_parameter_changes_fingerprint(self):
+        # the bound lives in a runtime attribute, not in the current
+        # step formula — structural hashing must still see it
+        spec = SimulateSpec("clocks", steps=5)
+        assert fingerprint(ccsl_model(bound=2), spec) \
+            != fingerprint(ccsl_model(bound=3), spec)
+
+    def test_advanced_state_changes_fingerprint(self):
+        model = ccsl_model()
+        spec = SimulateSpec("clocks", steps=5)
+        before = fingerprint(model, spec)
+        model.advance(frozenset({"a"}))
+        assert fingerprint(model, spec) != before
+
+    def test_engine_version_changes_fingerprint(self, monkeypatch):
+        import repro
+        model = sigpml_model()
+        spec = SimulateSpec("fpdemo")
+        before = fingerprint(model, spec)
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert fingerprint(model, spec) != before
+
+
+class _Opaque(ConstraintRuntime):
+    """A runtime carrying an attribute the encoder cannot serialize."""
+
+    def __init__(self):
+        super().__init__("opaque", ())
+        self.payload = object()
+
+
+class _Unorderable(ConstraintRuntime):
+    """A runtime whose set attribute has no canonical member order."""
+
+    def __init__(self):
+        super().__init__("unorderable", ())
+        self.mixed = frozenset({("a",), 3})  # tuple vs int: unorderable
+
+
+class TestUnfingerprintable:
+    def test_unorderable_set_raises_fingerprint_error_not_typeerror(self):
+        # TypeError would escape try_fingerprint; FingerprintError makes
+        # the model uncacheable, which is the sound fallback
+        model = ExecutionModel(["x"], [_Unorderable()], name="weird")
+        with pytest.raises(FingerprintError, match="unorderable"):
+            model_doc(model)
+        assert try_fingerprint(model, SimulateSpec("weird")) is None
+
+    def test_unknown_attribute_raises(self):
+        model = ExecutionModel(["x"], [_Opaque()], name="opaque-model")
+        with pytest.raises(FingerprintError, match="canonical"):
+            model_doc(model)
+
+    def test_try_fingerprint_returns_none(self):
+        model = ExecutionModel(["x"], [_Opaque()], name="opaque-model")
+        assert try_fingerprint(model, SimulateSpec("opaque-model")) is None
+
+    def test_policy_instance_spec_returns_none(self):
+        from repro.engine import AsapPolicy
+        spec = SimulateSpec("fpdemo", policy=AsapPolicy())
+        assert try_fingerprint(sigpml_model(), spec) is None

@@ -1,0 +1,193 @@
+"""Store robustness: corruption tolerance, concurrency, LRU gc."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.farm import ArtifactStore
+from repro.farm.store import StoreError
+
+FP = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def doc(n=0):
+    return {"kind": "simulate", "model": "m", "status": "ok",
+            "data": {"steps_run": n}, "spec": {}, "format": 1}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "farm")
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        store.put(FP, doc(3))
+        assert store.get(FP) == doc(3)
+        assert store.counters["hits"] == 1
+
+    def test_missing_is_a_miss(self, store):
+        assert store.get(FP) is None
+        assert store.counters["misses"] == 1
+
+    def test_rewrite_wins(self, store):
+        store.put(FP, doc(1))
+        store.put(FP, doc(2))
+        assert store.get(FP) == doc(2)
+
+    def test_stats_shape(self, store):
+        store.put(FP, doc())
+        report = store.stats()
+        assert report["entries"] == 1
+        assert report["total_bytes"] > 0
+        assert report["session"]["writes"] == 1
+
+    def test_malformed_fingerprint_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.put("x", doc())
+
+
+class TestCorruptionTolerance:
+    def entry_path(self, store):
+        return store.objects / FP[:2] / f"{FP}.json"
+
+    def test_garbage_bytes_fall_back_to_miss(self, store):
+        store.put(FP, doc())
+        self.entry_path(store).write_bytes(b"\x00\xffnot json")
+        assert store.get(FP) is None
+        assert store.counters["corrupt"] == 1
+        # the corrupt entry was healed away
+        assert not self.entry_path(store).exists()
+
+    def test_truncated_entry_falls_back_to_miss(self, store):
+        store.put(FP, doc())
+        path = self.entry_path(store)
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.get(FP) is None
+
+    def test_payload_tamper_detected(self, store):
+        store.put(FP, doc(1))
+        path = self.entry_path(store)
+        envelope = json.loads(path.read_text())
+        envelope["result"]["data"]["steps_run"] = 999  # digest mismatch
+        path.write_text(json.dumps(envelope))
+        assert store.get(FP) is None
+        assert store.counters["corrupt"] == 1
+
+    def test_wrong_fingerprint_envelope_rejected(self, store):
+        store.put(OTHER, doc())
+        wrong = store.objects / FP[:2] / f"{FP}.json"
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        source = store.objects / OTHER[:2] / f"{OTHER}.json"
+        wrong.write_bytes(source.read_bytes())
+        assert store.get(FP) is None
+
+    def test_recompute_after_corruption_heals(self, store):
+        store.put(FP, doc(1))
+        self.entry_path(store).write_bytes(b"garbage")
+        assert store.get(FP) is None
+        store.put(FP, doc(1))
+        assert store.get(FP) == doc(1)
+
+
+class TestConcurrency:
+    def test_parallel_writers_leave_a_valid_entry(self, tmp_path):
+        store = ArtifactStore(tmp_path / "farm")
+        errors = []
+
+        def writer(wid):
+            try:
+                for _ in range(25):
+                    # same fingerprint, identical bytes — the real racing
+                    # pattern (content-addressed writers agree)
+                    store.put(FP, doc(7))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((wid, exc))
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert store.get(FP) == doc(7)
+        # no temporary litter left behind
+        leftovers = [p for p in store.objects.rglob(".tmp-*")]
+        assert leftovers == []
+
+    def test_reader_during_writes_never_sees_half_files(self, tmp_path):
+        store = ArtifactStore(tmp_path / "farm")
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            while not stop.is_set():
+                got = store.get(FP)
+                if got is not None and got != doc(7):
+                    bad.append(got)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(200):
+                store.put(FP, doc(7))
+        finally:
+            stop.set()
+            thread.join()
+        assert bad == []
+        # atomic publishes mean a reader never manufactures corruption
+        assert store.counters["corrupt"] == 0
+
+
+class TestGc:
+    def fill(self, store, count):
+        fingerprints = []
+        for index in range(count):
+            fp = f"{index:02x}" + f"{index:062x}"
+            store.put(fp, doc(index))
+            # strictly increasing mtimes make LRU order deterministic
+            path = store.objects / fp[:2] / f"{fp}.json"
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))
+            fingerprints.append(fp)
+        return fingerprints
+
+    def test_max_entries_drops_oldest_first(self, store):
+        fingerprints = self.fill(store, 6)
+        report = store.gc(max_entries=2)
+        assert report["removed"] == 4
+        assert report["kept"] == 2
+        for fp in fingerprints[:4]:
+            assert store.get(fp) is None
+        for fp in fingerprints[4:]:
+            assert store.get(fp) is not None
+
+    def test_max_bytes_enforced(self, store):
+        self.fill(store, 6)
+        entry_bytes = store.stats()["total_bytes"] // 6
+        report = store.gc(max_bytes=entry_bytes * 3)
+        assert report["total_bytes"] <= entry_bytes * 3
+        assert store.stats()["entries"] == report["kept"]
+
+    def test_get_refreshes_lru_rank(self, store):
+        fingerprints = self.fill(store, 4)
+        time.sleep(0.01)
+        assert store.get(fingerprints[0]) is not None  # touch the oldest
+        store.gc(max_entries=1)
+        # the touched entry is now the most recent and survives
+        assert store.get(fingerprints[0]) is not None
+
+    def test_gc_without_limits_is_a_noop(self, store):
+        self.fill(store, 3)
+        report = store.gc()
+        assert report["removed"] == 0
+        assert store.stats()["entries"] == 3
+
+    def test_clear_empties_the_store(self, store):
+        self.fill(store, 3)
+        assert store.clear() == 3
+        assert store.stats()["entries"] == 0

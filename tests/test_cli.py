@@ -385,6 +385,7 @@ class TestSelftest:
         assert "selftest PASSED" in out
         assert "sigpml-chain" in out
         assert "ccsl-clocks" in out
+        assert "artifact store" in out
 
     def test_selftest_json(self, capsys):
         import repro
@@ -395,3 +396,116 @@ class TestSelftest:
         assert doc["version"] == repro.__version__
         assert len(doc["reports"]) == 3
         assert all(report["agree"] for report in doc["reports"])
+        # the cold/warm store round-trip rode along and agreed
+        assert doc["store"]["agree"] is True
+        assert doc["store"]["warm_hits"] == doc["store"]["specs"]
+
+
+class TestBatchStore(TestBatch):
+    """The farm flags: --store serves warm runs, --backend sweeps."""
+
+    def runs(self):
+        return [
+            {"kind": "simulate", "model": "demo", "steps": 5},
+            {"kind": "explore", "model": "demo", "max_states": 100},
+            {"kind": "check", "model": "demo",
+             "property": "AG !deadlock"},
+        ]
+
+    def test_second_run_is_all_cache_hits(self, tmp_path, app_file,
+                                          capsys):
+        path = self.batch_file(tmp_path, app_file, self.runs())
+        store = str(tmp_path / "farm")
+        assert main(["batch", path, "--store", store, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert all(doc["cached"] is False for doc in cold)
+        assert main(["batch", path, "--store", store, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert all(doc["cached"] is True for doc in warm)
+        # the artifacts themselves are byte-identical: only the
+        # transport flag differs
+        for one, two in zip(cold, warm):
+            del one["cached"], two["cached"]
+        assert warm == cold
+
+    def test_text_mode_reports_hits(self, tmp_path, app_file, capsys):
+        path = self.batch_file(tmp_path, app_file, self.runs())
+        store = str(tmp_path / "farm")
+        assert main(["batch", path, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["batch", path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "3 run(s), 0 failure(s), 3 cache hit(s)" in out
+        assert "[cached]" in out
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backends_match_the_default(self, tmp_path, app_file,
+                                        backend, capsys):
+        path = self.batch_file(tmp_path, app_file, self.runs())
+        assert main(["batch", path, "--json"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["batch", path, "--json", "--backend", backend,
+                     "--workers", "4"]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_without_store_docs_carry_no_cached_flag(self, tmp_path,
+                                                     app_file, capsys):
+        path = self.batch_file(tmp_path, app_file, self.runs())
+        assert main(["batch", path, "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert all("cached" not in doc for doc in docs)
+
+
+class TestStoreCommands:
+    def populate(self, tmp_path, app_file, capsys):
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps([
+            {"kind": "simulate", "model": app_file, "steps": 4},
+            {"kind": "explore", "model": app_file, "max_states": 50},
+        ]))
+        store = str(tmp_path / "farm")
+        assert main(["batch", str(batch), "--store", store]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_stats(self, tmp_path, app_file, capsys):
+        store = self.populate(tmp_path, app_file, capsys)
+        assert main(["store", "stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 artifact(s)" in out
+
+    def test_stats_json(self, tmp_path, app_file, capsys):
+        import repro
+        store = self.populate(tmp_path, app_file, capsys)
+        assert main(["store", "stats", store, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "store-stats"
+        assert doc["entries"] == 2
+        assert doc["total_bytes"] > 0
+        assert doc["version"] == repro.__version__
+
+    def test_gc_max_entries(self, tmp_path, app_file, capsys):
+        store = self.populate(tmp_path, app_file, capsys)
+        assert main(["store", "gc", store, "--max-entries", "1",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "store-gc"
+        assert doc["removed"] == 1
+        assert doc["kept"] == 1
+
+    def test_gc_without_limits_reports_noop(self, tmp_path, app_file,
+                                            capsys):
+        store = self.populate(tmp_path, app_file, capsys)
+        assert main(["store", "gc", store]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0" in out
+
+    def test_missing_store_is_an_error_not_a_mkdir(self, tmp_path,
+                                                   capsys):
+        ghost = str(tmp_path / "no-such-store")
+        assert main(["store", "stats", ghost]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        # inspection must not have conjured the directory
+        import os
+        assert not os.path.exists(ghost)

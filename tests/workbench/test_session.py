@@ -97,6 +97,30 @@ class TestRunMany:
                                                 workers=workers)]
         assert parallel == baseline
 
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_byte_identical_across_backends(self, workbench, backend,
+                                            workers):
+        # the farm contract: results do not depend on the backend or
+        # the worker count — serial×1 is the baseline all must match.
+        # (the 'chain' model is an SdfBuilder handle with no source
+        # doc, so this also covers the process backend's in-parent
+        # fallback path next to shipped groups)
+        baseline = [r.to_json()
+                    for r in workbench.run_many(self.batch(), workers=1,
+                                                backend="serial")]
+        swept = [r.to_json()
+                 for r in workbench.run_many(self.batch(),
+                                             workers=workers,
+                                             backend=backend)]
+        assert swept == baseline
+
+    def test_unknown_backend_rejected(self, workbench):
+        from repro.farm import BackendError
+        with pytest.raises(BackendError, match="unknown backend"):
+            workbench.run_many([SimulateSpec("demo", steps=2)],
+                               backend="quantum")
+
     def test_streaming_callback_sees_every_result(self, workbench):
         seen = []
         results = workbench.run_many(
