@@ -95,6 +95,7 @@ def bench_fixpoint_chain_scaling(benchmark, length):
 
     reachable = benchmark.pedantic(fixpoint, rounds=1, iterations=1)
     assert reachable.count() == 3 ** (length - 1)
+    benchmark.extra_info["engine"] = reachable.system.telemetry()
 
 
 @pytest.mark.benchmark(group="e12-fixpoint")
@@ -107,6 +108,7 @@ def bench_fixpoint_mesh(benchmark):
 
     reachable = benchmark.pedantic(fixpoint, rounds=1, iterations=1)
     assert not reachable.truncated
+    benchmark.extra_info["engine"] = reachable.system.telemetry()
 
 
 @pytest.mark.benchmark(group="e12-strategies")

@@ -91,6 +91,8 @@ def bench_symbolic_ctl_chain12(benchmark, prop):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.verdict is Verdict.HOLDS
+    benchmark.extra_info["engine"] = \
+        model.kernel.transition_system(model).telemetry()
 
 
 @pytest.mark.benchmark(group="e13-ctl")

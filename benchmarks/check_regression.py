@@ -31,6 +31,7 @@ REQUIRED_FILES = (
     "bench_e12_symbolic_reachability.py",
     "bench_e13_ctl_check.py",
     "bench_e14_farm.py",
+    "bench_e15_partitioned_relation.py",
 )
 
 

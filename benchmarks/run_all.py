@@ -81,13 +81,22 @@ def run_one(bench_file: Path, smoke: bool, timeout: int) -> dict:
             report = json.load(stream)
         for bench in report.get("benchmarks", []):
             stats = bench.get("stats", {})
-            record["benchmarks"].append({
+            entry = {
                 "name": bench.get("fullname", bench.get("name")),
                 "group": bench.get("group"),
                 "mean_s": stats.get("mean"),
                 "min_s": stats.get("min"),
                 "rounds": stats.get("rounds"),
-            })
+            }
+            # engine observability: benches that compile a symbolic
+            # system attach its telemetry() — BDD node counts, reorder
+            # count, image iterations, cache hit rates — via
+            # pytest-benchmark's extra_info, making perf regressions
+            # attributable (was it node growth? a cache going cold?)
+            extra = bench.get("extra_info") or {}
+            if extra.get("engine"):
+                entry["engine"] = extra["engine"]
+            record["benchmarks"].append(entry)
     except (OSError, ValueError):
         pass  # a crashed run leaves no report; status already recorded
     finally:

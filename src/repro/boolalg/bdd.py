@@ -16,9 +16,17 @@ can serve every step of a long-running execution model. Because nodes
 are hash-consed, a node index is a canonical identifier of its boolean
 function — two structurally different expressions compiling to the same
 function yield the *same* integer, which higher layers exploit as a
-cache key (see :mod:`repro.engine.execution_model`). The variable order
-is stable: first declaration fixes a variable's level forever; later
-declarations append.
+cache key (see :mod:`repro.engine.execution_model`).
+
+The variable order is *dynamic*: first declaration places a variable at
+the next free level, but :meth:`Bdd.reorder` (Rudell-style sifting over
+an adjacent-level swap primitive) may move levels around afterwards,
+either explicitly or automatically when the unique table grows past a
+threshold. Reordering rewrites the affected unique-table rows in place,
+so node ids — and the functions they denote — survive every reorder;
+only level-keyed operation caches (notably the cross-call ``exists``
+memo) must be, and are, invalidated. Callers must not reorder while a
+lazy enumeration (:meth:`Bdd.iter_models`) is being consumed.
 """
 
 from __future__ import annotations
@@ -37,14 +45,36 @@ from repro.boolalg.expr import (
 
 
 class Bdd:
-    """A BDD manager with a fixed-on-first-use variable order."""
+    """A BDD manager with a dynamic (siftable) variable order."""
 
-    def __init__(self, order: Iterable[str] | None = None):
+    def __init__(self, order: Iterable[str] | None = None,
+                 auto_reorder_threshold: int | None = None,
+                 auto_reorder_budget: int | None = None):
         #: node storage: index -> (level, low, high); levels 0.. for
         #: variables, terminals use a level beyond every variable.
         self._nodes: list[tuple[int, int, int]] = []
+        #: reorder-time reference counts, parallel to ``_nodes`` —
+        #: rebuilt by a sweep at every :meth:`reorder` entry (see
+        #: :meth:`_init_reorder_refs`) and maintained incrementally by
+        #: the swap primitive; meaningless between reorders.
+        self._refs: list[int] = []
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
+        #: negation memo, both directions: ``_not_cache[f] == ¬f`` and
+        #: ``_not_cache[¬f] == f`` — makes repeated complements O(1) and
+        #: feeds the ite complement-argument normalization.
+        self._not_cache: dict[int, int] = {}
+        #: cross-call existential-quantification memo keyed
+        #: ``(node, frozen level-set)`` — invalidated on reorder, since
+        #: the level sets are positional.
+        #: one inner ``{node: result}`` memo per quantified level set —
+        #: the nesting keeps the hot-path key a bare int.
+        self._exists_cache: dict[frozenset[int], dict[int, int]] = {}
+        #: fused relational-product memo for :meth:`and_exists`: one
+        #: inner memo per level set, keyed ``(f << 32) | g`` with the
+        #: commutative operands id-ordered — level-keyed, so
+        #: invalidated on reorder.
+        self._andex_cache: dict[frozenset[int], dict[int, int]] = {}
         #: from_expr memo — a *bounded* LRU: expression objects can be
         #: created in unbounded numbers by long-running sessions (every
         #: clone/discard cycle of a stateful model contributes fresh
@@ -53,6 +83,39 @@ class Bdd:
         self._expr_cache: OrderedDict[BExpr, int] = OrderedDict()
         self._order: list[str] = []
         self._levels: dict[str, int] = {}
+        #: node ids per level (dead ids included — the table is
+        #: append-only), so adjacent-level swaps touch only their rows
+        self._level_nodes: dict[int, set[int]] = {}
+        #: reorder-time live node count — the sifting objective
+        self._live = 0
+        #: optional zero-argument callable returning the node ids an
+        #: engine still holds — explicit :meth:`reorder` calls sift
+        #: against the truly live structure instead of every parentless
+        #: row, and setting it transfers auto-reorder firing to the
+        #: engine's safe points (see :meth:`_run_pending_reorder`)
+        self.reorder_roots_provider = None
+        #: completed :meth:`reorder` runs (telemetry; external caches
+        #: keyed on levels can use it as an epoch)
+        self.reorder_count = 0
+        self._auto_reorder_threshold = auto_reorder_threshold
+        self._auto_reorder_budget = auto_reorder_budget
+        #: int sentinel checked on every node allocation — the
+        #: threshold, or "never" when auto-reordering is off
+        self._reorder_at = (auto_reorder_threshold
+                            if auto_reorder_threshold is not None
+                            else (1 << 62))
+        self._reorder_pending = False
+        self._reordering = False
+        # operation-cache hit/miss counters (plain attributes: ite is
+        # the hottest function in the engine)
+        self._ite_hits = 0
+        self._ite_misses = 0
+        self._exists_hits = 0
+        self._exists_misses = 0
+        self._andex_hits = 0
+        self._andex_misses = 0
+        self._not_hits = 0
+        self._not_misses = 0
         self.zero = self._make_terminal()
         self.one = self._make_terminal()
         for name in order or []:
@@ -61,6 +124,10 @@ class Bdd:
     #: soft bound on the ite cache; exceeding it drops it (the node
     #: table itself is never dropped — node ids must stay valid).
     _CACHE_LIMIT = 1_000_000
+
+    #: soft bound on the cross-call exists cache, dropped wholesale like
+    #: the ite cache when exceeded.
+    _EXISTS_CACHE_LIMIT = 500_000
 
     #: hard bound on the from_expr memo: least-recently-used entries are
     #: evicted one by one, so the memo stays bounded across arbitrarily
@@ -95,6 +162,7 @@ class Bdd:
     def _make_terminal(self) -> int:
         index = len(self._nodes)
         self._nodes.append((-1, -1, -1))
+        self._refs.append(0)
         return index
 
     def _level(self, node: int) -> int:
@@ -112,55 +180,252 @@ class Bdd:
         index = len(self._nodes)
         self._nodes.append(key)
         self._unique[key] = index
+        if self._reordering:
+            # level buckets only exist during a reorder (the swap
+            # primitive rewrites whole levels); between reorders the
+            # hot path skips all bookkeeping
+            self._refs.append(0)
+            bucket = self._level_nodes.get(level)
+            if bucket is None:
+                bucket = self._level_nodes[level] = set()
+            bucket.add(index)
+        elif index >= self._reorder_at:
+            self._reorder_pending = True
         return index
+
+    def _ref(self, child: int) -> None:
+        """Reorder-time refcounting: add one live edge into *child*,
+        resurrecting (and cascading into) its subgraph if it was dead."""
+        if child <= self.one:
+            return
+        refs = self._refs
+        refs[child] += 1
+        if refs[child] == 1:
+            self._live += 1
+            _level, low, high = self._nodes[child]
+            self._ref(low)
+            self._ref(high)
+
+    def _deref(self, child: int) -> None:
+        """Drop one live edge into *child*; a row whose last edge goes
+        is evicted on the spot — its unique-table key and bucket entry
+        are removed, so it can never be returned by :meth:`_node` again
+        (dead rows are not rewritten by swaps, so resurrecting one
+        after its level moved would yield a stale function)."""
+        if child <= self.one:
+            return
+        refs = self._refs
+        refs[child] -= 1
+        if refs[child] == 0:
+            self._live -= 1
+            row = self._nodes[child]
+            if self._unique.get(row) == child:
+                self._unique.pop(row)
+            bucket = self._level_nodes.get(row[0])
+            if bucket is not None:
+                bucket.discard(child)
+            self._deref(row[1])
+            self._deref(row[2])
+
+    def _init_level_buckets(self) -> None:
+        """Build the per-level buckets of *live* node ids the swap
+        primitive rewrites — computed fresh at each reorder entry (one
+        sweep over the table, after :meth:`_init_reorder_refs`) rather
+        than maintained on the allocation hot path. Rows unreachable
+        from the reorder roots are evicted here: their unique-table
+        keys are dropped so they can never be resurrected with a stale
+        level assignment, and the swaps never have to rewrite them —
+        which is what makes sifting scale with the live graph instead
+        of with everything the table ever allocated."""
+        buckets: dict[int, set[int]] = {}
+        refs = self._refs
+        unique = self._unique
+        for index in range(self.one + 1, len(self._nodes)):
+            row = self._nodes[index]
+            if refs[index] == 0:
+                if unique.get(row) == index:
+                    unique.pop(row)
+                continue
+            bucket = buckets.get(row[0])
+            if bucket is None:
+                bucket = buckets[row[0]] = set()
+            bucket.add(index)
+        self._level_nodes = buckets
+
+    def _init_reorder_refs(self, roots: Iterable[int] | None) -> None:
+        """Snapshot the sifting objective: refs[x] = live edges into x
+        plus one pseudo-ref per root; ``_live`` = reachable rows. With
+        no explicit roots every parentless row is a root — sound (ids
+        are forever) but it counts long-dead intermediates too, so
+        engines that know their live roots should pass them."""
+        self._refs = [0] * len(self._nodes)
+        self._live = 0
+        if roots is None:
+            referenced = bytearray(len(self._nodes))
+            for index in range(self.one + 1, len(self._nodes)):
+                _level, low, high = self._nodes[index]
+                if low > self.one:
+                    referenced[low] = 1
+                if high > self.one:
+                    referenced[high] = 1
+            roots = [index for index in range(self.one + 1, len(self._nodes))
+                     if not referenced[index]]
+        for root in roots:
+            self._ref(root)
 
     def node_count(self) -> int:
         """Total nodes allocated by this manager (including terminals)."""
         return len(self._nodes)
 
+    def live_node_count(self) -> int:
+        """The sifting objective: during a reorder, rows reachable from
+        the snapshot roots; otherwise all non-terminal rows (the table
+        is append-only, so garbage is indistinguishable between
+        reorders)."""
+        if self._reordering:
+            return self._live
+        return len(self._nodes) - 2
+
+    def size(self, node: int) -> int:
+        """Nodes reachable from *node* (terminals excluded)."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in (self.zero, self.one) or current in seen:
+                continue
+            seen.add(current)
+            _level, low, high = self._nodes[current]
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
     def cache_sizes(self) -> dict[str, int]:
         """Current operation-cache sizes (introspection/tests)."""
-        return {"ite": len(self._ite_cache), "expr": len(self._expr_cache)}
+        return {"ite": len(self._ite_cache), "expr": len(self._expr_cache),
+                "exists": sum(map(len, self._exists_cache.values())),
+                "and_exists": sum(map(len, self._andex_cache.values())),
+                "not": len(self._not_cache)}
+
+    def cache_stats(self) -> dict[str, dict[str, float]]:
+        """Hit/miss counters and hit rates per operation cache."""
+        def bucket(hits: int, misses: int) -> dict[str, float]:
+            total = hits + misses
+            return {"hits": hits, "misses": misses,
+                    "hit_rate": round(hits / total, 6) if total else 0.0}
+        return {"ite": bucket(self._ite_hits, self._ite_misses),
+                "exists": bucket(self._exists_hits, self._exists_misses),
+                "and_exists": bucket(self._andex_hits, self._andex_misses),
+                "not": bucket(self._not_hits, self._not_misses)}
 
     def clear_operation_caches(self) -> None:
-        """Drop the ite and expression caches.
+        """Drop the ite, negation, exists and expression caches.
 
         Node ids remain valid (the unique table is untouched); only the
         memoized operation results are released. Safe at any time — the
-        caches are a pure accelerator.
+        caches are a pure accelerator — and mandatory after a reorder,
+        where the level-keyed exists entries go stale.
         """
         self._ite_cache.clear()
+        self._not_cache.clear()
+        self._exists_cache.clear()
+        self._andex_cache.clear()
         self._expr_cache.clear()
 
     def _trim_caches(self) -> None:
         if len(self._ite_cache) > self._CACHE_LIMIT:
             self._ite_cache.clear()
+        if sum(map(len, self._exists_cache.values())) \
+                > self._EXISTS_CACHE_LIMIT:
+            self._exists_cache.clear()
+        if sum(map(len, self._andex_cache.values())) \
+                > self._EXISTS_CACHE_LIMIT:
+            self._andex_cache.clear()
         while len(self._expr_cache) > self._EXPR_CACHE_LIMIT:
             self._expr_cache.popitem(last=False)
+        self._run_pending_reorder()
 
     # -- core operations -----------------------------------------------------------
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: f ? g : h — the universal BDD combinator."""
-        if f == self.one:
+        """If-then-else: f ? g : h — the universal BDD combinator.
+
+        Calls are normalized to a canonical triple before the memo
+        lookup (standard ite normalization): equal/complement arguments
+        collapse (``ite(f,f,h) = ite(f,1,h)``, ``ite(f,¬f,h) =
+        ite(f,0,h)``), the commutative AND/OR shapes order their
+        operands by node id (ids are canonical function identifiers),
+        and a test function with a known complement uses the smaller id
+        with swapped branches — so the equivalent ways higher layers
+        spell one operation share a single cache row.
+        """
+        one = self.one
+        zero = self.zero
+        if f == one:
             return g
-        if f == self.zero:
+        if f == zero:
             return h
         if g == h:
             return g
-        if g == self.one and h == self.zero:
+        if f == g:
+            g = one
+        elif f == h:
+            h = zero
+        if g == h:  # the collapses can re-merge the branches
+            return g
+        if g == one and h == zero:
             return f
+        not_f = self._not_cache.get(f)
+        if not_f is not None:
+            if not_f == g:
+                g = zero
+            if not_f == h:
+                h = one
+            if g == h:  # the collapses can re-merge the branches
+                return g
+            if g == zero and h == one:  # NOT(f), complement known
+                self._not_hits += 1
+                return not_f
+            if not_f < f:  # canonical polarity for the test function
+                f, g, h = not_f, h, g
+        if h == zero:  # AND(f, g): commutative
+            if g < f:
+                f, g = g, f
+        elif g == one:  # OR(f, h): commutative
+            if h < f:
+                f, h = h, f
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._ite_hits += 1
             return cached
-        level = min(self._level(f), self._level(g), self._level(h))
-        f_low, f_high = self._cofactors(f, level)
-        g_low, g_high = self._cofactors(g, level)
-        h_low, h_high = self._cofactors(h, level)
+        self._ite_misses += 1
+        nodes = self._nodes
+        # top level and cofactors, inlined: f is never terminal here,
+        # g/h may be (their cofactors are then themselves)
+        f_level, f_low, f_high = nodes[f]
+        level = f_level
+        if g > one:
+            g_level = nodes[g][0]
+            if g_level < level:
+                level = g_level
+        if h > one:
+            h_level = nodes[h][0]
+            if h_level < level:
+                level = h_level
+        if f_level != level:
+            f_low = f_high = f
+        if g <= one or nodes[g][0] != level:
+            g_low = g_high = g
+        else:
+            _lvl, g_low, g_high = nodes[g]
+        if h <= one or nodes[h][0] != level:
+            h_low = h_high = h
+        else:
+            _lvl, h_low, h_high = nodes[h]
         low = self.ite(f_low, g_low, h_low)
         high = self.ite(f_high, g_high, h_high)
-        result = self._node(level, low, high)
+        result = low if low == high else self._node(level, low, high)
         self._ite_cache[key] = result
         return result
 
@@ -177,7 +442,15 @@ class Bdd:
         return self.ite(f, self.one, g)
 
     def apply_not(self, f: int) -> int:
-        return self.ite(f, self.zero, self.one)
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            self._not_hits += 1
+            return cached
+        self._not_misses += 1
+        result = self.ite(f, self.zero, self.one)
+        self._not_cache[f] = result
+        self._not_cache[result] = f
+        return result
 
     def apply_xor(self, f: int, g: int) -> int:
         return self.ite(f, self.apply_not(g), g)
@@ -204,38 +477,145 @@ class Bdd:
         return walk(node)
 
     def exists(self, node: int, names: Iterable[str]) -> int:
-        """Existential quantification over *names*."""
-        levels = {self._levels[name] for name in names if name in self._levels}
-        cache: dict[int, int] = {}
+        """Existential quantification over *names*.
+
+        Results are memoized *across calls* in a bounded cache keyed by
+        ``(node, frozen level-set)``: preimage-heavy fixpoints (AF/AU)
+        re-quantify largely overlapping intermediate sets every
+        iteration, and with a persistent manager the shared subgraphs
+        hit here instead of being re-walked. The cache is level-keyed,
+        so it is invalidated on reorder.
+        """
+        self._run_pending_reorder()
+        levels = frozenset(self._levels[name] for name in names
+                           if name in self._levels)
+        if not levels or node in (self.zero, self.one):
+            return node
+        result = self._exists_levels(node, levels)
+        cache = self._exists_cache.get(levels)
+        if cache is not None and len(cache) > self._EXISTS_CACHE_LIMIT:
+            cache.clear()
+        return result
+
+    def _exists_levels(self, node: int, levels: frozenset) -> int:
+        """:meth:`exists` body over a pre-resolved level set."""
+        cache = self._exists_cache.get(levels)
+        if cache is None:
+            cache = self._exists_cache[levels] = {}
+        nodes = self._nodes
+        one = self.one
 
         def walk(current: int) -> int:
-            if current in (self.zero, self.one):
+            if current <= one:  # terminals are ids 0 and 1
                 return current
-            if current in cache:
-                return cache[current]
-            level, low, high = self._nodes[current]
-            low_walked, high_walked = walk(low), walk(high)
+            cached = cache.get(current)
+            if cached is not None:
+                self._exists_hits += 1
+                return cached
+            self._exists_misses += 1
+            level, low, high = nodes[current]
             if level in levels:
-                result = self.apply_or(low_walked, high_walked)
+                low_walked = walk(low)
+                # short-circuit: ∃x. f is already everything
+                result = (one if low_walked == one
+                          else self.apply_or(low_walked, walk(high)))
             else:
-                result = self._node(level, low_walked, high_walked)
+                low_walked = walk(low)
+                high_walked = walk(high)
+                result = (low_walked if low_walked == high_walked
+                          else self._node(level, low_walked, high_walked))
             cache[current] = result
             return result
 
         return walk(node)
 
-    def rename(self, node: int, mapping: Mapping[str, str]) -> int:
-        """Substitute variables: ``mapping[old] = new`` (level-monotone).
+    def and_exists(self, f: int, g: int, names: Iterable[str]) -> int:
+        """Fused relational product: ``∃names. (f ∧ g)`` in one pass.
 
-        The substitution must preserve the relative variable order over
-        the function's support — i.e. reading the support of *node* top
-        to bottom, the mapped levels must be strictly increasing and
-        must not collide with the levels of unmapped support variables.
-        That restriction makes renaming a single linear walk (no
-        re-ordering), and it is exactly the case needed by image
-        computation, where each primed state bit sits adjacent to its
-        unprimed twin. A non-monotone request raises ``ValueError``.
+        The workhorse of symbolic image/preimage (CUDD's
+        ``bddAndAbstract``): the conjunction ``f ∧ g`` is never
+        materialized — at a quantified level the branch results are
+        OR-ed on the spot, and the walk short-circuits to ``one`` as
+        soon as the low branch alone proves the quantified product
+        full. Below the deepest quantified level the computation
+        degrades to a plain conjunction and is delegated to
+        :meth:`ite` (sharing its memo); a walk that reaches ``one`` on
+        one side delegates to the :meth:`exists` walk on the other
+        (sharing that memo). Results are memoized across calls keyed
+        ``(f, g, frozen level-set)`` with the commutative operands
+        id-ordered; level-keyed, so invalidated on reorder.
         """
+        self._run_pending_reorder()
+        levels = frozenset(self._levels[name] for name in names
+                           if name in self._levels)
+        if not levels:
+            return self.apply_and(f, g)
+        max_quantified = max(levels)
+        cache = self._andex_cache.get(levels)
+        if cache is None:
+            cache = self._andex_cache[levels] = {}
+        nodes = self._nodes
+        zero = self.zero
+        one = self.one
+
+        def walk(f: int, g: int) -> int:
+            if f == zero or g == zero:
+                return zero
+            if f == one:
+                return one if g == one else self._exists_levels(g, levels)
+            if g == one:
+                return self._exists_levels(f, levels)
+            if g < f:  # conjunction is commutative: canonical operand order
+                f, g = g, f
+            f_level, f_low, f_high = nodes[f]
+            g_level, g_low, g_high = nodes[g]
+            level = f_level if f_level < g_level else g_level
+            if level > max_quantified:
+                # no quantified variable can occur below this level
+                return self.ite(f, g, zero)
+            key = (f << 32) | g
+            cached = cache.get(key)
+            if cached is not None:
+                self._andex_hits += 1
+                return cached
+            self._andex_misses += 1
+            if f_level != level:
+                f_low = f_high = f
+            if g_level != level:
+                g_low = g_high = g
+            if level in levels:
+                low_walked = walk(f_low, g_low)
+                result = (one if low_walked == one
+                          else self.apply_or(low_walked,
+                                             walk(f_high, g_high)))
+            else:
+                low_walked = walk(f_low, g_low)
+                high_walked = walk(f_high, g_high)
+                result = (low_walked if low_walked == high_walked
+                          else self._node(level, low_walked, high_walked))
+            cache[key] = result
+            return result
+
+        result = walk(f, g)
+        if len(cache) > self._EXISTS_CACHE_LIMIT:
+            cache.clear()
+        return result
+
+    def rename(self, node: int, mapping: Mapping[str, str]) -> int:
+        """Substitute variables: ``mapping[old] = new``.
+
+        When the substitution preserves the relative variable order over
+        the function's support — reading the support of *node* top to
+        bottom, the mapped levels strictly increase and do not collide
+        with the levels of unmapped support variables — renaming is a
+        single linear walk. That used to be the only supported case
+        (image computation keeps each primed state bit adjacent to its
+        unprimed twin), but dynamic reordering can interleave current
+        and primed bits arbitrarily, so a non-monotone request now
+        falls back to the general simultaneous :meth:`substitute`
+        instead of raising.
+        """
+        self._run_pending_reorder()
         level_map: dict[int, int] = {}
         for old, new in mapping.items():
             if old not in self._levels:
@@ -244,9 +624,7 @@ class Bdd:
         support = sorted(self._support_levels(node))
         mapped = [level_map.get(level, level) for level in support]
         if any(b <= a for a, b in zip(mapped, mapped[1:])):
-            raise ValueError(
-                "rename mapping does not preserve the variable order over "
-                f"the support ({[self._order[level] for level in support]})")
+            return self.substitute(node, mapping)
         cache: dict[int, int] = {}
 
         def walk(current: int) -> int:
@@ -276,6 +654,7 @@ class Bdd:
         of :meth:`rename`'s single linear walk — prefer :meth:`rename`
         when the mapping is order-monotone over the support.
         """
+        self._run_pending_reorder()
         level_map: dict[int, int] = {}
         for old, new in mapping.items():
             if old not in self._levels:
@@ -298,6 +677,265 @@ class Bdd:
             return result
 
         return walk(node)
+
+    # -- dynamic variable reordering ----------------------------------------------
+
+    def _swap_adjacent(self, upper: int) -> None:
+        """Swap the variables at levels *upper* and *upper*+1 in place.
+
+        The *live* unique-table rows at the two levels are rewritten so
+        that every live node id keeps denoting the same boolean
+        function under the exchanged order — the standard level-swap
+        primitive:
+
+        * a level-``upper`` node independent of the lower variable
+          keeps its structure and simply moves down one level;
+        * a dependent node is rebuilt as ``v ? (u ? f11 : f01)
+          : (u ? f10 : f00)`` with fresh (or reused) inner ``u`` nodes;
+        * every old lower-level node keeps its structure and moves up.
+
+        Only rows reachable from the reorder roots are touched: the
+        level buckets are live-only (dead rows were evicted at reorder
+        entry, dying rows are evicted by :meth:`_deref`), which is what
+        keeps a swap proportional to the live population of two levels
+        rather than to every row the append-only table ever allocated.
+
+        No two rewritten rows can collide: a dependent node's function
+        depends on ``u`` while a moved-up node's does not, and distinct
+        functions keep distinct ``(level, low, high)`` keys.
+        """
+        lower = upper + 1
+        nodes = self._nodes
+        unique = self._unique
+        upper_ids = self._level_nodes.get(upper, set())
+        lower_ids = self._level_nodes.get(lower, set())
+        for idx in upper_ids:
+            unique.pop(nodes[idx], None)
+        for idx in lower_ids:
+            unique.pop(nodes[idx], None)
+        dependent: list[int] = []
+        result_upper: set[int] = set()
+        result_lower: set[int] = set()
+        for idx in upper_ids:
+            _lvl, low, high = nodes[idx]
+            if low in lower_ids or high in lower_ids:
+                dependent.append(idx)
+            else:  # independent of the lower variable: move down as-is
+                nodes[idx] = (lower, low, high)
+                unique[(lower, low, high)] = idx
+                result_lower.add(idx)
+        for idx in lower_ids:  # old lower rows move up, structure intact
+            _lvl, low, high = nodes[idx]
+            nodes[idx] = (upper, low, high)
+            unique[(upper, low, high)] = idx
+            result_upper.add(idx)
+        # install the new buckets *before* rebuilding dependents, so the
+        # inner _node() calls land in (and can reuse) the right rows
+        self._level_nodes[upper] = result_upper
+        self._level_nodes[lower] = result_lower
+        for idx in dependent:
+            if self._refs[idx] == 0:
+                continue  # died during this swap: already evicted
+            _lvl, f0, f1 = nodes[idx]
+            if f0 in lower_ids:
+                _l0, f00, f01 = nodes[f0]
+            else:
+                f00 = f01 = f0
+            if f1 in lower_ids:
+                _l1, f10, f11 = nodes[f1]
+            else:
+                f10 = f11 = f1
+            low = self._node(lower, f00, f10)
+            high = self._node(lower, f01, f11)
+            self._ref(low)
+            self._ref(high)
+            self._deref(f0)
+            self._deref(f1)
+            nodes[idx] = (upper, low, high)
+            unique[(upper, low, high)] = idx
+            result_upper.add(idx)
+        u_name = self._order[upper]
+        v_name = self._order[lower]
+        self._order[upper], self._order[lower] = v_name, u_name
+        self._levels[u_name] = lower
+        self._levels[v_name] = upper
+
+    def _sift_var(self, name: str, max_growth: float) -> None:
+        """Move one variable through every level, park it at the
+        position minimizing the live node count (Rudell sifting)."""
+        n = len(self._order)
+        pos = self._levels[name]
+        limit = max(64, int(self._live * max_growth))
+        best_size = self._live
+        best_pos = pos
+
+        def down() -> None:
+            nonlocal pos, best_size, best_pos
+            while pos < n - 1 and self._live <= limit:
+                self._swap_adjacent(pos)
+                pos += 1
+                if self._live < best_size:
+                    best_size, best_pos = self._live, pos
+
+        def up() -> None:
+            nonlocal pos, best_size, best_pos
+            while pos > 0 and self._live <= limit:
+                self._swap_adjacent(pos - 1)
+                pos -= 1
+                if self._live < best_size:
+                    best_size, best_pos = self._live, pos
+
+        if n - 1 - pos <= pos:  # sift toward the closer end first
+            down()
+            up()
+        else:
+            up()
+            down()
+        while pos < best_pos:
+            self._swap_adjacent(pos)
+            pos += 1
+        while pos > best_pos:
+            self._swap_adjacent(pos - 1)
+            pos -= 1
+
+    def _count_reachable(self, roots: Iterable[int]) -> int:
+        """Distinct non-terminal nodes reachable from *roots* — O(live),
+        the cheap probe that tells genuine structure growth from
+        allocation churn (the table is append-only, so its length
+        counts every transient intermediate ever built)."""
+        nodes = self._nodes
+        seen: set[int] = set()
+        stack = [root for root in roots if root > 1]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            _level, low, high = nodes[node]
+            if low > 1:
+                stack.append(low)
+            if high > 1:
+                stack.append(high)
+        return len(seen)
+
+    def reorder(self, budget: int | None = None,
+                max_growth: float = 1.2,
+                roots: Iterable[int] | None = None,
+                auto: bool = False) -> int:
+        """Dynamic variable reordering by Rudell-style sifting.
+
+        Each variable (most-populated levels first) is sifted through
+        every position via adjacent-level swaps and parked where the
+        live node count is smallest; a sift is aborted early when the
+        table grows past ``max_growth`` times its starting size. Passes
+        repeat until the improvement fades (converge) or *budget*
+        variable-sifts have been spent. Node ids reachable from *roots*
+        survive with their function intact — only the level assignment
+        changes — and the operation caches are invalidated (the exists
+        caches are keyed on levels; the others are dropped wholesale
+        for safety). Returns the live-node-count reduction.
+
+        The live-only contract: sifting rewrites (and its cost scales
+        with) only the rows reachable from *roots*. Everything else is
+        evicted from the unique table up front — ids not covered by
+        *roots* are **invalidated** by the reorder and must not be used
+        again. With the default ``roots=None`` every parentless row is
+        a root, which transitively covers every row in the table: the
+        default is universally safe for any caller, just slower, since
+        long-dead intermediates are sifted too. Engines that know their
+        live handles should pass them (or set
+        :attr:`reorder_roots_provider`).
+
+        Also the target of the *auto*-reorder trigger: a manager built
+        with ``auto_reorder_threshold=N`` schedules a reorder as soon
+        as the unique table grows past N nodes. A standalone manager
+        (no :attr:`reorder_roots_provider`) fires it at the next safe
+        point (entry of a top-level operation) with the safe default
+        roots; when a provider is set, the owning engine fires the
+        pending reorder at its own safe points (see
+        ``TransitionSystem``), where it can pin in-flight intermediate
+        nodes alongside the provider's roots. After a run the
+        threshold ratchets to twice the current table size.
+
+        Auto-fired reorders (``auto=True`` with known roots) first
+        probe the live structure in O(live): the append-only table also
+        counts every transient intermediate, so crossing the threshold
+        often means allocation *churn* with a perfectly healthy order —
+        and sifting against that small, unrepresentative live snapshot
+        both discards the operation caches and overfits the order to
+        it. When the live set is below an eighth of the table, the
+        reorder is skipped wholesale (caches intact) and the trigger
+        re-arms at twice the current table size; sifting runs only when
+        the live structure itself has grown to the table's scale.
+        """
+        if self._reordering:
+            return 0
+        self._reorder_pending = False
+        if len(self._order) < 2:
+            return 0
+        if roots is None and self.reorder_roots_provider is not None:
+            roots = list(self.reorder_roots_provider())
+        if auto and roots is not None \
+                and self._count_reachable(roots) * 8 <= len(self._nodes):
+            # churn-dominated growth: the order is holding up — re-arm
+            # a doubling later, keep the caches, skip the sift
+            self._reorder_at = max(self._reorder_at, 2 * len(self._nodes))
+            if self._auto_reorder_threshold is not None:
+                self._auto_reorder_threshold = self._reorder_at
+            return 0
+        self._reordering = True
+        try:
+            # refs first: the bucket sweep keeps live rows only and
+            # evicts the rest from the unique table
+            self._init_reorder_refs(roots)
+            self._init_level_buckets()
+            before = self._live
+            sifted = 0
+            exhausted = False
+            while not exhausted:
+                round_start = self._live
+                by_population = sorted(
+                    self._order,
+                    key=lambda nm: -len(
+                        self._level_nodes.get(self._levels[nm], ())))
+                for name in by_population:
+                    if budget is not None and sifted >= budget:
+                        exhausted = True
+                        break
+                    self._sift_var(name, max_growth)
+                    sifted += 1
+                improvement = round_start - self._live
+                if improvement <= max(16, round_start // 50):
+                    break  # converged: another pass would not pay
+            self.reorder_count += 1
+            if self._auto_reorder_threshold is not None:
+                self._auto_reorder_threshold = max(
+                    self._auto_reorder_threshold, 2 * len(self._nodes))
+                self._reorder_at = self._auto_reorder_threshold
+            self.clear_operation_caches()
+            return before - self._live
+        finally:
+            self._reordering = False
+            self._level_nodes = {}  # bucket upkeep stops with the reorder
+
+    def reorder_due(self) -> bool:
+        """True when the auto-reorder trigger has fired and a reorder
+        can run now — the hook for an owning engine that fires pending
+        reorders at its own safe points with its own root set."""
+        return self._reorder_pending and not self._reordering
+
+    def _run_pending_reorder(self) -> None:
+        """Fire a scheduled auto-reorder at a safe point (no level-
+        sensitive walk in flight — callers hold only node ids, which
+        the default roots preserve). Only for standalone managers: when
+        a :attr:`reorder_roots_provider` is set, the owning engine
+        fires pending reorders itself, at points where it can also pin
+        its in-flight intermediates (a provider cannot see another
+        caller's local variables, so firing here with provider roots
+        would invalidate them)."""
+        if self._reorder_pending and not self._reordering \
+                and self.reorder_roots_provider is None:
+            self.reorder(budget=self._auto_reorder_budget, auto=True)
 
     # -- building from expressions -----------------------------------------------
 

@@ -109,13 +109,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _json_with_engine(result, workbench: Workbench) -> str:
+    """The result document plus out-of-band ``"engine"`` telemetry.
+
+    Telemetry (BDD node counts, reorders, cache hit rates) depends on
+    evaluation history, so it must never enter the canonical
+    ``RunResult`` document — two identical runs would stop comparing
+    byte-equal. It rides the CLI JSON output only, and only when a
+    symbolic kernel actually ran."""
+    doc = result.to_doc()
+    engine = workbench.handle("app").execution_model.kernel \
+        .engine_telemetry()
+    if engine is not None:
+        doc["engine"] = engine
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     workbench = _workbench_for(args)
     result = workbench.run(ExploreSpec(
         "app", max_states=args.max_states, strategy=args.strategy,
-        include_graph=True))
+        relation_mode=args.relation_mode, include_graph=True))
     if args.json:
-        print(result.to_json())
+        print(_json_with_engine(result, workbench))
         return 0 if result.ok else 1
     if not result.ok:
         raise ReproError(result.error)
@@ -127,9 +143,9 @@ def cmd_check(args: argparse.Namespace) -> int:
     workbench = _workbench_for(args)
     result = workbench.run(CheckSpec(
         "app", args.property, strategy=args.strategy,
-        max_states=args.max_states))
+        max_states=args.max_states, relation_mode=args.relation_mode))
     if args.json:
-        print(result.to_json())
+        print(_json_with_engine(result, workbench))
         return 0 if result.ok and result.data["verdict"] == "holds" else 1
     if not result.ok:
         raise ReproError(result.error)
@@ -401,6 +417,39 @@ def _selftest_store_roundtrip(handles) -> dict:
             "agree": not mismatches}
 
 
+def _selftest_relation_modes(handles) -> dict:
+    """Symbolic-core phase of the selftest: explore every bundled model
+    symbolically under both relation layouts and demand byte-identical
+    serialized spaces; then force a full variable reorder on the
+    compiled kernel and re-check that verdicts survive the
+    renumbering."""
+    from repro.engine import explore
+    from repro.engine.ctl import check
+    mismatches = []
+    for handle in handles:
+        model = handle.execution_model
+        spaces = {}
+        for mode in ("partitioned", "monolithic"):
+            model.clear_caches()
+            spaces[mode] = explore(model, max_states=5_000,
+                                   strategy="symbolic",
+                                   relation_mode=mode).to_json()
+        if spaces["partitioned"] != spaces["monolithic"]:
+            mismatches.append(
+                f"{handle.name}: relation modes serialize differently")
+        model.clear_caches()
+        before = check(model, "AG !deadlock", strategy="symbolic").verdict
+        model.kernel.transition_system(model).bdd.reorder()
+        after = check(model, "AG !deadlock", strategy="symbolic").verdict
+        if after is not before:
+            mismatches.append(
+                f"{handle.name}: verdict changed across a forced "
+                f"reorder ({before.value} -> {after.value})")
+    return {"models": len(handles),
+            "mismatches": mismatches,
+            "agree": not mismatches}
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     """Cross-check symbolic vs explicit exploration on bundled models."""
     from repro.engine.equivalence import cross_check
@@ -411,13 +460,15 @@ def cmd_selftest(args: argparse.Namespace) -> int:
                              max_states=args.max_states)
         report["model"] = handle.name
         reports.append(report)
+    modes_report = _selftest_relation_modes(handles)
     store_report = _selftest_store_roundtrip(handles)
     ok = all(report["agree"] for report in reports) \
-        and store_report["agree"]
+        and modes_report["agree"] and store_report["agree"]
     if args.json:
         print(json.dumps({"kind": "selftest", "ok": ok,
                           "version": repro.__version__,
                           "reports": reports,
+                          "relation_modes": modes_report,
                           "store": store_report},
                          indent=2, sort_keys=True))
         return 0 if ok else 1
@@ -432,6 +483,11 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         print(line)
         for mismatch in report["mismatches"]:
             print(f"    - {mismatch}")
+    modes_verdict = "OK" if modes_report["agree"] else "MISMATCH"
+    print(f"  relation modes     {modes_report['models']:>6} model(s) "
+          f"partitioned==monolithic, reorder-stable  {modes_verdict}")
+    for mismatch in modes_report["mismatches"]:
+        print(f"    - {mismatch}")
     store_verdict = "OK" if store_report["agree"] else "MISMATCH"
     print(f"  artifact store     {store_report['specs']:>6} spec(s) "
           f"{store_report['warm_hits']:>6} warm hit(s) "
@@ -470,6 +526,14 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("explicit", "symbolic", "auto"),
                           help="exploration strategy (identical result; "
                                "symbolic compiles a BDD transition relation)")
+    explorer.add_argument("--relation-mode", default=None,
+                          dest="relation_mode",
+                          choices=("partitioned", "monolithic"),
+                          help="symbolic relation layout: partitioned "
+                               "(default; image/preimage by clustered "
+                               "early quantification) or monolithic "
+                               "(eagerly conjoined relation); the "
+                               "result is identical either way")
     explorer.set_defaults(handler=cmd_explore)
 
     checker = subparsers.add_parser(
@@ -488,6 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
     checker.add_argument("--max-states", type=int, default=10_000,
                          help="explicit-strategy state budget; exceeding "
                               "it yields the UNKNOWN verdict")
+    checker.add_argument("--relation-mode", default=None,
+                         dest="relation_mode",
+                         choices=("partitioned", "monolithic"),
+                         help="symbolic relation layout (verdict-"
+                              "neutral, cost-relevant); see "
+                              "'repro explore --help'")
     checker.set_defaults(handler=cmd_check)
 
     analyzer = subparsers.add_parser(

@@ -853,18 +853,48 @@ class _SymbolicChecker:
         bdd = system.bdd
         self.reached = system.reachable_set(include_empty=include_empty)
         reach = self.reached.node
-        reach_primed = bdd.substitute(reach, system.cur_to_primed)
-        self.relation = bdd.apply_and(
-            system.step_relation(include_empty),
-            bdd.apply_and(reach, reach_primed))
         self.universe = reach
-        can_step = system.can_step_node(relation=self.relation)
+        if system.relation_mode == "monolithic":
+            reach_primed = bdd.substitute(reach, system.cur_to_primed)
+            self.relation = bdd.apply_and(
+                system.step_relation(include_empty),
+                bdd.apply_and(reach, reach_primed))
+            can_step = system.can_step_node(relation=self.relation)
+        else:
+            # partitioned mode never materializes the restricted
+            # relation: _pre runs the clustered product and restricts
+            # the *result* to R, which denotes the same set (successors
+            # of reachable states are reachable, and every sat set fed
+            # to _pre is ⊆ R) — hence the identical canonical node, so
+            # verdicts and witnesses match the monolithic path bit for
+            # bit.
+            self.relation = None
+            can_step = system.can_step_node(include_empty)
         self.dead = bdd.apply_and(reach, bdd.apply_not(can_step))
         self._memo: dict[Prop, int] = {}
+        #: distance-gauge onion rings still referenced by live gauge
+        #: closures (witness extraction) — kept as reorder roots for the
+        #: checker's lifetime so a mid-extraction reorder cannot
+        #: invalidate them
+        self._ring_pins: list[int] = []
         #: atom-evaluation notes (possible typos), keyed by atom
         self.notes: dict[Prop, str] = {}
 
+    def reorder_roots(self) -> list[int]:
+        """Node ids this checker holds — reported to the transition
+        system's reorder-roots sweep through the ``analysis_cache``
+        protocol (see :meth:`TransitionSystem._reorder_roots`)."""
+        roots = [self.universe, self.dead]
+        if self.relation is not None:
+            roots.append(self.relation)
+        roots.extend(self._memo.values())
+        roots.extend(self._ring_pins)
+        return roots
+
     def _pre(self, node: int) -> int:
+        if self.relation is None:
+            return self._restrict(
+                self.system.preimage(node, self.include_empty))
         return self.system.preimage(node, relation=self.relation)
 
     def _restrict(self, node: int) -> int:
@@ -895,6 +925,10 @@ class _SymbolicChecker:
         if isinstance(prop, Occurs):
             # occurs_node also validates the event name — a typoed
             # event must error, never yield a definitive verdict
+            if self.relation is None:
+                return self._restrict(
+                    self.system.occurs_node(prop.event,
+                                            self.include_empty))
             return self.system.occurs_node(prop.event,
                                            relation=self.relation)
         if isinstance(prop, Deadlock):
@@ -946,6 +980,9 @@ class _SymbolicChecker:
                 if grown == result:
                     return result
                 result = grown
+                # safe point: via/right are memoized (roots already),
+                # the iterate is the only in-flight node to pin
+                self.system._maybe_reorder(result)
         if isinstance(prop, EG):
             hold = self.eval(prop.operand)
             result = hold
@@ -955,6 +992,7 @@ class _SymbolicChecker:
                 if shrunk == result:
                     return result
                 result = shrunk
+                self.system._maybe_reorder(result)
         if isinstance(prop, AX):
             return self.eval(Not(EX(Not(prop.operand))))
         if isinstance(prop, AF):
@@ -1003,12 +1041,15 @@ class _SymbolicChecker:
         concrete state is ever enumerated."""
         bdd = self.system.bdd
         rings = [target]
+        self._ring_pins.append(target)
         while True:
             grown = bdd.apply_or(
                 rings[-1], bdd.apply_and(via, self._pre(rings[-1])))
             if grown == rings[-1]:
                 break
             rings.append(grown)
+            self._ring_pins.append(grown)
+            self.system._maybe_reorder(via)
 
         def gauge(state):
             assignment = self.system.encode_assignment(state)
@@ -1281,7 +1322,9 @@ def check_space(space: StateSpace, prop: Prop | str,
 
 def check(model, prop: Prop | str, strategy: str = "auto",
           max_states: int = 10_000, max_depth: int | None = None,
-          include_empty: bool = False, witness: bool = True) -> CheckResult:
+          include_empty: bool = False, witness: bool = True,
+          relation_mode: str | None = None,
+          cluster_cap: int | None = None) -> CheckResult:
     """Check a temporal property of *model* — the front door.
 
     *strategy* selects the backend: ``"explicit"`` explores up to the
@@ -1292,6 +1335,10 @@ def check(model, prop: Prop | str, strategy: str = "auto",
     ``"auto"`` picks symbolic for large models, uses it to resolve an
     explicit ``UNKNOWN`` on small ones, and falls back to explicit when
     the model cannot be finitely encoded.
+    *relation_mode*/*cluster_cap* select the symbolic relation layout
+    (``None`` keeps the engine defaults; see
+    :data:`repro.engine.symbolic.RELATION_MODES`) — verdicts and
+    witnesses are identical under every layout.
     """
     if isinstance(prop, str):
         prop = parse_property(prop)
@@ -1307,8 +1354,11 @@ def check(model, prop: Prop | str, strategy: str = "auto",
         return check_space(space, prop, witness=witness)
 
     def symbolic() -> CheckResult:
-        checker = _symbolic_checker(model.kernel.transition_system(model),
-                                    include_empty)
+        checker = _symbolic_checker(
+            model.kernel.transition_system(
+                model, relation_mode=relation_mode,
+                cluster_cap=cluster_cap),
+            include_empty)
         verdict = checker.verdict(prop)
         result = CheckResult(
             prop=prop, verdict=verdict, strategy="symbolic",

@@ -47,6 +47,7 @@ def cross_check(
     max_depth: int | None = None,
     include_empty: bool = False,
     maximal_only: bool = False,
+    relation_mode: str | None = None,
 ) -> dict:
     """Explore *model* with both strategies and diff the results.
 
@@ -55,6 +56,10 @@ def cross_check(
     the two graph explorations, the symbolic fixpoint is checked
     against the explicit state count and deadlock verdict whenever the
     comparison is meaningful (untruncated, full branching).
+    *relation_mode* forces the symbolic relation layout (``None`` keeps
+    the engine default) — running the harness once per mode is how the
+    corpus asserts that partitioned and monolithic products agree with
+    the explicit engine, and therefore with each other.
     """
     explicit = explore(
         model,
@@ -71,6 +76,7 @@ def cross_check(
         include_empty=include_empty,
         maximal_only=maximal_only,
         strategy="symbolic",
+        relation_mode=relation_mode,
     )
     mismatches: list[str] = []
 
@@ -97,7 +103,9 @@ def cross_check(
     if not explicit.truncated and max_depth is None and not maximal_only:
         from repro.engine.symbolic import symbolic_reachable
 
-        reachable = symbolic_reachable(model, include_empty=include_empty)
+        reachable = symbolic_reachable(
+            model, include_empty=include_empty,
+            relation_mode=relation_mode)
         check("fixpoint state count", explicit.n_states, reachable.count())
         check("fixpoint keys", _graph_keys(explicit), set(reachable.states()))
         check(
@@ -109,7 +117,7 @@ def cross_check(
         check("dead events", explicit.dead_events(), reachable.dead_events())
         report["fixpoint"] = {"states": reachable.count(), "depth": reachable.depth}
         report["properties"] = _cross_check_properties(
-            model, explicit, include_empty, check
+            model, explicit, include_empty, check, relation_mode
         )
 
     report["mismatches"] = mismatches
@@ -117,7 +125,8 @@ def cross_check(
     return report
 
 
-def _cross_check_properties(model, space, include_empty, check) -> list[dict]:
+def _cross_check_properties(model, space, include_empty, check,
+                            relation_mode=None) -> list[dict]:
     """Run the property battery through both ctl backends — the
     explicit one over the already-explored *space* — and diff verdicts,
     witness steps, and witness replayability."""
@@ -137,7 +146,8 @@ def _cross_check_properties(model, space, include_empty, check) -> list[dict]:
         text = template.format(**substitutions)
         explicit = check_space(space, text)
         symbolic = check_property(
-            model, text, strategy="symbolic", include_empty=include_empty
+            model, text, strategy="symbolic", include_empty=include_empty,
+            relation_mode=relation_mode
         )
         check(f"verdict of {text!r}", explicit.verdict, symbolic.verdict)
         check(

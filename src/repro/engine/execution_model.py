@@ -61,6 +61,9 @@ class _LruCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def values(self):
+        return list(self._data.values())
+
     def clear(self) -> None:
         self._data.clear()
 
@@ -137,11 +140,16 @@ class SymbolicKernel:
         return cached
 
     def transition_system(self, model: "ExecutionModel",
-                          max_local_states: int | None = None):
+                          max_local_states: int | None = None,
+                          relation_mode: str | None = None,
+                          cluster_cap: int | None = None,
+                          reorder_budget: int | None = None):
         """The compiled symbolic transition system for *model*'s current
         configuration (see :mod:`repro.engine.symbolic`).
 
-        Cached per build configuration, so clones of one model family —
+        Cached per build configuration (including the relation layout:
+        *relation_mode*, *cluster_cap*, *reorder_budget* — ``None``
+        means the engine defaults), so clones of one model family —
         which share this kernel — share the compiled relation across
         explorations and analyses. *model* must be a member of the
         family owning this kernel.
@@ -149,13 +157,39 @@ class SymbolicKernel:
         from repro.engine import symbolic
         if max_local_states is None:
             max_local_states = symbolic.DEFAULT_MAX_LOCAL_STATES
-        key = (model.configuration(), max_local_states)
+        if relation_mode is None:
+            relation_mode = symbolic.DEFAULT_RELATION_MODE
+        if cluster_cap is None:
+            cluster_cap = symbolic.DEFAULT_CLUSTER_CAP
+        key = (model.configuration(), max_local_states, relation_mode,
+               cluster_cap, reorder_budget)
         system = self._ts_cache.get(key, _MISSING)
         if system is _MISSING:
             system = symbolic.compile_transition_system(
-                model, max_local_states=max_local_states)
+                model, max_local_states=max_local_states,
+                relation_mode=relation_mode, cluster_cap=cluster_cap,
+                reorder_budget=reorder_budget)
             self._ts_cache.put(key, system)
         return system
+
+    def engine_telemetry(self) -> dict[str, object] | None:
+        """Aggregate telemetry over the cached transition systems (see
+        :meth:`TransitionSystem.telemetry
+        <repro.engine.symbolic.TransitionSystem.telemetry>`) — peak BDD
+        nodes and reorders maximized, image/preimage counts summed, the
+        per-system records under ``"systems"``. ``None`` when nothing
+        symbolic ran."""
+        records = [system.telemetry()
+                   for system in self._ts_cache.values()]
+        if not records:
+            return None
+        return {
+            "bdd_nodes": max(r["bdd_nodes"] for r in records),
+            "reorders": max(r["reorders"] for r in records),
+            "images": sum(r["images"] for r in records),
+            "preimages": sum(r["preimages"] for r in records),
+            "systems": records,
+        }
 
     def explored_space(self, model: "ExecutionModel",
                        max_states: int = 10_000,

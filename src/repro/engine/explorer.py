@@ -48,7 +48,9 @@ AUTO_EVENT_THRESHOLD = 10
 def explore(model: ExecutionModel, max_states: int = 10_000,
             max_depth: int | None = None, include_empty: bool = False,
             strict: bool = False, maximal_only: bool = False,
-            strategy: str = "explicit") -> StateSpace:
+            strategy: str = "explicit",
+            relation_mode: str | None = None,
+            cluster_cap: int | None = None) -> StateSpace:
     """Breadth-first exploration from the model's current configuration.
 
     Parameters
@@ -78,14 +80,22 @@ def explore(model: ExecutionModel, max_states: int = 10_000,
     strategy:
         ``"explicit"``, ``"symbolic"`` or ``"auto"`` (see module doc).
         The produced state space is identical either way.
+    relation_mode / cluster_cap:
+        Relation layout of the compiled system (symbolic strategies
+        only; ``None`` keeps the engine defaults — see
+        :data:`repro.engine.symbolic.RELATION_MODES`). The produced
+        state space is identical under every layout.
     """
-    work = _working_view(model, strategy)
+    work = _working_view(model, strategy, relation_mode=relation_mode,
+                         cluster_cap=cluster_cap)
     return _bfs(work, model.name, list(model.events), max_states=max_states,
                 max_depth=max_depth, include_empty=include_empty,
                 strict=strict, maximal_only=maximal_only)
 
 
-def _working_view(model: ExecutionModel, strategy: str):
+def _working_view(model: ExecutionModel, strategy: str,
+                  relation_mode: str | None = None,
+                  cluster_cap: int | None = None):
     """The BFS driver for *strategy*: a model clone, or a compiled view."""
     if strategy not in STRATEGIES:
         raise EngineError(
@@ -97,7 +107,8 @@ def _working_view(model: ExecutionModel, strategy: str):
         return model.clone()
     from repro.engine.symbolic import CompiledStateView
     try:
-        return CompiledStateView(model.kernel.transition_system(model))
+        return CompiledStateView(model.kernel.transition_system(
+            model, relation_mode=relation_mode, cluster_cap=cluster_cap))
     except SymbolicEncodingError:
         if strategy == "symbolic":
             raise

@@ -63,6 +63,27 @@ from repro.errors import EngineError, SemanticsError, SymbolicEncodingError
 MAX_ALPHABET = 16
 DEFAULT_MAX_LOCAL_STATES = 4_096
 
+#: relation representations: ``partitioned`` keeps the per-constraint
+#: parts ``T_i`` separate and computes images by a clustered relational
+#: product with early quantification (the default — an order of
+#: magnitude faster on wide/mesh topologies); ``monolithic`` conjoins
+#: them into one relation BDD up front (the pre-partitioning behaviour,
+#: kept for the equivalence battery and as a fallback).
+RELATION_MODES = ("partitioned", "monolithic")
+DEFAULT_RELATION_MODE = "partitioned"
+#: greedy cluster merging stops once a merged cluster would exceed this
+#: many BDD nodes — small enough to keep early quantification effective,
+#: large enough to amortize the per-cluster conjunction overhead.
+DEFAULT_CLUSTER_CAP = 2_000
+#: unique-table size at which the manager schedules its first dynamic
+#: variable reorder (sifting); the threshold doubles after each run.
+DEFAULT_AUTO_REORDER_THRESHOLD = 250_000
+#: variable-sift budget per auto-fired reorder — bounds the worst case
+#: (sifting is O(live table) per variable, and an auto trigger must
+#: never stall a fixpoint for minutes); explicit ``reorder()`` calls
+#: default to running until convergence instead.
+DEFAULT_AUTO_REORDER_BUDGET = 32
+
 
 class LocalSpace:
     """The finite local transition system of one constraint runtime.
@@ -204,14 +225,32 @@ class TransitionSystem:
     purpose-ordered manager, cached on the kernel so clones share it).
     """
 
-    def __init__(self, model, max_local_states: int = DEFAULT_MAX_LOCAL_STATES):
+    def __init__(self, model, max_local_states: int = DEFAULT_MAX_LOCAL_STATES,
+                 relation_mode: str = DEFAULT_RELATION_MODE,
+                 cluster_cap: int = DEFAULT_CLUSTER_CAP,
+                 reorder_budget: int | None = None):
+        if relation_mode not in RELATION_MODES:
+            raise EngineError(
+                f"unknown relation_mode {relation_mode!r}; expected one "
+                f"of {RELATION_MODES}")
         self.name = model.name
+        self.relation_mode = relation_mode
+        self.cluster_cap = cluster_cap
         self.events: list[str] = list(model.events)
         self.spaces: list[LocalSpace] = [
             _close_local(index, constraint, max_local_states)
             for index, constraint in enumerate(model.constraints)]
         self.order: list[int] = _constraint_order(model.constraints)
-        self.bdd = Bdd()
+        self.bdd = Bdd(auto_reorder_threshold=DEFAULT_AUTO_REORDER_THRESHOLD,
+                       auto_reorder_budget=(DEFAULT_AUTO_REORDER_BUDGET
+                                            if reorder_budget is None
+                                            else reorder_budget))
+        # installing the provider *before* compiling matters: it stops
+        # the manager from firing mid-compile standalone reorders, whose
+        # parentless default roots treat every dead intermediate of the
+        # relation build as live structure (the engine fires pending
+        # reorders itself, at fixpoint safe points — _maybe_reorder)
+        self.bdd.reorder_roots_provider = self._reorder_roots
         self._declare_variables()
         self._compile_relation()
         self.initial_ids: tuple[int, ...] = tuple(0 for _ in self.spaces)
@@ -225,11 +264,20 @@ class TransitionSystem:
         self._steps_cache = _LruCache(4_096)
         self._proj_cache = _LruCache(4_096)
         self._step_relation_cache: dict[bool, int] = {}
+        self._guard_cache: dict[bool, int] = {}
+        self._cluster_chain_cache: dict[bool, list[int]] = {}
+        self._schedule_cache: dict[tuple[bool, bool], tuple] = {}
         self._reachable_cache: dict[bool, "ReachableSet"] = {}
+        #: image/preimage invocation counters (engine telemetry)
+        self.image_count = 0
+        self.preimage_count = 0
         #: scratch space for higher analysis layers (the CTL checker
         #: parks its reach-restricted evaluator here) — lives and dies
         #: with the compiled system
         self.analysis_cache: dict = {}
+        #: in-flight nodes pinned across an engine-fired reorder (see
+        #: :meth:`_maybe_reorder`); always empty outside that call
+        self._pinned: tuple = ()
 
     # -- encoding ----------------------------------------------------------
 
@@ -289,7 +337,95 @@ class TransitionSystem:
         self.parts: list[int] = []
         for index in self.order:
             self.parts.append(self._relation_part(index))
-        self.relation = bdd.conjoin(self.parts)
+        self._clusters: list[int] = self._build_clusters()
+        self._relation_node: int | None = None
+        if self.relation_mode == "monolithic":
+            self._relation_node = bdd.conjoin(self.parts)
+
+    def _build_clusters(self) -> list[int]:
+        """Greedily merge adjacent parts (topology order, so coupled
+        constraints merge first) while the conjunction stays under the
+        cluster-size cap — the conjunctive-partitioning granularity
+        early quantification schedules against."""
+        bdd = self.bdd
+        clusters: list[int] = []
+        current: int | None = None
+        for part in self.parts:
+            if current is None:
+                current = part
+                continue
+            merged = bdd.apply_and(current, part)
+            if bdd.size(merged) <= self.cluster_cap:
+                current = merged
+            else:
+                clusters.append(current)
+                current = part
+        if current is not None:
+            clusters.append(current)
+        return clusters
+
+    @property
+    def relation(self) -> int:
+        """The monolithic conjunction ``∧ T_i`` — built eagerly in
+        monolithic mode, on first demand otherwise (partitioned
+        image/preimage never need it)."""
+        if self._relation_node is None:
+            self._relation_node = self.bdd.conjoin(self.parts)
+        return self._relation_node
+
+    def _reorder_roots(self) -> list[int]:
+        """Every node id this system still holds — the live set a
+        reorder must preserve, and the sifting objective it minimizes.
+
+        This MUST be exhaustive: since the manager's reorder rewrites
+        only rows reachable from its roots and invalidates the rest, a
+        node id missing here is dead after the next auto-reorder.
+        Higher analysis layers participate through the
+        ``analysis_cache`` protocol (any cached object exposing
+        ``reorder_roots()``), and in-flight fixpoint iterates through
+        the :meth:`_maybe_reorder` pin slot.
+        """
+        roots: list[int] = [self.initial_node]
+        roots.extend(self.parts)
+        roots.extend(self._clusters)
+        for nodes in self.formula_nodes:
+            roots.extend(nodes)
+        if self._relation_node is not None:
+            roots.append(self._relation_node)
+        roots.extend(self._step_relation_cache.values())
+        roots.extend(self._guard_cache.values())
+        for chain in self._cluster_chain_cache.values():
+            roots.extend(chain)
+        for reachable in self._reachable_cache.values():
+            roots.append(reachable.node)
+            roots.extend(reachable.layers)
+        roots.extend(self._conj_cache.values())
+        for analysis in self.analysis_cache.values():
+            holder = getattr(analysis, "reorder_roots", None)
+            if holder is not None:
+                roots.extend(holder())
+        roots.extend(self._pinned)
+        return roots
+
+    def _maybe_reorder(self, *in_flight: int) -> None:
+        """Engine safe point: run the pending auto-reorder, if any.
+
+        The manager schedules a reorder when its table crosses the
+        growth threshold but — with a roots provider installed — never
+        fires it on its own: only the engine knows which intermediate
+        nodes its fixpoint loops still hold in Python locals. Loop
+        bodies call this between iterations, passing those locals as
+        *in_flight*; they are pinned alongside :meth:`_reorder_roots`
+        for the duration of the reorder.
+        """
+        bdd = self.bdd
+        if not bdd.reorder_due():
+            return
+        self._pinned = in_flight
+        try:
+            bdd.reorder(budget=bdd._auto_reorder_budget, auto=True)
+        finally:
+            self._pinned = ()
 
     def _relation_part(self, index: int) -> int:
         """``T_i``: one cube per discovered local transition."""
@@ -328,12 +464,11 @@ class TransitionSystem:
 
     # -- relation views ----------------------------------------------------
 
-    def step_relation(self, include_empty: bool = False) -> int:
-        """The relation restricted to steps the explorer would follow:
-        non-empty steps, plus — with *include_empty* — empty steps that
-        change the configuration (stuttering self-loops carry no
-        information either way)."""
-        cached = self._step_relation_cache.get(include_empty)
+    def _guard_node(self, include_empty: bool) -> int:
+        """Steps the explorer would follow: some event occurs, plus —
+        with *include_empty* — empty steps that change the configuration
+        (stuttering self-loops carry no information either way)."""
+        cached = self._guard_cache.get(include_empty)
         if cached is not None:
             return cached
         bdd = self.bdd
@@ -348,15 +483,85 @@ class TransitionSystem:
                     bdd.apply_xor(bdd.var(cur), bdd.var(primed)))
                 same = bdd.apply_and(same, bit_same)
             guard = bdd.apply_or(some_event, bdd.apply_not(same))
-        result = bdd.apply_and(self.relation, guard)
+        self._guard_cache[include_empty] = guard
+        return guard
+
+    def step_relation(self, include_empty: bool = False) -> int:
+        """The monolithic relation restricted to explorer-visible steps
+        (see :meth:`_guard_node`). Partitioned image/preimage never
+        build this; it backs ``relation_mode='monolithic'`` and callers
+        that pass an explicit ``relation=`` override."""
+        cached = self._step_relation_cache.get(include_empty)
+        if cached is not None:
+            return cached
+        result = self.bdd.apply_and(self.relation,
+                                    self._guard_node(include_empty))
         self._step_relation_cache[include_empty] = result
         return result
+
+    def _schedule(self, include_empty: bool,
+                  backward: bool) -> tuple[list[int], list[str], list[list[str]]]:
+        """The early-quantification schedule of the clustered product.
+
+        Returns ``(clusters, upfront, ready)``: the guard-first cluster
+        chain, the quantified variables no cluster mentions (eliminated
+        from the seed immediately), and per-cluster lists of variables
+        whose *last* mention is that cluster — each is existentially
+        quantified as soon as its cluster has been conjoined, which is
+        what keeps the intermediate products small on wide topologies.
+        Variable names are stable across reorders, so schedules survive
+        sifting; they are cached per (include_empty, direction).
+        """
+        key = (include_empty, backward)
+        cached = self._schedule_cache.get(key)
+        if cached is not None:
+            return cached
+        chain = self._cluster_chain_cache.get(include_empty)
+        if chain is None:
+            chain = [self._guard_node(include_empty)] + self._clusters
+            self._cluster_chain_cache[include_empty] = chain
+        quantify = (self.all_primed if backward else self.all_cur) \
+            + self.events
+        last: dict[str, int] = {}
+        for position, cluster in enumerate(chain):
+            for name in self.bdd.support(cluster):
+                last[name] = position
+        upfront = [name for name in quantify if name not in last]
+        ready: list[list[str]] = [[] for _ in chain]
+        for name in quantify:
+            position = last.get(name)
+            if position is not None:
+                ready[position].append(name)
+        cached = (chain, upfront, ready)
+        self._schedule_cache[key] = cached
+        return cached
+
+    def _clustered_product(self, seed: int, include_empty: bool,
+                           backward: bool) -> int:
+        """``∃ quantified · seed ∧ guard ∧ ∧ clusters`` with early
+        quantification — the partitioned relational product."""
+        bdd = self.bdd
+        chain, upfront, ready = self._schedule(include_empty, backward)
+        product = bdd.exists(seed, upfront) if upfront else seed
+        for cluster, names in zip(chain, ready):
+            if names:
+                product = bdd.and_exists(product, cluster, names)
+            else:
+                product = bdd.apply_and(product, cluster)
+            if product == bdd.zero:
+                return bdd.zero
+        return product
 
     def image(self, frontier: int, include_empty: bool = False) -> int:
         """Successor states of the *frontier* set, over current bits."""
         bdd = self.bdd
-        conj = bdd.apply_and(self.step_relation(include_empty), frontier)
-        succ = bdd.exists(conj, self.all_cur + self.events)
+        self.image_count += 1
+        if self.relation_mode == "monolithic":
+            succ = bdd.and_exists(self.step_relation(include_empty), frontier,
+                                  self.all_cur + self.events)
+        else:
+            succ = self._clustered_product(frontier, include_empty,
+                                           backward=False)
         return bdd.rename(succ, self.primed_to_cur)
 
     def preimage(self, targets: int, include_empty: bool = False,
@@ -372,19 +577,27 @@ class TransitionSystem:
         :meth:`~repro.boolalg.bdd.Bdd.rename` used by :meth:`image`).
         *relation* overrides the step relation — pass a restricted
         relation (e.g. conjoined with the reachable set) to keep the
-        fixpoint iterates small.
+        fixpoint iterates small; an override always takes the monolithic
+        product path.
         """
         bdd = self.bdd
+        self.preimage_count += 1
         primed = bdd.substitute(targets, self.cur_to_primed)
+        if relation is None and self.relation_mode != "monolithic":
+            return self._clustered_product(primed, include_empty,
+                                           backward=True)
         if relation is None:
             relation = self.step_relation(include_empty)
-        conj = bdd.apply_and(relation, primed)
-        return bdd.exists(conj, self.all_primed + self.events)
+        return bdd.and_exists(relation, primed,
+                              self.all_primed + self.events)
 
     def can_step_node(self, include_empty: bool = False,
                       relation: int | None = None) -> int:
         """States with at least one outgoing step (over current bits).
         *relation* overrides the step relation, as in :meth:`preimage`."""
+        if relation is None and self.relation_mode != "monolithic":
+            return self._clustered_product(self.bdd.one, include_empty,
+                                           backward=True)
         if relation is None:
             relation = self.step_relation(include_empty)
         return self.bdd.exists(relation, self.all_primed + self.events)
@@ -397,10 +610,13 @@ class TransitionSystem:
             raise EngineError(
                 f"unknown event {event!r} in {self.name!r}; known: "
                 f"{sorted(self.events)}")
+        if relation is None and self.relation_mode != "monolithic":
+            return self._clustered_product(bdd.var(event), include_empty,
+                                           backward=True)
         if relation is None:
             relation = self.step_relation(include_empty)
-        taking = bdd.apply_and(relation, bdd.var(event))
-        return bdd.exists(taking, self.all_primed + self.events)
+        return bdd.and_exists(relation, bdd.var(event),
+                              self.all_primed + self.events)
 
     def local_states_node(self, index: int, local_ids: Iterable[int]) -> int:
         """The set of states whose constraint *index* is in one of the
@@ -442,6 +658,7 @@ class TransitionSystem:
                     reached) > max_states:
                 truncated = True
                 break
+            self._maybe_reorder(reached, *layers)
         return ReachableSet(self, reached, layers, truncated, include_empty)
 
     def reachable_set(self, include_empty: bool = False) -> "ReachableSet":
@@ -475,6 +692,28 @@ class TransitionSystem:
 
     def state_bits(self) -> int:
         return len(self.all_cur)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def telemetry(self) -> dict[str, object]:
+        """Engine counters for observability (bench harness, ``--json``
+        output, the future admission controller): relation layout, peak
+        BDD nodes (the table is append-only, so the total *is* the
+        peak), dynamic-reorder count, image/preimage iterations and
+        operation-cache hit rates. Never part of canonical artifacts —
+        counters depend on evaluation history, not on the model."""
+        bdd = self.bdd
+        return {
+            "relation_mode": self.relation_mode,
+            "clusters": len(self._clusters),
+            "cluster_cap": self.cluster_cap,
+            "bdd_nodes": bdd.node_count(),
+            "reorders": bdd.reorder_count,
+            "images": self.image_count,
+            "preimages": self.preimage_count,
+            "cache": bdd.cache_stats(),
+            "cache_sizes": bdd.cache_sizes(),
+        }
 
     # -- concretization support (CompiledStateView) ------------------------
 
@@ -566,9 +805,7 @@ class ReachableSet:
         steps when the set was computed with ``include_empty``)."""
         self._require_complete("deadlock analysis")
         bdd = self.system.bdd
-        can_step = bdd.exists(
-            self.system.step_relation(self.include_empty),
-            self.system.all_primed + self.system.events)
+        can_step = self.system.can_step_node(self.include_empty)
         return bdd.apply_and(self.node, bdd.apply_not(can_step))
 
     def deadlock_count(self) -> int:
@@ -581,11 +818,10 @@ class ReachableSet:
         """Events occurring on at least one transition from the set."""
         self._require_complete("liveness analysis")
         bdd = self.system.bdd
-        outgoing = bdd.apply_and(
-            self.system.step_relation(self.include_empty), self.node)
         alive = set()
         for event in self.system.events:
-            if bdd.apply_and(outgoing, bdd.var(event)) != bdd.zero:
+            occurs = self.system.occurs_node(event, self.include_empty)
+            if bdd.apply_and(self.node, occurs) != bdd.zero:
                 alive.add(event)
         return alive
 
@@ -703,8 +939,10 @@ class CompiledStateView:
 
 
 def compile_transition_system(
-        model, max_local_states: int = DEFAULT_MAX_LOCAL_STATES
-) -> TransitionSystem:
+        model, max_local_states: int = DEFAULT_MAX_LOCAL_STATES,
+        relation_mode: str = DEFAULT_RELATION_MODE,
+        cluster_cap: int = DEFAULT_CLUSTER_CAP,
+        reorder_budget: int | None = None) -> TransitionSystem:
     """Compile *model*'s transition relation (see :class:`TransitionSystem`).
 
     Prefer :meth:`SymbolicKernel.transition_system
@@ -712,24 +950,33 @@ def compile_transition_system(
     which caches the compiled system on the model's kernel so clones and
     repeated analyses share it.
     """
-    return TransitionSystem(model, max_local_states=max_local_states)
+    return TransitionSystem(model, max_local_states=max_local_states,
+                            relation_mode=relation_mode,
+                            cluster_cap=cluster_cap,
+                            reorder_budget=reorder_budget)
 
 
 def symbolic_reachable(model, include_empty: bool = False,
                        max_depth: int | None = None,
                        max_states: int | None = None,
-                       max_local_states: int = DEFAULT_MAX_LOCAL_STATES
+                       max_local_states: int = DEFAULT_MAX_LOCAL_STATES,
+                       relation_mode: str | None = None,
+                       cluster_cap: int | None = None
                        ) -> ReachableSet:
     """The reachable configuration set of *model*, by fixpoint iteration.
 
     The compiled system is cached on the model's symbolic kernel; the
-    fixpoint itself is recomputed per call (budgets differ). Raises
+    fixpoint itself is recomputed per call (budgets differ).
+    *relation_mode*/*cluster_cap* select the relation layout (``None``
+    keeps the engine defaults — partitioned with early quantification;
+    see :data:`RELATION_MODES`). Raises
     :class:`~repro.errors.SymbolicEncodingError` when the model cannot
     be finitely encoded (use ``explore(strategy='auto')`` to fall back
     to explicit search automatically).
     """
     system = model.kernel.transition_system(
-        model, max_local_states=max_local_states)
+        model, max_local_states=max_local_states,
+        relation_mode=relation_mode, cluster_cap=cluster_cap)
     if max_depth is None and max_states is None:
         return system.reachable_set(include_empty=include_empty)
     return system.reachable(include_empty=include_empty,

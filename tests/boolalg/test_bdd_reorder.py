@@ -1,0 +1,312 @@
+"""Dynamic variable reordering: sifting correctness and the auto trigger.
+
+A reorder may only change *where* variables sit in the order, never
+*what* any surviving node denotes. These tests pin that contract three
+ways: property-based semantic invariance (``sat_count``, ``evaluate``
+and ``iter_models`` agree before and after random reorders), the
+adjacent-level swap primitive in isolation (white-box), and the
+auto-reorder trigger machinery (standalone firing, the churn skip, and
+engine-style explicit roots). A brute-force sweep over every ``ite``
+triple of a small function space guards the normalization rules —
+operand collapses can re-merge branches, and a missed re-check there
+historically corrupted canonicity.
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.boolalg import And, Bdd, Iff, Implies, Not, Or, Var, Xor, \
+    all_assignments
+
+NAMES = ["p", "q", "r", "s", "t"]
+
+
+def exprs(max_leaves: int = 10):
+    leaf = st.sampled_from([Var(name) for name in NAMES])
+
+    def extend(children):
+        return st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda p: And(*p)),
+            st.tuples(children, children).map(lambda p: Or(*p)),
+            st.tuples(children, children).map(lambda p: Implies(*p)),
+            st.tuples(children, children).map(lambda p: Iff(*p)),
+            st.tuples(children, children).map(lambda p: Xor(*p)),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=max_leaves)
+
+
+def fresh_bdd() -> Bdd:
+    bdd = Bdd()
+    for name in NAMES:
+        bdd.declare(name)
+    return bdd
+
+
+class TestReorderSemanticInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(expr=exprs(), budget=st.integers(min_value=1, max_value=10))
+    def test_sat_count_evaluate_models_survive_reorder(self, expr, budget):
+        bdd = fresh_bdd()
+        node = bdd.from_expr(expr)
+        models_before = sorted(
+            tuple(sorted(model.items()))
+            for model in bdd.iter_models(node, NAMES))
+        count_before = bdd.sat_count(node, NAMES)
+        values_before = [bdd.evaluate(node, dict(assignment))
+                        for assignment in all_assignments(NAMES)]
+
+        bdd.reorder(budget=budget, roots=[node])
+
+        assert bdd.sat_count(node, NAMES) == count_before
+        assert [bdd.evaluate(node, dict(assignment))
+                for assignment in all_assignments(NAMES)] == values_before
+        assert sorted(tuple(sorted(model.items()))
+                      for model in bdd.iter_models(node, NAMES)) \
+            == models_before
+
+    @settings(max_examples=30, deadline=None)
+    @given(expr=exprs())
+    def test_repeated_reorders_converge_and_stay_sound(self, expr):
+        bdd = fresh_bdd()
+        node = bdd.from_expr(expr)
+        count = bdd.sat_count(node, NAMES)
+        for _ in range(3):
+            bdd.reorder(roots=[node])
+            assert bdd.sat_count(node, NAMES) == count
+
+    @settings(max_examples=30, deadline=None)
+    @given(left=exprs(max_leaves=6), right=exprs(max_leaves=6))
+    def test_canonicity_survives_reorder(self, left, right):
+        """Rebuilding a function after a reorder lands on the same node
+        id a surviving root already has — the unique table stays
+        canonical under the new order."""
+        bdd = fresh_bdd()
+        node = bdd.from_expr(And(left, Or(right, left)))
+        bdd.reorder(roots=[node])
+        again = bdd.from_expr(And(left, Or(right, left)))
+        assert again == node
+
+
+class TestRenameSubstituteAfterReorder:
+    """Sifting can interleave variables arbitrarily, breaking the
+    order-monotonicity that ``rename``'s fast path assumes; it must
+    detect that and still produce the semantically renamed function."""
+
+    def setup_node(self):
+        bdd = Bdd()
+        for name in ("a", "b", "a'", "b'"):
+            bdd.declare(name)
+        expr = And(Or(Var("a"), Var("b")), Not(And(Var("a"), Var("b"))))
+        return bdd, bdd.from_expr(expr)
+
+    def test_rename_after_non_monotone_reorder(self):
+        bdd, node = self.setup_node()
+        bdd.reorder(roots=[node])  # may interleave a/b with a'/b'
+        renamed = bdd.rename(node, {"a": "a'", "b": "b'"})
+        for va, vb in itertools.product((False, True), repeat=2):
+            want = (va or vb) and not (va and vb)
+            got = bdd.evaluate(
+                renamed, {"a'": va, "b'": vb, "a": False, "b": False})
+            assert got == want, (va, vb)
+
+    def test_substitute_after_reorder(self):
+        bdd, node = self.setup_node()
+        bdd.reorder(roots=[node])
+        swapped = bdd.substitute(node, {"a": "b", "b": "a"})
+        for va, vb in itertools.product((False, True), repeat=2):
+            want = (vb or va) and not (vb and va)
+            assert bdd.evaluate(swapped, {"a": va, "b": vb}) == want
+
+
+class TestAdjacentSwapPrimitive:
+    """White-box: one adjacent-level swap, semantics and canonicity."""
+
+    def run_swap(self, bdd, node, upper_level):
+        bdd._reordering = True
+        try:
+            bdd._init_reorder_refs([node])
+            bdd._init_level_buckets()
+            bdd._swap_adjacent(upper_level)
+        finally:
+            bdd._reordering = False
+            bdd._level_nodes = {}
+        bdd.clear_operation_caches()
+
+    @pytest.mark.parametrize("upper", [0, 1, 2, 3])
+    def test_single_swap_preserves_semantics(self, upper):
+        bdd = fresh_bdd()
+        expr = Or(And(Var("p"), Var("q")),
+                  And(Var("r"), Xor(Var("s"), Var("t"))))
+        node = bdd.from_expr(expr)
+        values = [bdd.evaluate(node, dict(assignment))
+                  for assignment in all_assignments(NAMES)]
+        order_before = bdd.order
+        self.run_swap(bdd, node, upper)
+        order_after = bdd.order
+        # the two levels swapped places, nothing else moved
+        assert order_after[upper] == order_before[upper + 1]
+        assert order_after[upper + 1] == order_before[upper]
+        assert [bdd.evaluate(node, dict(assignment))
+                for assignment in all_assignments(NAMES)] == values
+
+    def test_swap_then_swap_back_is_identity_on_semantics(self):
+        bdd = fresh_bdd()
+        node = bdd.from_expr(Iff(Var("p"), Or(Var("q"), Var("r"))))
+        count = bdd.sat_count(node, NAMES)
+        self.run_swap(bdd, node, 1)
+        self.run_swap(bdd, node, 1)
+        assert bdd.order == NAMES
+        assert bdd.sat_count(node, NAMES) == count
+
+
+class TestAutoReorderTrigger:
+    def build_junk(self, bdd, rounds=24):
+        """Allocate enough distinct structure to cross a small
+        threshold: a growing union of minterms — every partial union is
+        a new function, so each round genuinely extends the table."""
+        acc = []
+        union = bdd.zero
+        for index in range(rounds):
+            minterm = bdd.one
+            for position, name in enumerate(NAMES):
+                literal = (bdd.var(name) if (index >> position) & 1
+                           else bdd.nvar(name))
+                minterm = bdd.apply_and(minterm, literal)
+            union = bdd.apply_or(union, minterm)
+            acc.append(union)
+        return acc
+
+    def test_trigger_schedules_and_standalone_fires(self):
+        bdd = Bdd(auto_reorder_threshold=64)
+        for name in NAMES:
+            bdd.declare(name)
+        assert not bdd.reorder_due()
+        nodes = self.build_junk(bdd)
+        assert bdd.reorder_due()  # table growth scheduled a reorder
+        # any top-level operation is a safe point for a standalone
+        # manager; the pending reorder fires there with default roots
+        count = bdd.sat_count(nodes[0], NAMES)
+        bdd.exists(nodes[0], ["p"])
+        assert bdd.reorder_count == 1
+        assert not bdd.reorder_due()
+        assert bdd.sat_count(nodes[0], NAMES) == count
+
+    def test_threshold_ratchets_after_firing(self):
+        bdd = Bdd(auto_reorder_threshold=64)
+        for name in NAMES:
+            bdd.declare(name)
+        self.build_junk(bdd)
+        bdd.exists(bdd.var("p"), ["q"])  # fire
+        assert bdd._reorder_at >= 2 * 64
+        assert not bdd.reorder_due()
+
+    def test_provider_transfers_firing_to_the_owner(self):
+        """With a roots provider installed the manager never fires on
+        its own — the owning engine must call reorder() at its safe
+        points (where it can pin in-flight nodes)."""
+        bdd = Bdd(auto_reorder_threshold=64)
+        for name in NAMES:
+            bdd.declare(name)
+        nodes = self.build_junk(bdd)
+        keep = nodes[:2]
+        bdd.reorder_roots_provider = lambda: list(keep)
+        assert bdd.reorder_due()
+        bdd.exists(keep[0], ["p"])  # NOT a safe point for the owner
+        assert bdd.reorder_count == 0
+        assert bdd.reorder_due()  # still pending, awaiting the owner
+        # the owner fires it explicitly; live structure here is tiny
+        # relative to the table, so the churn check skips the sift but
+        # still re-arms the trigger
+        before = bdd._reorder_at
+        bdd.reorder(budget=4, auto=True)
+        assert not bdd.reorder_due()
+        assert bdd._reorder_at >= before
+
+    def test_auto_churn_skip_keeps_caches_and_ids(self):
+        """An auto reorder whose roots reach only a sliver of the table
+        must skip the sift: ids stay valid, caches stay warm."""
+        bdd = Bdd(auto_reorder_threshold=64)
+        for name in NAMES:
+            bdd.declare(name)
+        self.build_junk(bdd)
+        node = bdd.from_expr(And(Var("p"), Or(Var("q"), Var("r"))))
+        count = bdd.sat_count(node, NAMES)
+        cache_before = bdd.cache_sizes()["ite"]
+        fired_before = bdd.reorder_count  # standalone may have fired
+        assert cache_before > 0
+        gain = bdd.reorder(roots=[node], auto=True)
+        assert gain == 0
+        assert bdd.reorder_count == fired_before  # skipped, not run
+        assert bdd.cache_sizes()["ite"] == cache_before
+        assert bdd.sat_count(node, NAMES) == count
+
+    def test_explicit_reorder_never_churn_skips(self):
+        """A user-requested reorder always sifts, even tiny roots."""
+        bdd = Bdd()
+        for name in NAMES:
+            bdd.declare(name)
+        self.build_junk(bdd)
+        node = bdd.from_expr(And(Var("p"), Var("s")))
+        bdd.reorder(roots=[node])
+        assert bdd.reorder_count == 1
+
+    def test_unrooted_ids_are_invalidated(self):
+        """The live-only contract: a reorder with explicit roots
+        evicts everything unreachable from them — rebuilding the same
+        function afterwards allocates a fresh canonical node."""
+        bdd = fresh_bdd()
+        keep = bdd.from_expr(And(Var("p"), Var("q")))
+        drop = bdd.from_expr(Xor(Var("r"), Var("s")))
+        bdd.reorder(roots=[keep])
+        rebuilt = bdd.from_expr(Xor(Var("r"), Var("s")))
+        assert rebuilt != drop  # the old id did not survive
+        assert bdd.sat_count(rebuilt, ["r", "s"]) == 2
+
+
+class TestIteTripleCanonicity:
+    """Brute force every ite triple over a small closed function space:
+    results must match truth-table semantics and stay canonical (one
+    node id per function). Guards the normalization collapses — f==g /
+    f==h rewrites can re-merge g and h, and the not_f path can move a
+    terminal into the f slot; both need their g==h re-check."""
+
+    def test_all_triples_of_two_variable_space(self):
+        bdd = Bdd()
+        for name in ("a", "b"):
+            bdd.declare(name)
+        a, b = bdd.var("a"), bdd.var("b")
+        # close the 2-variable function space: all 16 functions
+        space = {bdd.zero, bdd.one, a, b}
+        while True:
+            grown = set(space)
+            for f, g in itertools.product(list(space), repeat=2):
+                grown.add(bdd.apply_and(f, g))
+                grown.add(bdd.apply_or(f, g))
+                grown.add(bdd.apply_xor(f, g))
+                grown.add(bdd.apply_not(f))
+            if grown == space:
+                break
+            space = grown
+        assignments = [dict(zip(("a", "b"), bits))
+                       for bits in itertools.product((False, True),
+                                                     repeat=2)]
+
+        def table(node):
+            return tuple(bdd.evaluate(node, one) for one in assignments)
+
+        canonical: dict[tuple, int] = {table(node): node for node in space}
+        assert len(canonical) == 16  # the space really is closed
+
+        for f, g, h in itertools.product(sorted(space), repeat=3):
+            result = bdd.ite(f, g, h)
+            want = tuple(
+                gv if fv else hv
+                for fv, gv, hv in zip(table(f), table(g), table(h)))
+            assert table(result) == want, (f, g, h)
+            assert canonical.setdefault(want, result) == result, \
+                f"two node ids for one function via ite({f},{g},{h})"
