@@ -1,0 +1,222 @@
+"""E16 — the analysis server: always-warm beats process-per-request.
+
+The claim: a long-lived ``repro serve`` answering a mixed 30-spec
+corpus (10 models x explore/simulate/check) from warm state is at
+least **5x** faster than the offline workflow that pays a fresh Python
+process — interpreter start, imports, front-end parse, weave — for
+every request, while streaming **byte-identical** canonical result
+documents.
+
+Pinned by sanity tests and measured by benchmarks:
+
+1. **Warm server >= 5x cold process-per-request.** Ten requests (one
+   per model, three specs each) run once through subprocess
+   ``repro batch`` invocations and once against a primed in-process
+   server. Request p50/p99 latencies and cache hit rates ride
+   ``extra_info["engine"]`` into ``BENCH_engine.json``.
+2. **Byte identity everywhere.** Server payloads equal the cold
+   subprocess payloads and are invariant across ``--workers {1,4}``.
+3. **Store-backed serving turns the second pass into 100% hits.**
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.serve import fetch_metrics, run_local, serve, submit
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+SPEEDUP_FLOOR = 5.0
+MODEL_COUNT = 10
+
+
+def chain_text(name: str, length: int, capacity: int) -> str:
+    agents = "\n".join(f"  agent {name}_a{i}" for i in range(length))
+    places = "\n".join(
+        f"  place {name}_a{i} -> {name}_a{i+1} push 1 pop 1 "
+        f"capacity {capacity}"
+        for i in range(length - 1))
+    return f"application {name} {{\n{agents}\n{places}\n}}\n"
+
+
+#: ten distinct models — different alphabets, different fingerprints,
+#: different kernels; small enough that per-request *analysis* cost is
+#: dwarfed by per-process startup cost, which is exactly the regime a
+#: resident server exists for
+MODELS = {
+    f"serve{length}c{capacity}n{i}": chain_text(
+        f"serve{length}c{capacity}n{i}", length, capacity)
+    for i, (length, capacity) in enumerate(
+        [(3, 2), (4, 2), (5, 2), (3, 3), (4, 3),
+         (5, 1), (3, 1), (4, 1), (5, 2), (4, 2)])
+}
+
+
+def request_documents() -> list[dict]:
+    """The corpus as ten requests, one per model, three specs each —
+    30 specs total of mixed exploration/simulation/checking traffic."""
+    documents = []
+    for name, text in MODELS.items():
+        documents.append({
+            "models": {name: {"frontend": "sigpml", "text": text}},
+            "runs": [
+                {"kind": "explore", "model": name, "max_states": 400},
+                {"kind": "simulate", "model": name, "steps": 30},
+                {"kind": "check", "model": name,
+                 "property": "AG !deadlock", "max_states": 400},
+            ],
+        })
+    return documents
+
+
+def run_cold_process(document: dict, tmp_path: Path,
+                     index: int) -> tuple[float, list[dict]]:
+    """One request the offline way: a fresh ``repro batch`` process
+    (interpreter + imports + parse + weave + run), JSON out."""
+    spec_file = tmp_path / f"request_{index}.json"
+    spec_file.write_text(json.dumps(document))
+    started = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "batch", str(spec_file),
+         "--json", "--backend", "serial"],
+        capture_output=True, text=True, timeout=300,
+        env={"PYTHONPATH": SRC_DIR, "PATH": "/usr/bin:/bin"})
+    elapsed = time.perf_counter() - started
+    assert completed.returncode == 0, completed.stderr
+    return elapsed, json.loads(completed.stdout)
+
+
+def run_warm_pass(server, documents) -> tuple[float, list[list[dict]],
+                                              list[float]]:
+    """Submit every request to the (already primed) server; returns
+    (total wall, per-request result docs, per-request latencies)."""
+    payloads = []
+    latencies = []
+    started = time.perf_counter()
+    for document in documents:
+        mark = time.perf_counter()
+        results = submit(document, server.url)
+        latencies.append(time.perf_counter() - mark)
+        payloads.append([result.to_doc() for result in results])
+    return time.perf_counter() - started, payloads, latencies
+
+
+class TestServeContract:
+    def test_warm_server_at_least_5x_faster_than_cold_process(
+            self, tmp_path):
+        documents = request_documents()
+        cold_s = 0.0
+        cold_payloads = []
+        for index, document in enumerate(documents):
+            elapsed, payload = run_cold_process(document, tmp_path,
+                                                index)
+            cold_s += elapsed
+            cold_payloads.append(payload)
+        with serve(port=0, max_models=MODEL_COUNT).start() as server:
+            run_warm_pass(server, documents)  # prime: compile resident
+            warm_s, warm_payloads, latencies = run_warm_pass(
+                server, documents)
+            metrics = fetch_metrics(server.url)
+        # byte identity: the warm server streams exactly the documents
+        # the cold processes computed
+        assert warm_payloads == cold_payloads
+        speedup = cold_s / warm_s
+        ordered = sorted(latencies)
+        print(f"\ncold(process-per-request): {cold_s:.3f}s  "
+              f"warm(server): {warm_s:.3f}s  speedup: {speedup:.1f}x  "
+              f"p50: {ordered[len(ordered) // 2] * 1000:.1f}ms  "
+              f"max: {ordered[-1] * 1000:.1f}ms")
+        assert metrics["counters"]["model_compiles"] == MODEL_COUNT
+        assert speedup >= SPEEDUP_FLOOR
+
+    def test_byte_identity_across_worker_counts(self):
+        documents = request_documents()
+        references = [
+            [result.to_doc() for result in run_local(document)]
+            for document in documents]
+        for workers in (1, 4):
+            with serve(port=0, workers=workers,
+                       max_models=MODEL_COUNT).start() as server:
+                _, payloads, _ = run_warm_pass(server, documents)
+            assert payloads == references, \
+                f"--workers {workers} diverged from offline execution"
+
+    def test_store_backed_second_pass_is_all_hits(self, tmp_path):
+        documents = request_documents()
+        with serve(port=0, store=tmp_path / "store",
+                   max_models=MODEL_COUNT).start() as server:
+            run_warm_pass(server, documents)
+            for document in documents:
+                results = submit(document, server.url)
+                assert all(result.cached for result in results)
+            metrics = fetch_metrics(server.url)
+        assert metrics["counters"]["store_hits"] == 30
+        assert metrics["cache_hit_rate"] == 0.5  # miss pass + hit pass
+
+
+def _engine_info(metrics: dict) -> dict:
+    """The serve observability slice that rides into
+    BENCH_engine.json: request-latency percentiles, compile times,
+    cache behavior, resident state."""
+    return {
+        "request_p50_s": metrics["latency"]["request_s"].get("p50_s"),
+        "request_p99_s": metrics["latency"]["request_s"].get("p99_s"),
+        "compile_mean_s": metrics["latency"]["compile_s"].get("mean_s"),
+        "cache_hit_rate": metrics["cache_hit_rate"],
+        "model_cache": {
+            "models": metrics["model_cache"]["models"],
+            "resident_nodes": metrics["model_cache"]["resident_nodes"],
+            "evictions": metrics["model_cache"]["evictions"],
+        },
+        "counters": metrics["counters"],
+    }
+
+
+@pytest.mark.benchmark(group="e16-serve")
+def bench_cold_process_per_request(benchmark, tmp_path):
+    documents = request_documents()
+
+    def run():
+        return [run_cold_process(document, tmp_path, index)[1]
+                for index, document in enumerate(documents)]
+
+    payloads = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(payloads) == MODEL_COUNT
+
+
+@pytest.mark.benchmark(group="e16-serve")
+def bench_warm_server(benchmark):
+    documents = request_documents()
+    with serve(port=0, max_models=MODEL_COUNT).start() as server:
+        run_warm_pass(server, documents)  # prime
+
+        def run():
+            return run_warm_pass(server, documents)[1]
+
+        payloads = benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info["engine"] = _engine_info(
+            fetch_metrics(server.url))
+    assert len(payloads) == MODEL_COUNT
+
+
+@pytest.mark.benchmark(group="e16-serve-store")
+def bench_warm_server_with_store(benchmark, tmp_path):
+    documents = request_documents()
+    with serve(port=0, store=tmp_path / "store",
+               max_models=MODEL_COUNT).start() as server:
+        run_warm_pass(server, documents)  # prime kernels + store
+
+        def run():
+            return run_warm_pass(server, documents)[1]
+
+        payloads = benchmark.pedantic(run, rounds=1, iterations=1)
+        metrics = fetch_metrics(server.url)
+        benchmark.extra_info["engine"] = _engine_info(metrics)
+    assert len(payloads) == MODEL_COUNT
+    assert metrics["counters"]["store_hits"] >= 30

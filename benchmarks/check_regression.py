@@ -32,6 +32,7 @@ REQUIRED_FILES = (
     "bench_e13_ctl_check.py",
     "bench_e14_farm.py",
     "bench_e15_partitioned_relation.py",
+    "bench_e16_serve.py",
 )
 
 

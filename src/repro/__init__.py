@@ -49,6 +49,8 @@ Layers (Fig. 1 of the paper):
 * :mod:`repro.workbench` — the session facade over all of the above;
 * :mod:`repro.farm` — the result farm: content-addressed artifact
   store plus the multiprocess execution backend;
+* :mod:`repro.serve` — the always-warm analysis server: the same
+  canonical documents over HTTP/NDJSON, resident model cache;
 * :mod:`repro.viz` — DOT exports and the uniform text reports.
 
 Choosing an entry point
@@ -76,6 +78,8 @@ old call                                     workbench equivalent
 hand-built ``ExecutionModel`` over CCSL      ``wb.add(CcslSpec(...))`` /
 or MoCCML constraints                        ``wb.add(MoccmlSpec(...))``
 a loop of the above over many models         ``wb.run_many(specs, workers=N)``
+a fresh process per incoming request         ``repro serve`` (resident daemon)
+shelling out ``repro batch`` per client      ``repro submit DOC --server URL``
 ===========================================  ===================================
 
 Library-level building blocks that are *not* deprecated: the engine
@@ -123,6 +127,14 @@ rather than risking a collision. Results served from the store are
 byte-identical to cold computations — ``result.cached`` (and the
 ``cached`` flag in ``repro batch --store --json`` documents) is the
 only difference.
+
+When the same models see repeated traffic, skip the per-process cost
+entirely: ``repro serve`` keeps a shared workbench plus compiled-model
+LRU resident behind a stdlib HTTP daemon, and ``repro submit`` (or
+:func:`repro.serve.submit`) sends the same canonical documents to it,
+streaming back byte-identical results as NDJSON. See :mod:`repro.serve`
+for the wire protocol, the two-bound (model count + live BDD nodes)
+eviction policy and the graceful-drain semantics.
 
 Running the suite locally vs in CI
 ==================================

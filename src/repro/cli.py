@@ -20,9 +20,18 @@ the workbench facilities of the paper's tooling:
   content-addressed artifact store (``--store DIR``: previously
   computed results are served byte-identically instead of recomputed);
 * ``store`` — inspect (``stats``) or prune (``gc``) such a store;
+* ``serve`` — run the always-warm analysis server (``repro serve
+  --port 8123 --store DIR``): compiled models stay resident in a
+  bounded LRU across requests, results stream as NDJSON, SIGTERM
+  drains gracefully (see :mod:`repro.serve` for the wire protocol);
+* ``submit`` — post a batch file to a running server (``repro submit
+  specs.json --server http://host:port``), falling back to local
+  execution when no server is reachable — results are byte-identical
+  either way;
 * ``selftest`` — cross-check the symbolic and explicit exploration
   strategies on three bundled models, then prove the artifact store
-  round-trip (cold run == warm run, byte for byte) — the CI smoke
+  round-trip (cold run == warm run, byte for byte) and the serve
+  round-trip (served == direct, byte for byte) — the CI smoke
   step.
 
 Every subcommand takes ``--json`` to emit the uniform
@@ -313,6 +322,80 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-warm analysis server until SIGTERM/SIGINT, then
+    drain gracefully and log the final metrics snapshot."""
+    import signal
+    import threading
+    from repro.serve import serve
+    server = serve(host=args.host, port=args.port, store=args.store,
+                   max_models=args.max_models, max_nodes=args.max_nodes,
+                   workers=args.workers, verbose=args.verbose)
+    stop = threading.Event()
+
+    def request_stop(_signum, _frame):
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, request_stop)
+    server.start()
+    store_note = f", store={args.store}" if args.store else ""
+    print(f"repro serve listening on {server.url} "
+          f"(workers={args.workers}, max-models={args.max_models}"
+          f"{store_note})", flush=True)
+    if args.store and (args.gc_entries or args.gc_bytes):
+        # concurrent janitor: prune the artifact store while serving
+        # (gc spares entries that were read since its listing, so it
+        # never deletes an artifact out from under a request)
+        def janitor():
+            while not stop.wait(args.gc_interval):
+                server.service.store.gc(max_entries=args.gc_entries,
+                                        max_bytes=args.gc_bytes)
+        threading.Thread(target=janitor, name="repro-serve-gc",
+                         daemon=True).start()
+    stop.wait()
+    print("draining: refusing new requests, finishing in-flight ones "
+          "...", flush=True)
+    report = server.drain()
+    print(json.dumps({"kind": "serve-drain",
+                      "version": repro.__version__, **report},
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Post a batch file to a running server; fall back to local
+    execution when no server is reachable."""
+    from repro.serve import submit_or_local
+    with open(args.specs, encoding="utf-8") as handle:
+        document = json.load(handle)
+
+    def stream(index: int, result) -> None:
+        if not args.json:
+            line = result.summary()
+            print(f"{line}  [cached]" if result.cached else line)
+
+    results, origin = submit_or_local(
+        document, server=args.server, store=args.store,
+        workers=args.workers or 1, backend=args.backend,
+        on_result=stream)
+    emitted = []
+    for result in results:
+        doc = result.to_doc()
+        # transport metadata, as in cmd_batch: never part of the
+        # canonical artifact
+        doc["cached"] = result.cached
+        emitted.append(doc)
+    failures = sum(1 for result in results if not result.ok)
+    hits = sum(1 for result in results if result.cached)
+    if args.json:
+        print(json.dumps(emitted, indent=2, sort_keys=True))
+    else:
+        print(f"{len(results)} run(s), {failures} failure(s), "
+              f"{hits} cache hit(s) [{origin}]")
+    return 1 if failures else 0
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     import os
     from repro.farm import ArtifactStore
@@ -450,6 +533,45 @@ def _selftest_relation_modes(handles) -> dict:
             "agree": not mismatches}
 
 
+def _selftest_serve(handles) -> dict:
+    """Serve phase of the selftest: round-trip the bundled models
+    through an in-process HTTP server on an ephemeral port and demand
+    the streamed results are byte-identical to direct (offline)
+    Workbench execution."""
+    from repro.serve import ping, serve, submit
+    from repro.workbench import CheckSpec, ExploreSpec, SimulateSpec
+    shippable = [handle for handle in handles
+                 if handle.source_doc is not None]
+    specs = []
+    for handle in shippable:
+        specs.append(ExploreSpec(handle.name, max_states=2_000))
+        specs.append(SimulateSpec(handle.name, steps=15))
+        specs.append(CheckSpec(handle.name, "AG !deadlock",
+                               max_states=2_000))
+    document = {"models": {handle.name: handle.source_doc
+                           for handle in shippable},
+                "runs": [spec.to_doc() for spec in specs]}
+    workbench = Workbench()
+    for handle in shippable:
+        workbench.add(handle)
+    direct = workbench.run_many(specs)
+    mismatches = []
+    with serve(port=0, workers=2).start() as server:
+        health = ping(server.url)
+        if health is None or health.get("status") != "ok":
+            mismatches.append("server did not answer /healthz")
+            served = []
+        else:
+            served = submit(document, server.url)
+    for spec, from_server, offline in zip(specs, served, direct):
+        if from_server.to_json() != offline.to_json():
+            mismatches.append(
+                f"{spec.kind} on {spec.model}: served result differs "
+                f"from direct execution")
+    return {"specs": len(specs), "models": len(shippable),
+            "mismatches": mismatches, "agree": not mismatches}
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     """Cross-check symbolic vs explicit exploration on bundled models."""
     from repro.engine.equivalence import cross_check
@@ -462,14 +584,17 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         reports.append(report)
     modes_report = _selftest_relation_modes(handles)
     store_report = _selftest_store_roundtrip(handles)
+    serve_report = _selftest_serve(handles)
     ok = all(report["agree"] for report in reports) \
-        and modes_report["agree"] and store_report["agree"]
+        and modes_report["agree"] and store_report["agree"] \
+        and serve_report["agree"]
     if args.json:
         print(json.dumps({"kind": "selftest", "ok": ok,
                           "version": repro.__version__,
                           "reports": reports,
                           "relation_modes": modes_report,
-                          "store": store_report},
+                          "store": store_report,
+                          "serve": serve_report},
                          indent=2, sort_keys=True))
         return 0 if ok else 1
     print(f"repro {repro.__version__} selftest — symbolic vs explicit "
@@ -493,6 +618,12 @@ def cmd_selftest(args: argparse.Namespace) -> int:
           f"{store_report['warm_hits']:>6} warm hit(s) "
           f"cold==warm  {store_verdict}")
     for mismatch in store_report["mismatches"]:
+        print(f"    - {mismatch}")
+    serve_verdict = "OK" if serve_report["agree"] else "MISMATCH"
+    print(f"  analysis server    {serve_report['specs']:>6} spec(s) "
+          f"{serve_report['models']:>6} model(s) "
+          f"served==direct  {serve_verdict}")
+    for mismatch in serve_report["mismatches"]:
         print(f"    - {mismatch}")
     print("selftest PASSED" if ok else "selftest FAILED")
     return 0 if ok else 1
@@ -630,6 +761,60 @@ def build_parser() -> argparse.ArgumentParser:
                             "(with --store, each document carries a "
                             "'cached' flag)")
     batch.set_defaults(handler=cmd_batch)
+
+    server = subparsers.add_parser(
+        "serve",
+        help="run the always-warm analysis server (NDJSON over HTTP)")
+    server.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback)")
+    server.add_argument("--port", type=int, default=8123,
+                        help="TCP port (0 picks an ephemeral port)")
+    server.add_argument("--workers", type=int, default=4,
+                        help="concurrent requests admitted; extras "
+                             "queue (default: 4)")
+    server.add_argument("--store", default=None, metavar="DIR",
+                        help="artifact store shared by every request "
+                             "(hits are served byte-identically)")
+    server.add_argument("--max-models", type=int, default=8,
+                        help="compiled models kept resident (LRU; "
+                             "default: 8)")
+    server.add_argument("--max-nodes", type=int, default=None,
+                        help="resident BDD-node budget across all "
+                             "cached kernels (default: unbounded)")
+    server.add_argument("--gc-entries", type=int, default=None,
+                        help="with --store: prune the store to this "
+                             "many artifacts while serving")
+    server.add_argument("--gc-bytes", type=int, default=None,
+                        help="with --store: prune the store to this "
+                             "many bytes while serving")
+    server.add_argument("--gc-interval", type=float, default=60.0,
+                        help="seconds between store gc sweeps "
+                             "(default: 60)")
+    server.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request")
+    server.set_defaults(handler=cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="post a batch file to a running analysis server")
+    submit.add_argument("specs", help="path to a batch file: a list of "
+                                      "run specs, or {models: {...}, "
+                                      "runs: [...]}")
+    submit.add_argument("--server", default=None, metavar="URL",
+                        help="server base URL (e.g. "
+                             "http://127.0.0.1:8123); omitted or "
+                             "unreachable means local execution")
+    submit.add_argument("--store", default=None, metavar="DIR",
+                        help="artifact store for the local fallback")
+    submit.add_argument("--workers", type=int, default=None,
+                        help="workers for the local fallback")
+    submit.add_argument("--backend", default="thread",
+                        choices=("serial", "thread", "process"),
+                        help="backend for the local fallback")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the result documents as a JSON "
+                             "array (each carries a 'cached' flag)")
+    submit.set_defaults(handler=cmd_submit)
 
     store = subparsers.add_parser(
         "store", help="inspect or prune a batch artifact store")

@@ -56,10 +56,14 @@ class GroupTask:
 
 
 def execute_groups(groups: list[GroupTask], backend: str, workers: int,
-                   deliver: Callable[[int, object], None]) -> None:
+                   deliver: Callable[[int, object], None],
+                   should_stop: Callable[[], bool] | None = None) -> None:
     """Run every group's specs, calling ``deliver(position, result)``
     for each outcome. *deliver* must be thread-safe; delivery order is
-    unspecified, positions are the input order."""
+    unspecified, positions are the input order. *should_stop* (optional,
+    polled between specs) requests cooperative cancellation: remaining
+    specs are skipped and their positions never delivered — the batch
+    runner uses it to unwind cleanly when a result callback raises."""
     if backend not in BACKENDS:
         raise BackendError(
             f"unknown backend {backend!r}; expected one of "
@@ -68,25 +72,40 @@ def execute_groups(groups: list[GroupTask], backend: str, workers: int,
         return
     workers = max(1, workers)
     if backend == "process" and workers > 1:
-        _run_process(groups, workers, deliver)
+        _run_process(groups, workers, deliver, should_stop)
     elif backend == "thread" and workers > 1 and len(groups) > 1:
-        _run_thread(groups, workers, deliver)
+        _run_thread(groups, workers, deliver, should_stop)
     else:
         for group in groups:
-            _run_group_local(group, deliver)
+            _run_group_local(group, deliver, should_stop)
 
 
 def _run_group_local(group: GroupTask,
-                     deliver: Callable[[int, object], None]) -> None:
+                     deliver: Callable[[int, object], None],
+                     should_stop: Callable[[], bool] | None = None) -> None:
     from repro.workbench.session import execute
-    for index, spec in zip(group.indices, group.specs):
-        deliver(index, execute(spec, group.handle))
+    # the handle's exec_lock (when it has one) makes the group the unit
+    # of mutual exclusion: all runs on one model share its symbolic
+    # kernel, whose caches are not thread-safe — one group at a time,
+    # even when several run_many calls race on a shared workbench
+    lock = getattr(group.handle, "exec_lock", None)
+    if lock is not None:
+        lock.acquire()
+    try:
+        for index, spec in zip(group.indices, group.specs):
+            if should_stop is not None and should_stop():
+                return
+            deliver(index, execute(spec, group.handle))
+    finally:
+        if lock is not None:
+            lock.release()
 
 
-def _run_thread(groups, workers, deliver) -> None:
+def _run_thread(groups, workers, deliver, should_stop=None) -> None:
     pool = ThreadPoolExecutor(max_workers=min(workers, len(groups)))
     try:
-        futures = [pool.submit(_run_group_local, group, deliver)
+        futures = [pool.submit(_run_group_local, group, deliver,
+                               should_stop)
                    for group in groups]
         for future in futures:
             future.result()
@@ -131,16 +150,16 @@ def _split_for_shipping(groups):
     return shippable, local
 
 
-def _run_process(groups, workers, deliver) -> None:
+def _run_process(groups, workers, deliver, should_stop=None) -> None:
     shippable, local = _split_for_shipping(groups)
     if not shippable or (len(shippable) == 1 and not local):
         # nothing to parallelize: a lone group runs sequentially on its
         # kernel either way, so skip the fork + rebuild + JSON round
         # trip and keep streaming prompt
         for group, _payload in shippable:
-            _run_group_local(group, deliver)
+            _run_group_local(group, deliver, should_stop)
         for group in local:
-            _run_group_local(group, deliver)
+            _run_group_local(group, deliver, should_stop)
         return
     from repro.workbench.artifacts import RunResult
     pool = ProcessPoolExecutor(max_workers=min(workers, len(shippable)))
@@ -150,8 +169,13 @@ def _run_process(groups, workers, deliver) -> None:
         # the parent is idle while workers compute: run the unshippable
         # groups (and their kernels stay parent-side, warm) meanwhile
         for group in local:
-            _run_group_local(group, deliver)
+            _run_group_local(group, deliver, should_stop)
         for group, future in futures:
+            if should_stop is not None and should_stop():
+                # cancellation: skip the remaining merges (in-flight
+                # workers finish on their own; nothing is delivered)
+                future.cancel()
+                continue
             try:
                 returned = future.result()
             except Exception as exc:
@@ -165,7 +189,7 @@ def _run_process(groups, workers, deliver) -> None:
                     f"({type(exc).__name__}: {exc}); recomputing the "
                     f"group in the parent", RuntimeWarning,
                     stacklevel=2)
-                _run_group_local(group, deliver)
+                _run_group_local(group, deliver, should_stop)
                 continue
             for index, result_json in returned:
                 deliver(index, RunResult.from_json(result_json))

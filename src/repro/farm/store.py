@@ -188,37 +188,59 @@ class ArtifactStore:
         """Drop least-recently-used entries until under the limits.
 
         With no limit given this is a no-op report. Returns a summary
-        with the removed/kept counts and the bytes freed.
+        with the removed/kept/spared counts and the bytes freed.
+
+        Safe to run while the store is being served: every candidate is
+        re-checked immediately before removal, and one whose mtime
+        advanced since the listing was just *read* (a hit refreshes the
+        LRU clock) — it is spared rather than deleted out from under
+        its reader. Readers racing the unlink itself are already safe:
+        a vanished file is an ordinary miss and the caller recomputes.
         """
         entries = self._entries()
         keep = list(entries)
-        removed: list[Path] = []
-        freed = 0
+        candidates: list[tuple[float, int, Path]] = []
         if max_entries is not None:
             while len(keep) > max(max_entries, 0):
-                mtime, size, path = keep.pop(0)
-                removed.append(path)
-                freed += size
+                candidates.append(keep.pop(0))
         if max_bytes is not None:
             total = sum(size for _mtime, size, _path in keep)
             while keep and total > max(max_bytes, 0):
-                _mtime, size, path = keep.pop(0)
-                removed.append(path)
-                freed += size
-                total -= size
-        for path in removed:
+                item = keep.pop(0)
+                candidates.append(item)
+                total -= item[1]
+        removed = 0
+        spared = 0
+        freed = 0
+        for mtime, size, path in candidates:
+            try:
+                if path.stat().st_mtime > mtime:
+                    spared += 1  # touched since listing: recently used
+                    continue
+            except OSError:
+                continue  # already gone — a concurrent gc got it
             try:
                 path.unlink()
             except OSError:
-                pass
-        return {"removed": len(removed), "kept": len(keep),
-                "freed_bytes": freed,
+                continue
+            removed += 1
+            freed += size
+        return {"removed": removed, "kept": len(keep) + spared,
+                "spared": spared, "freed_bytes": freed,
                 "total_bytes": sum(size for _m, size, _p in keep)}
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were dropped."""
-        report = self.gc(max_entries=0)
-        return report["removed"]
+        """Remove every entry unconditionally; returns how many were
+        dropped. Unlike :meth:`gc` this does not spare recently-read
+        entries — it is the wipe, not the janitor."""
+        removed = 0
+        for _mtime, _size, path in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     def _count(self, name: str) -> None:
         with self._lock:

@@ -1,0 +1,94 @@
+"""``repro.serve`` — the always-warm concurrent analysis service.
+
+The offline toolchain pays the full model-compilation price (front-end
+parse, weave, symbolic-kernel construction) on every process start.
+This package keeps that state *resident*: a long-lived server holds
+compiled kernels in a fingerprint-keyed LRU and answers analysis
+requests from warm state, so steady-state latency is the analysis
+itself, not the compile.
+
+Wire protocol
+-------------
+
+The protocol *is* the canonical artifact layer — no new schema.
+
+**Request** — ``POST /run`` with the batch document the CLI's
+``repro batch`` already consumes::
+
+    {
+      "models": {"<name>": <model source doc>, ...},
+      "runs":   [<RunSpec doc>, ...]
+    }
+
+Model source documents must be inline (the server never reads files on
+a client's behalf); each ``RunSpec.model`` must name a key of
+``models``. Names are request-local: the server caches by fingerprint
+(SHA-256 of the source doc's canonical JSON), so the same model under
+different names still shares one warm kernel.
+
+**Response** — a stream of NDJSON envelopes, one per completed run, in
+completion order::
+
+    {"serve": 1, "index": <i>, "cached": <bool>, "result": <RunResult doc>}
+
+terminated by a summary line::
+
+    {"serve": 1, "done": true, "runs": N, "cached": H, "errors": E, "wall_s": S}
+
+``result`` is the canonical ``RunResult`` document — **byte-identical**
+to what an offline :class:`~repro.workbench.Workbench` produces for the
+same (model, spec), regardless of worker count or cache temperature.
+``cached`` and the envelope fields are transport metadata and never
+enter the canonical document. A request rejected before execution
+(malformed document, unknown model name, draining server) gets a JSON
+``{"error": ...}`` body with status 400 (or 503 while draining).
+
+``GET /healthz`` answers liveness (status, version, in-flight count);
+``GET /metrics`` answers the full observability document (counters,
+latency histograms with p50/p90/p99, cache hit rates, live BDD-node
+gauges — see :mod:`repro.serve.metrics`).
+
+Eviction and drain semantics
+----------------------------
+
+The model cache (:mod:`repro.serve.state`) is bounded two ways: entry
+count (``--max-models``) and resident BDD-node total (``--max-nodes``).
+Admission is single-flight — concurrent requests for one fingerprint
+compile once. Eviction is LRU, calls ``clear_caches()`` to detach the
+kernel (BDD managers become garbage once in-flight runs finish), and
+never evicts under a running analysis — bounds may overshoot
+transiently instead of deadlocking.
+
+On SIGTERM/SIGINT the server **drains**: the listener stops accepting,
+new ``/run`` requests get 503, in-flight requests run to completion and
+their handler threads are joined, every kernel is evicted, and the
+final metrics snapshot is logged. No request is ever killed mid-run.
+"""
+
+from repro.serve.client import (fetch_metrics, ping, run_local, submit,
+                                submit_or_local)
+from repro.serve.metrics import LatencyHistogram, Metrics
+from repro.serve.server import (PROTOCOL, AnalysisService, ReproServer,
+                                serve, split_document)
+from repro.serve.state import (CacheEntry, ModelCache, ServeError,
+                               model_key, resident_nodes)
+
+__all__ = [
+    "PROTOCOL",
+    "AnalysisService",
+    "CacheEntry",
+    "LatencyHistogram",
+    "Metrics",
+    "ModelCache",
+    "ReproServer",
+    "ServeError",
+    "fetch_metrics",
+    "model_key",
+    "ping",
+    "resident_nodes",
+    "run_local",
+    "serve",
+    "split_document",
+    "submit",
+    "submit_or_local",
+]

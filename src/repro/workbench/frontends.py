@@ -16,6 +16,7 @@ or the workbench needs to change.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -116,6 +117,14 @@ class ModelHandle:
     #: backend ships to workers. ``None`` for programmatic sources
     #: (builders, bare execution models), which then run in-parent.
     source_doc: dict | None = None
+    #: per-handle execution lock: the batch runner (and any other
+    #: driver running specs against this handle from several threads)
+    #: holds it for the duration of a run group, so the handle's shared
+    #: symbolic kernel — whose LRU caches are not thread-safe — is only
+    #: ever touched by one thread at a time. Reentrant, so nested
+    #: session calls under the lock stay legal.
+    exec_lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False)
 
     def fresh(self) -> ExecutionModel:
         """A pristine clone of the execution model (shared kernel)."""

@@ -45,6 +45,25 @@ Results are streamed through an optional callback as they complete and
 returned in input order; every run builds its policies fresh from the
 spec, so the results — byte for byte — do not depend on ``workers``,
 ``backend``, or cache temperature.
+
+Sharing one workbench across threads
+====================================
+
+A :class:`Workbench` is safe to share between request threads (the
+``repro serve`` daemon does): the handle registry is guarded by an
+internal lock, and every :class:`~repro.workbench.frontends.ModelHandle`
+carries an ``exec_lock`` that the execution backends hold for the
+duration of a run group — the shared symbolic kernel behind a handle is
+only ever touched by one thread at a time, concurrent calls on *other*
+models proceed in parallel. :meth:`Workbench.attach` registers an
+already-loaded handle under a session-local alias without renaming it,
+so several sessions (one per server request) can share one warm handle
+under different names.
+
+If an ``on_result`` callback raises, the batch is cancelled
+cooperatively — remaining specs are skipped at the next spec boundary,
+worker threads unwind instead of wedging — and the callback's exception
+is re-raised to the ``run_many`` caller once the backend has quiesced.
 """
 
 from __future__ import annotations
@@ -205,6 +224,10 @@ class Workbench:
 
     def __init__(self, store=None):
         self._handles: dict[str, ModelHandle] = {}
+        #: guards the handle registry only — execution serializes on the
+        #: per-handle ``exec_lock`` instead, so registering new models
+        #: never blocks behind a long-running analysis
+        self._lock = threading.RLock()
         self.store = _coerce_store(store)
 
     # -- loading -----------------------------------------------------------
@@ -214,32 +237,51 @@ class Workbench:
         """Load *source* and register the handle (see
         :func:`repro.workbench.load`)."""
         handle = load(source, frontend=frontend, name=name, **options)
-        self._handles[handle.name] = handle
+        with self._lock:
+            self._handles[handle.name] = handle
         return handle
 
     #: ``wb.load(...)`` reads naturally in sessions; same as :meth:`add`.
     load = add
 
+    def attach(self, name: str, handle: ModelHandle) -> ModelHandle:
+        """Register an already-loaded *handle* under *name* — an alias.
+
+        Unlike ``add(handle, name=...)`` this never mutates the handle
+        (its own ``name`` is untouched), so a handle cached by a
+        long-lived service can be attached to many request-scoped
+        sessions under per-request names concurrently.
+        """
+        with self._lock:
+            self._handles[name] = handle
+        return handle
+
     def handle(self, name: str) -> ModelHandle:
         """The registered handle named *name*."""
-        try:
-            return self._handles[name]
-        except KeyError:
-            raise FrontendError(
-                f"no model named {name!r} in this workbench; loaded: "
-                f"{', '.join(sorted(self._handles)) or '(none)'}") from None
+        with self._lock:
+            try:
+                return self._handles[name]
+            except KeyError:
+                raise FrontendError(
+                    f"no model named {name!r} in this workbench; loaded: "
+                    f"{', '.join(sorted(self._handles)) or '(none)'}") \
+                    from None
 
     def names(self) -> list[str]:
-        return sorted(self._handles)
+        with self._lock:
+            return sorted(self._handles)
 
     def _resolve(self, spec: RunSpec) -> ModelHandle:
         """Resolve ``spec.model``: a registered name, else a loadable
         source token (a path), cached under both keys."""
-        if spec.model in self._handles:
-            return self._handles[spec.model]
-        handle = self.add(spec.model)
-        self._handles.setdefault(spec.model, handle)
-        return handle
+        with self._lock:
+            if spec.model in self._handles:
+                return self._handles[spec.model]
+        handle = self.add(spec.model)  # loads outside the registry lock
+        with self._lock:
+            # two threads may have loaded the same token concurrently;
+            # the first registration wins so both use one handle/kernel
+            return self._handles.setdefault(spec.model, handle)
 
     # -- running -----------------------------------------------------------
 
@@ -309,6 +351,12 @@ class Workbench:
         returned list also follows. Results are independent of
         *workers*, *backend*, and cache temperature. An explicit
         ``store=None`` disables caching for this call only.
+
+        A raising *on_result* cancels the batch: remaining specs are
+        skipped cooperatively (worker threads unwind at the next spec
+        boundary instead of wedging), results already computed are
+        still written through to the store, and the callback's
+        exception is re-raised here once the backend has quiesced.
         """
         from repro.farm import GroupTask, execute_groups, try_fingerprint
 
@@ -335,6 +383,8 @@ class Workbench:
 
         emit_lock = threading.Lock()
         fingerprints: list[str | None] = [None] * len(specs)
+        #: first exception a result callback raised (cancels the batch)
+        callback_failure: list[BaseException] = []
 
         def deliver(index: int, outcome: RunResult) -> None:
             results[index] = outcome
@@ -342,7 +392,15 @@ class Workbench:
                 _store_write(store, fingerprints[index], outcome)
             if on_result is not None:
                 with emit_lock:
-                    on_result(index, outcome)
+                    if callback_failure:
+                        return  # already cancelling; stop streaming
+                    try:
+                        on_result(index, outcome)
+                    except Exception as exc:
+                        callback_failure.append(exc)
+
+        def cancelled() -> bool:
+            return bool(callback_failure)
 
         # warm pass: serve every fingerprintable spec that is already
         # in the store; only the misses go to the backend
@@ -361,7 +419,9 @@ class Workbench:
                             handle.execution_model, specs[index],
                             model_document=model_docs[key])
                     fingerprints[index] = fingerprint
-                    cached = _store_lookup(store, fingerprint)
+                    cached = None
+                    if not cancelled():
+                        cached = _store_lookup(store, fingerprint)
                     if cached is not None:
                         deliver(index, cached)
                     else:
@@ -371,7 +431,9 @@ class Workbench:
                            specs=[specs[index] for index in indices])
                  for key, indices in cold.items()]
         execute_groups(tasks, backend=backend, workers=workers,
-                       deliver=deliver)
+                       deliver=deliver, should_stop=cancelled)
+        if callback_failure:
+            raise callback_failure[0]
         return results  # type: ignore[return-value]
 
 
@@ -400,20 +462,29 @@ def _try_model_doc(handle: ModelHandle):
     Memoized on the handle: the full structural walk is O(model), and
     a session firing many runs at one handle would otherwise redo it
     per run. The memo key — event alphabet plus configuration — is a
-    cheap summary that changes whenever the serialization could."""
+    cheap summary that changes whenever the serialization could. The
+    walk and the memo ride under the handle's ``exec_lock`` so two
+    sessions sharing one warm handle never race on it."""
     from repro.farm import FingerprintError, model_doc
-    model = handle.execution_model
-    key = (tuple(model.events), len(model.constraints),
-           model.configuration())
-    memo = getattr(handle, "_farm_doc_memo", None)
-    if memo is not None and memo[0] == key:
-        return memo[1]
+    lock = getattr(handle, "exec_lock", None)
+    if lock is not None:
+        lock.acquire()
     try:
-        document = model_doc(model)
-    except FingerprintError:
-        document = None
-    handle._farm_doc_memo = (key, document)
-    return document
+        model = handle.execution_model
+        key = (tuple(model.events), len(model.constraints),
+               model.configuration())
+        memo = getattr(handle, "_farm_doc_memo", None)
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        try:
+            document = model_doc(model)
+        except FingerprintError:
+            document = None
+        handle._farm_doc_memo = (key, document)
+        return document
+    finally:
+        if lock is not None:
+            lock.release()
 
 
 def _store_lookup(store, fingerprint: str | None) -> RunResult | None:

@@ -191,3 +191,129 @@ class TestGc:
         self.fill(store, 3)
         assert store.clear() == 3
         assert store.stats()["entries"] == 0
+
+
+class TestGcWhileServing:
+    """gc racing concurrent reads/writes — the serving-mode contract:
+    a reader never sees a torn entry, only a miss it can self-heal
+    from, and an entry read between gc's listing and its unlink is
+    spared (its refreshed mtime proves it is not LRU anymore)."""
+
+    def fill(self, store, count):
+        fingerprints = []
+        for index in range(count):
+            fp = f"{index:02x}" + f"{index:062x}"
+            store.put(fp, doc(index))
+            path = store.objects / fp[:2] / f"{fp}.json"
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))
+            fingerprints.append(fp)
+        return fingerprints
+
+    def test_gc_spares_entries_read_since_listing(self, store,
+                                                  monkeypatch):
+        fingerprints = self.fill(store, 3)
+        stale = store._entries()
+        oldest_path = stale[0][2]
+        # freeze gc's view of the world at the stale listing, then
+        # simulate a reader hitting the oldest entry in between (a hit
+        # refreshes the mtime — see ArtifactStore.get)
+        monkeypatch.setattr(store, "_entries", lambda: stale)
+        now = time.time()
+        os.utime(oldest_path, (now, now))
+        report = store.gc(max_entries=1)
+        assert report["spared"] == 1
+        assert oldest_path.exists()  # the freshly-read entry survived
+        assert store.get(fingerprints[0]) is not None
+        # the untouched middle candidate was removed normally
+        assert report["removed"] == 1
+        assert store.get(fingerprints[1]) is None
+
+    def test_gc_tolerates_candidates_already_unlinked(self, store,
+                                                      monkeypatch):
+        self.fill(store, 3)
+        stale = store._entries()
+        monkeypatch.setattr(store, "_entries", lambda: stale)
+        stale[0][2].unlink()  # a concurrent gc (or clear) won the race
+        report = store.gc(max_entries=1)
+        # only the file gc itself unlinked counts as removed
+        assert report["removed"] == 1
+        monkeypatch.undo()
+        assert store.stats()["entries"] == 1
+
+    def test_gc_racing_reads_and_writes_never_tears(self, tmp_path):
+        store = ArtifactStore(tmp_path / "farm")
+        fingerprints = [f"{i:02x}" + f"{i:062x}" for i in range(16)]
+        stop = threading.Event()
+        torn = []
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                for index, fp in enumerate(fingerprints):
+                    got = store.get(fp)
+                    # a miss is fine (gc got it); a hit must be intact
+                    if got is not None and got != doc(index):
+                        torn.append(got)
+
+        def writer():
+            while not stop.is_set():
+                for index, fp in enumerate(fingerprints):
+                    store.put(fp, doc(index))
+
+        def janitor():
+            try:
+                while not stop.is_set():
+                    store.gc(max_entries=8)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=target)
+                   for target in (reader, reader, writer, janitor)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.6)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert torn == []
+        assert errors == []
+        # atomic publishes + digest checks: racing gc manufactures
+        # misses, never corruption
+        assert store.counters["corrupt"] == 0
+
+    def test_miss_after_gc_self_heals_on_rewrite(self, store):
+        fingerprints = self.fill(store, 2)
+        store.gc(max_entries=0)
+        assert store.get(fingerprints[0]) is None  # plain miss
+        store.put(fingerprints[0], doc(0))  # recompute-and-write heals
+        assert store.get(fingerprints[0]) == doc(0)
+
+
+class TestCounterCorrectness:
+    def test_counters_are_exact_across_threads(self, tmp_path):
+        store = ArtifactStore(tmp_path / "farm")
+        store.put(FP, doc(1))
+        workers = 8
+        hits_each, misses_each, writes_each = 20, 10, 5
+
+        def work(wid):
+            for _ in range(hits_each):
+                assert store.get(FP) is not None
+            for _ in range(misses_each):
+                assert store.get(OTHER) is None
+            for index in range(writes_each):
+                fp = f"{wid:02x}" + f"{index:062x}"
+                store.put(fp, doc(index))
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert store.counters["hits"] == workers * hits_each
+        assert store.counters["misses"] == workers * misses_each
+        assert store.counters["writes"] == workers * writes_each + 1
+        assert store.counters["corrupt"] == 0
+        # stats() folds the same counters in consistently
+        assert store.stats()["session"] == store.counters

@@ -1,0 +1,116 @@
+"""Metrics: histograms, counters, gauges, the snapshot document."""
+
+import threading
+
+from repro.serve.metrics import DEFAULT_BUCKETS, LatencyHistogram, Metrics
+
+
+class TestLatencyHistogram:
+    def test_empty_percentile_is_none(self):
+        assert LatencyHistogram().percentile(0.5) is None
+
+    def test_snapshot_empty(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap == {"count": 0, "sum_s": 0.0, "max_s": 0.0}
+
+    def test_record_accumulates(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.record(value)
+        assert histogram.total == 3
+        assert abs(histogram.sum - 0.006) < 1e-9
+        assert histogram.max == 0.003
+
+    def test_percentiles_are_ordered(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 101):
+            histogram.record(i / 1000.0)  # 1ms .. 100ms
+        p50 = histogram.percentile(0.5)
+        p90 = histogram.percentile(0.9)
+        p99 = histogram.percentile(0.99)
+        assert p50 <= p90 <= p99
+        # accurate to a bucket width: the true p50 is ~50ms, inside
+        # the (25ms, 50ms] bucket
+        assert 0.025 <= p50 <= 0.1
+
+    def test_overflow_bucket_reports_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(500.0)  # beyond the last bound
+        assert histogram.counts[-1] == 1
+        assert histogram.percentile(0.5) == 500.0
+
+    def test_negative_values_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-1.0)
+        assert histogram.sum == 0.0
+        assert histogram.total == 1
+
+    def test_bounds_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestMetrics:
+    def test_count_and_snapshot(self):
+        metrics = Metrics()
+        metrics.count("requests")
+        metrics.count("requests", 2)
+        snap = metrics.snapshot()
+        assert snap["counters"]["requests"] == 3
+
+    def test_unknown_counter_is_created(self):
+        metrics = Metrics()
+        metrics.count("something_new")
+        assert metrics.snapshot()["counters"]["something_new"] == 1
+
+    def test_observe_feeds_histogram(self):
+        metrics = Metrics()
+        metrics.observe("request_s", 0.01)
+        snap = metrics.snapshot()
+        assert snap["latency"]["request_s"]["count"] == 1
+
+    def test_observe_unknown_histogram_is_created(self):
+        metrics = Metrics()
+        metrics.observe("custom_s", 0.5)
+        assert metrics.snapshot()["latency"]["custom_s"]["count"] == 1
+
+    def test_cache_hit_rate(self):
+        metrics = Metrics()
+        assert metrics.snapshot()["cache_hit_rate"] is None
+        metrics.count("store_hits", 3)
+        metrics.count("store_misses", 1)
+        assert metrics.snapshot()["cache_hit_rate"] == 0.75
+
+    def test_gauges_polled_at_snapshot(self):
+        metrics = Metrics()
+        value = [7]
+        metrics.register_gauge("nodes", lambda: value[0])
+        assert metrics.snapshot()["gauges"]["nodes"] == 7
+        value[0] = 13
+        assert metrics.snapshot()["gauges"]["nodes"] == 13
+
+    def test_failing_gauge_never_breaks_snapshot(self):
+        metrics = Metrics()
+
+        def broken():
+            raise RuntimeError("kernel went away")
+
+        metrics.register_gauge("bad", broken)
+        snap = metrics.snapshot()
+        assert snap["gauges"]["bad"].startswith("error:")
+
+    def test_thread_safety_of_counters(self):
+        metrics = Metrics()
+
+        def work():
+            for _ in range(500):
+                metrics.count("runs")
+                metrics.observe("run_s", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = metrics.snapshot()
+        assert snap["counters"]["runs"] == 4000
+        assert snap["latency"]["run_s"]["count"] == 4000

@@ -1,0 +1,294 @@
+"""The HTTP server: round-trip byte-identity, error paths, store
+write-through, concurrency, and drain semantics."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (ServeError, fetch_metrics, ping, run_local,
+                         serve, submit)
+
+CHAIN = """
+application serve_chain {
+  agent source
+  agent worker
+  agent sink
+  place source -> worker push 1 pop 1 capacity 2
+  place worker -> sink push 1 pop 1 capacity 2
+}
+"""
+
+FORK = """
+application serve_fork {
+  agent split
+  agent left
+  agent right
+  place split -> left push 1 pop 1 capacity 1
+  place split -> right push 1 pop 1 capacity 1
+}
+"""
+
+
+def model_doc(text):
+    return {"frontend": "sigpml", "text": text}
+
+
+def document():
+    return {
+        "models": {"chain": model_doc(CHAIN), "fork": model_doc(FORK)},
+        "runs": [
+            {"kind": "simulate", "model": "chain", "steps": 10},
+            {"kind": "explore", "model": "chain", "max_states": 500},
+            {"kind": "check", "model": "fork",
+             "property": "AG !deadlock", "max_states": 500},
+            {"kind": "simulate", "model": "fork", "steps": 8},
+        ],
+    }
+
+
+@pytest.fixture()
+def server():
+    instance = serve(port=0, workers=4).start()
+    yield instance
+    instance.drain()
+
+
+class TestRoundTrip:
+    def test_served_results_are_byte_identical_to_local(self, server):
+        served = submit(document(), server.url)
+        local = run_local(document())
+        assert len(served) == 4
+        for from_server, offline in zip(served, local):
+            assert from_server.to_json() == offline.to_json()
+
+    def test_streaming_callback_order(self, server):
+        seen = []
+        submit(document(), server.url,
+               on_result=lambda index, result: seen.append(index))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_result_model_names_are_request_local(self, server):
+        served = submit(document(), server.url)
+        assert [result.model for result in served] == \
+            ["chain", "chain", "fork", "fork"]
+
+    def test_same_model_under_two_names(self, server):
+        doc = {
+            "models": {"a": model_doc(CHAIN), "b": model_doc(CHAIN)},
+            "runs": [{"kind": "simulate", "model": "a", "steps": 5},
+                     {"kind": "simulate", "model": "b", "steps": 5}],
+        }
+        served = submit(doc, server.url)
+        assert served[0].model == "a"
+        assert served[1].model == "b"
+        # one fingerprint: the cache holds a single entry
+        assert len(server.service.cache) == 1
+
+
+class TestErrorPaths:
+    def test_unknown_model_name_is_rejected(self, server):
+        doc = {"models": {},
+               "runs": [{"kind": "simulate", "model": "ghost"}]}
+        with pytest.raises(ServeError, match="ghost"):
+            submit(doc, server.url)
+
+    def test_invalid_spec_is_rejected(self, server):
+        doc = {"models": {"chain": model_doc(CHAIN)},
+               "runs": [{"kind": "nonsense", "model": "chain"}]}
+        with pytest.raises(ServeError, match="not a valid spec"):
+            submit(doc, server.url)
+
+    def test_unloadable_model_is_a_400_not_a_crash(self, server):
+        doc = {"models": {"m": {"frontend": "sigpml",
+                                "text": "not a model"}},
+               "runs": [{"kind": "simulate", "model": "m"}]}
+        with pytest.raises(ServeError, match="400"):
+            submit(doc, server.url)
+        # the handler answered cleanly and the server still serves
+        assert ping(server.url)["status"] == "ok"
+
+    def test_empty_runs_rejected(self, server):
+        with pytest.raises(ServeError):
+            submit({"models": {}, "runs": []}, server.url)
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_garbage_body_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/run", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_per_spec_engine_errors_stream_as_results(self, server):
+        doc = {"models": {"chain": model_doc(CHAIN)},
+               "runs": [{"kind": "check", "model": "chain",
+                         "property": "AG !!broken!!syntax"},
+                        {"kind": "simulate", "model": "chain",
+                         "steps": 5}]}
+        served = submit(doc, server.url)
+        assert not served[0].ok  # the bad property fails its own run
+        assert served[1].ok      # without taking the batch down
+
+
+class TestIntrospection:
+    def test_healthz(self, server):
+        health = ping(server.url)
+        assert health["status"] == "ok"
+        assert health["workers"] == 4
+        assert health["inflight"] == 0
+
+    def test_metrics_counts_requests_and_runs(self, server):
+        submit(document(), server.url)
+        metrics = fetch_metrics(server.url)
+        assert metrics["counters"]["requests"] == 1
+        assert metrics["counters"]["runs"] == 4
+        assert metrics["counters"]["model_compiles"] == 2
+        assert metrics["latency"]["request_s"]["count"] == 1
+        assert metrics["model_cache"]["models"] == 2
+
+    def test_metrics_gauges_present(self, server):
+        submit(document(), server.url)
+        gauges = fetch_metrics(server.url)["gauges"]
+        assert gauges["models_cached"] == 2
+        assert isinstance(gauges["resident_bdd_nodes"], int)
+
+
+class TestStoreWriteThrough:
+    def test_second_request_is_all_hits_and_byte_identical(self, tmp_path):
+        with serve(port=0, store=tmp_path / "store").start() as server:
+            cold = submit(document(), server.url)
+            assert not any(result.cached for result in cold)
+            warm = submit(document(), server.url)
+            assert all(result.cached for result in warm)
+            for a, b in zip(cold, warm):
+                assert a.to_json() == b.to_json()
+            metrics = fetch_metrics(server.url)
+            assert metrics["counters"]["store_hits"] == 4
+            assert metrics["counters"]["store_misses"] == 4
+            assert metrics["cache_hit_rate"] == 0.5
+
+
+class TestConcurrency:
+    def test_concurrent_same_model_requests_compile_once(self, server):
+        doc = {"models": {"chain": model_doc(CHAIN)},
+               "runs": [{"kind": "explore", "model": "chain",
+                         "max_states": 500}]}
+        payloads: list[list] = []
+        errors: list[BaseException] = []
+
+        def client():
+            try:
+                payloads.append(
+                    [r.to_json() for r in submit(doc, server.url)])
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(payloads) == 8
+        reference = payloads[0]
+        assert all(payload == reference for payload in payloads)
+        metrics = fetch_metrics(server.url)
+        # single-flight: the herd compiled the model exactly once
+        assert metrics["counters"]["model_compiles"] == 1
+        assert metrics["counters"]["requests"] == 8
+
+    def test_byte_identity_across_worker_counts(self, tmp_path):
+        payloads = {}
+        for workers in (1, 4):
+            with serve(port=0, workers=workers).start() as server:
+                results = submit(document(), server.url)
+                payloads[workers] = [r.to_json() for r in results]
+        assert payloads[1] == payloads[4]
+
+
+class TestDrain:
+    def test_drain_refuses_new_work_and_evicts(self):
+        server = serve(port=0).start()
+        submit(document(), server.url)
+        assert len(server.service.cache) == 2
+        report = server.drain()
+        assert report["evicted_on_close"] == 2
+        assert ping(server.url) is None  # socket is closed
+
+    def test_draining_service_rejects_requests(self):
+        server = serve(port=0).start()
+        try:
+            server.service.begin_drain()
+            assert ping(server.url)["status"] == "draining"
+            with pytest.raises(ServeError, match="draining"):
+                submit(document(), server.url)
+        finally:
+            server.drain()
+
+    def test_drain_waits_for_inflight_requests(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_loader(source_doc):
+            started.set()
+            release.wait(timeout=30)
+            from repro.workbench.frontends import load, source_from_doc
+            return load(source_from_doc(source_doc))
+
+        server = serve(port=0, loader=slow_loader).start()
+        outcome = {}
+
+        def client():
+            doc = {"models": {"chain": model_doc(CHAIN)},
+                   "runs": [{"kind": "simulate", "model": "chain",
+                             "steps": 5}]}
+            outcome["results"] = submit(doc, server.url)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        started.wait(timeout=30)
+
+        drained = {}
+
+        def drainer():
+            drained["report"] = server.drain()
+
+        drain_thread = threading.Thread(target=drainer)
+        drain_thread.start()
+        # the drain must be blocked on the in-flight request
+        drain_thread.join(timeout=0.5)
+        assert drain_thread.is_alive()
+        release.set()
+        thread.join(timeout=30)
+        drain_thread.join(timeout=30)
+        assert not drain_thread.is_alive()
+        assert outcome["results"][0].ok
+        assert drained["report"]["counters"]["requests"] == 1
+
+
+class TestJsonEnvelope:
+    def test_raw_ndjson_stream_shape(self, server):
+        payload = json.dumps(document()).encode()
+        request = urllib.request.Request(
+            server.url + "/run", data=payload,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request) as response:
+            lines = [json.loads(line) for line in response
+                     if line.strip()]
+        assert len(lines) == 5  # four results + the summary
+        for envelope in lines[:-1]:
+            assert envelope["serve"] == 1
+            assert set(envelope) == {"serve", "index", "cached",
+                                     "result"}
+        summary = lines[-1]
+        assert summary["done"] is True
+        assert summary["runs"] == 4
+        assert summary["errors"] == 0

@@ -1,0 +1,112 @@
+"""Soak: a long-lived service must not leak kernels or deadlock.
+
+Satellite requirement: 1000 requests over 20 distinct models under
+``max_models=4`` keep resident BDD-node counts plateaued (bounded by
+the LRU, not growing with request count) and never deadlock on
+concurrent same-model requests. The requests drive
+:meth:`AnalysisService.handle_request` directly — the HTTP layer adds
+nothing to the leak/deadlock question and a socket per request would
+dominate the runtime.
+"""
+
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve import AnalysisService
+
+MODEL_COUNT = 20
+REQUESTS = 1000
+MAX_MODELS = 4
+
+
+def model_text(index):
+    # 20 structurally distinct two-agent chains: different names and
+    # capacities give different fingerprints and different kernels
+    return f"""
+    application soak_{index} {{
+      agent producer_{index}
+      agent consumer_{index}
+      place producer_{index} -> consumer_{index} push 1 pop 1 \
+capacity {1 + index % 4}
+    }}
+    """
+
+
+MODELS = [{"frontend": "sigpml", "text": model_text(i)}
+          for i in range(MODEL_COUNT)]
+
+
+def request_document(model_index, steps):
+    return {
+        "models": {f"m{model_index}": MODELS[model_index]},
+        "runs": [{"kind": "simulate", "model": f"m{model_index}",
+                  "steps": steps},
+                 {"kind": "check", "model": f"m{model_index}",
+                  "property": "AG !deadlock", "max_states": 200,
+                  "strategy": "symbolic"}],
+    }
+
+
+def model_sequence():
+    """Mostly-hot access pattern: ~90% of requests hit 4 hot models
+    (matching the cache size), the rest sweep all 20 — every cold hit
+    forces an eviction + recompile, so the LRU churns continuously
+    without making the test all about compile time."""
+    cold = itertools.cycle(range(MODEL_COUNT))
+    for i in range(REQUESTS):
+        yield next(cold) if i % 10 == 0 else i % MAX_MODELS
+
+
+def test_soak_node_counts_plateau_and_no_deadlock():
+    service = AnalysisService(max_models=MAX_MODELS, workers=4)
+    node_samples = []
+    summaries = []
+
+    def one_request(model_index):
+        collected = []
+        summary = service.handle_request(
+            request_document(model_index, steps=3),
+            collected.append)
+        assert summary["errors"] == 0, collected
+        return summary
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        pending = []
+        for i, model_index in enumerate(model_sequence()):
+            pending.append(pool.submit(one_request, model_index))
+            if len(pending) >= 50:
+                for future in pending:
+                    summaries.append(future.result(timeout=120))
+                pending.clear()
+                node_samples.append(service.cache.node_total())
+        for future in pending:
+            summaries.append(future.result(timeout=120))
+        node_samples.append(service.cache.node_total())
+
+    assert len(summaries) == REQUESTS
+    assert all(summary["done"] for summary in summaries)
+
+    # the LRU held its entry bound throughout (spot-check at the end;
+    # transient overshoot beyond the bound is only allowed while a
+    # runner pins an entry, and none are running now)
+    assert len(service.cache) <= MAX_MODELS
+
+    # plateau: resident nodes in the steady-state second half must not
+    # exceed the early high-water mark — growth with request count
+    # would be a kernel leak
+    quarter = max(1, len(node_samples) // 4)
+    early_peak = max(node_samples[:quarter * 2])
+    late_peak = max(node_samples[quarter * 2:])
+    assert late_peak <= early_peak * 1.5 + 1000, \
+        (f"resident nodes grew with request count: early peak "
+         f"{early_peak}, late peak {late_peak} (samples: "
+         f"{node_samples})")
+
+    # the churn really happened: cold models forced evictions
+    assert service.cache.evictions >= MODEL_COUNT
+
+    report = service.metrics_doc()
+    assert report["counters"]["requests"] == REQUESTS
+    assert report["counters"]["run_errors"] == 0
+    assert report["counters"]["model_cache_hits"] > \
+        report["counters"]["model_cache_misses"]
