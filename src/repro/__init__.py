@@ -51,6 +51,10 @@ Layers (Fig. 1 of the paper):
   store plus the multiprocess execution backend;
 * :mod:`repro.serve` — the always-warm analysis server: the same
   canonical documents over HTTP/NDJSON, resident model cache;
+* :mod:`repro.fuzz` — the continuous differential-fuzzing farm:
+  seeded well-formed models for all five front-ends, generated CTL
+  properties, every backend configuration cross-checked (``repro
+  fuzz``; a bounded deterministic round gates every PR in CI);
 * :mod:`repro.viz` — DOT exports and the uniform text reports.
 
 Choosing an entry point
@@ -151,9 +155,13 @@ lint, against an installed package: the pytest matrix covers Python
 3.10/3.11/3.12 with pip caching, a bench job re-runs
 ``benchmarks/run_all.py`` in smoke mode, uploads the fresh
 ``BENCH_engine.json`` as an artifact and fails on regression against
-the committed baseline (``benchmarks/check_regression.py``), and a
+the committed baseline (``benchmarks/check_regression.py``), a
 lint job runs ``ruff check`` plus ``ruff format --check`` with the
-configuration in ``pyproject.toml``. ``repro --version`` (also embedded
+configuration in ``pyproject.toml``, and a bounded deterministic
+``repro fuzz`` round (fixed seed) gates every PR — with a scheduled
+nightly round (``fuzz-nightly.yml``) fuzzing longer under a rotating
+seed and a cached corpus, uploading minimized repro documents as
+artifacts on failure. ``repro --version`` (also embedded
 in every ``--json`` payload as ``"version"``) ties any artifact back to
 the build that produced it.
 """

@@ -28,6 +28,14 @@ the workbench facilities of the paper's tooling:
   specs.json --server http://host:port``), falling back to local
   execution when no server is reachable — results are byte-identical
   either way;
+* ``fuzz`` — run the continuous differential-fuzzing farm (``repro
+  fuzz --seed N --cases K|--budget SECS [--store DIR] [--minimize]``):
+  seeded well-formed models for all five front-ends, generated CTL
+  properties, every (model, property) pair through the explicit and
+  both symbolic backend configurations; any disagreement, broken
+  witness, or crash fails the round and emits a self-contained repro
+  document (``--out DIR``) that ``repro submit`` accepts and ``repro
+  fuzz --replay FILE`` re-compares (see :mod:`repro.fuzz`);
 * ``selftest`` — cross-check the symbolic and explicit exploration
   strategies on three bundled models, then prove the artifact store
   round-trip (cold run == warm run, byte for byte) and the serve
@@ -425,6 +433,60 @@ def cmd_store(args: argparse.Namespace) -> int:
               f"artifact(s) ({report['freed_bytes']} byte(s)), "
               f"kept {report['kept']}")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run one differential-fuzzing round (or replay one repro doc)."""
+    from repro.fuzz import replay_document, run_round
+    if args.replay:
+        with open(args.replay, encoding="utf-8") as handle:
+            document = json.load(handle)
+        report = replay_document(document)
+    else:
+        if args.cases is None and args.budget is None:
+            print("error: repro fuzz needs --cases or --budget",
+                  file=sys.stderr)
+            return 2
+        log = None if args.json else \
+            (lambda line: print(line, flush=True))
+        report = run_round(
+            args.seed, cases=args.cases, budget=args.budget,
+            frontends=tuple(args.frontends) if args.frontends else None,
+            store=args.store, minimize=args.minimize,
+            workers=args.workers, log=log)
+    if args.out and report["failures"]:
+        import os
+        os.makedirs(args.out, exist_ok=True)
+        for number, failure in enumerate(report["failures"]):
+            if failure.get("repro") is None:
+                continue
+            path = os.path.join(args.out, f"fuzz-repro-{number:03d}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(failure["repro"], handle, indent=2,
+                          sort_keys=True)
+            if not args.json:
+                print(f"repro document written to {path}")
+    if args.json:
+        print(json.dumps({"kind": "fuzz",
+                          "version": repro.__version__, **report},
+                         indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    print(f"repro {repro.__version__} fuzz — seed {report['seed']}, "
+          f"generation {report['generation']}")
+    for frontend, count in report["per_frontend"].items():
+        print(f"  {frontend:<12} {count:>5} case(s)")
+    print(f"  {report['cases']} case(s) checked "
+          f"({report['deduped']} deduped), {report['checks']} backend "
+          f"check(s), {report['unencodable']} unencodable, "
+          f"{len(report['failures'])} failure(s) "
+          f"in {report['elapsed']}s")
+    for failure in report["failures"]:
+        prop = failure.get("property")
+        where = f" on {prop!r}" if prop else ""
+        print(f"  - {failure['kind']}{where} (case {failure['index']}, "
+              f"{failure['frontend']}): {failure['detail']}")
+    print("fuzz PASSED" if report["ok"] else "fuzz FAILED")
+    return 0 if report["ok"] else 1
 
 
 #: bundled selftest models: diverse front-ends, all finitely encodable,
@@ -835,6 +897,41 @@ def build_parser() -> argparse.ArgumentParser:
     store_gc.add_argument("--json", action="store_true",
                           help="emit the gc report as JSON")
     store_gc.set_defaults(handler=cmd_store)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential-fuzz the five front-ends against both "
+             "verdict backends")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="round seed; every case is a pure function "
+                           "of (seed, index) (default: 0)")
+    fuzz.add_argument("--cases", type=int, default=None, metavar="K",
+                      help="stop after K checked (non-deduped) cases")
+    fuzz.add_argument("--budget", type=float, default=None,
+                      metavar="SECS",
+                      help="stop after this wall-clock budget")
+    fuzz.add_argument("--store", default=None, metavar="DIR",
+                      help="corpus store: cases previously proven "
+                           "clean (same engine version) are skipped")
+    fuzz.add_argument("--minimize", action="store_true",
+                      help="shrink failing cases before reporting")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="concurrent case checks (reports are "
+                           "worker-count-independent)")
+    fuzz.add_argument("--frontends", nargs="+", default=None,
+                      choices=("sigpml", "deployment", "pam", "ccsl",
+                               "moccml"),
+                      help="restrict generation to these front-ends "
+                           "(default: round-robin over all five)")
+    fuzz.add_argument("--out", default=None, metavar="DIR",
+                      help="write each failure's self-contained repro "
+                           "document under this directory")
+    fuzz.add_argument("--replay", default=None, metavar="FILE",
+                      help="re-run the oracle comparison of one "
+                           "emitted repro document instead of fuzzing")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the round report as JSON")
+    fuzz.set_defaults(handler=cmd_fuzz)
 
     selftest = subparsers.add_parser(
         "selftest",

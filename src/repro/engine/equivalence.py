@@ -41,6 +41,19 @@ def _graph_keys(space: StateSpace) -> set:
     return {data["key"] for _node, data in space.graph.nodes(data=True)}
 
 
+def battery_texts(model) -> list[str]:
+    """The property battery instantiated for *model*'s first events —
+    the texts :func:`cross_check` checks by default, exposed so other
+    harnesses (``repro fuzz`` mixes them with generated formulas) run
+    the exact same battery."""
+    events = sorted(model.events)
+    if not events:
+        return [t for t in PROPERTY_BATTERY if "{e" not in t]
+    substitutions = {"e0": events[0], "e1": events[min(1, len(events) - 1)]}
+    return [template.format(**substitutions)
+            for template in PROPERTY_BATTERY]
+
+
 def cross_check(
     model,
     max_states: int = 10_000,
@@ -48,6 +61,7 @@ def cross_check(
     include_empty: bool = False,
     maximal_only: bool = False,
     relation_mode: str | None = None,
+    properties: list | None = None,
 ) -> dict:
     """Explore *model* with both strategies and diff the results.
 
@@ -60,6 +74,10 @@ def cross_check(
     the engine default) — running the harness once per mode is how the
     corpus asserts that partitioned and monolithic products agree with
     the explicit engine, and therefore with each other.
+    *properties* overrides the checked property texts: ``None`` runs
+    the instantiated :data:`PROPERTY_BATTERY`, an explicit list (the
+    fuzz harness passes generated formulas) runs exactly those, and an
+    empty list skips the property phase.
     """
     explicit = explore(
         model,
@@ -116,9 +134,11 @@ def cross_check(
         check("deadlock count", len(explicit.deadlocks()), reachable.deadlock_count())
         check("dead events", explicit.dead_events(), reachable.dead_events())
         report["fixpoint"] = {"states": reachable.count(), "depth": reachable.depth}
-        report["properties"] = _cross_check_properties(
-            model, explicit, include_empty, check, relation_mode
-        )
+        if properties is None or properties:
+            report["properties"] = _cross_check_properties(
+                model, explicit, include_empty, check, relation_mode,
+                properties
+            )
 
     report["mismatches"] = mismatches
     report["agree"] = not mismatches
@@ -126,24 +146,18 @@ def cross_check(
 
 
 def _cross_check_properties(model, space, include_empty, check,
-                            relation_mode=None) -> list[dict]:
-    """Run the property battery through both ctl backends — the
-    explicit one over the already-explored *space* — and diff verdicts,
-    witness steps, and witness replayability."""
+                            relation_mode=None,
+                            properties=None) -> list[dict]:
+    """Run the property battery (or the caller's *properties* texts)
+    through both ctl backends — the explicit one over the
+    already-explored *space* — and diff verdicts, witness steps, and
+    witness replayability."""
     from repro.engine.ctl import check as check_property
     from repro.engine.ctl import check_space, replay_steps
 
-    events = sorted(model.events)
-    if events:
-        templates = PROPERTY_BATTERY
-        substitutions = {"e0": events[0],
-                         "e1": events[min(1, len(events) - 1)]}
-    else:  # event-free model: only the event-free templates apply
-        templates = tuple(t for t in PROPERTY_BATTERY if "{e" not in t)
-        substitutions = {}
+    texts = battery_texts(model) if properties is None else list(properties)
     results = []
-    for template in templates:
-        text = template.format(**substitutions)
+    for text in texts:
         explicit = check_space(space, text)
         symbolic = check_property(
             model, text, strategy="symbolic", include_empty=include_empty,

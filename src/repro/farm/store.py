@@ -110,6 +110,23 @@ class ArtifactStore:
             pass
         return document["result"]
 
+    def has(self, fingerprint: str) -> bool:
+        """Whether an entry for *fingerprint* exists, without reading
+        it. Trusts the filename (full envelope validation stays in
+        :meth:`get`); a hit refreshes the LRU clock so entries a corpus
+        keeps probing are not the first ones :meth:`gc` drops."""
+        path = self._path(fingerprint)
+        try:
+            exists = path.is_file()
+        except OSError:
+            return False
+        if exists:
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+        return exists
+
     def _validate(self, raw: bytes, fingerprint: str) -> dict | None:
         try:
             document = json.loads(raw.decode("utf-8"))

@@ -1,0 +1,383 @@
+"""The differential oracle: one case, every backend, zero tolerance.
+
+For each generated case the oracle
+
+1. cross-checks the *state spaces*: explicit exploration vs the
+   symbolic strategy under both relation layouts, via the corpus
+   harness :func:`repro.engine.equivalence.cross_check` (byte-identical
+   serialized spaces, fixpoint counts, deadlock/liveness analyses);
+2. runs every generated property through the existing
+   :class:`~repro.workbench.artifacts.RunSpec` path — one
+   :func:`~repro.workbench.artifacts.CheckSpec` per backend
+   configuration (explicit, symbolic-partitioned,
+   symbolic-monolithic) — and diffs the outcomes.
+
+Failure taxonomy (:class:`FuzzFailure.kind`):
+
+``disagreement``
+    verdicts differ between backends where they must not: the two
+    symbolic layouts ever disagree, a definitive explicit verdict
+    differs from a symbolic one, an explicit ``unknown`` without a
+    truncated exploration, or any state-space mismatch;
+``witness``
+    a reported witness/counterexample does not replay as an actual
+    schedule prefix, or two backends that must produce identical
+    witness step sequences produced different ones;
+``crash``
+    the engine raised (or errored a result) on a generated —
+    well-formed by construction — input.
+
+Three-valued soundness is encoded in the comparison rule: an explicit
+``unknown`` on a *truncated* exploration is compatible with any
+definitive symbolic verdict, but a definitive explicit verdict must
+match symbolic exactly — even on truncated spaces, where the explored
+region alone must prove it. (Reverting the truncated-space UNKNOWN
+guard is therefore caught as a disagreement, not silently accepted.)
+
+Models the symbolic engine cannot finitely encode are counted
+(``CaseOutcome.unencodable``) and compared explicit-only; the
+generators avoid unbounded relations, so this is a rarity guard, not a
+normal path.
+
+Every failure carries a self-contained *repro document* — the same
+``{"models": ..., "runs": ...}`` shape ``repro batch`` and ``repro
+submit`` already accept — so a bug found in CI replays locally in one
+command (``repro fuzz --replay FILE`` re-runs the comparison too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import repro
+from repro.errors import ReproError, SymbolicEncodingError
+from repro.fuzz.generators import FuzzCase, load_case_model
+from repro.fuzz.rng import GENERATION
+
+#: the compared backend configurations: (label, strategy, relation_mode)
+ORACLE_CONFIGS = (
+    ("explicit", "explicit", None),
+    ("symbolic-partitioned", "symbolic", "partitioned"),
+    ("symbolic-monolithic", "symbolic", "monolithic"),
+)
+
+#: error-message markers of a model the symbolic engine cannot encode
+_UNENCODABLE_MARKERS = ("finitely encod", "locally unbounded")
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle violation, with its self-contained repro document."""
+
+    kind: str  # "disagreement" | "witness" | "crash"
+    seed: int
+    index: int
+    frontend: str
+    prop: str | None
+    detail: str
+    repro: dict
+
+    def to_doc(self) -> dict:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "index": self.index,
+            "frontend": self.frontend,
+            "property": self.prop,
+            "detail": self.detail,
+            "repro": self.repro,
+        }
+
+
+@dataclass
+class CaseOutcome:
+    """What the oracle saw on one case."""
+
+    case: FuzzCase
+    checks: int = 0
+    unencodable: bool = False
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def check_spec_docs(case: FuzzCase) -> list[dict]:
+    """The three per-config check-spec documents of one property set —
+    the ``runs`` of a property repro document."""
+    from repro.workbench import CheckSpec
+
+    docs = []
+    for prop in case.properties:
+        for label, strategy, mode in ORACLE_CONFIGS:
+            docs.append(
+                CheckSpec(
+                    case.name,
+                    prop,
+                    strategy=strategy,
+                    relation_mode=mode,
+                    max_states=case.max_states,
+                    label=label,
+                ).to_doc()
+            )
+    return docs
+
+
+def repro_doc(case: FuzzCase, failure_kind: str, detail: str,
+              prop: str | None) -> dict:
+    """The self-contained replay document of one failure.
+
+    ``models``/``runs`` follow the canonical batch shape (``repro
+    batch``/``repro submit`` run it as-is); the extra ``fuzz`` key is
+    provenance both tools ignore."""
+    from repro.workbench import ExploreSpec
+
+    if prop is None:  # state-space failure: replay the explorations
+        runs = [
+            ExploreSpec(
+                case.name,
+                max_states=case.max_states,
+                strategy=strategy,
+                relation_mode=mode,
+                label=label,
+            ).to_doc()
+            for label, strategy, mode in ORACLE_CONFIGS
+        ]
+    else:
+        from repro.workbench import CheckSpec
+
+        runs = [
+            CheckSpec(
+                case.name,
+                prop,
+                strategy=strategy,
+                relation_mode=mode,
+                max_states=case.max_states,
+                label=label,
+            ).to_doc()
+            for label, strategy, mode in ORACLE_CONFIGS
+        ]
+    return {
+        "models": {case.name: case.model_doc()},
+        "runs": runs,
+        "fuzz": {
+            "kind": failure_kind,
+            "detail": detail,
+            "seed": case.seed,
+            "index": case.index,
+            "frontend": case.frontend,
+            "property": prop,
+            "max_states": case.max_states,
+            "generation": GENERATION,
+            "version": repro.__version__,
+        },
+    }
+
+
+def _failure(case: FuzzCase, kind: str, detail: str,
+             prop: str | None = None) -> FuzzFailure:
+    return FuzzFailure(
+        kind=kind,
+        seed=case.seed,
+        index=case.index,
+        frontend=case.frontend,
+        prop=prop,
+        detail=detail,
+        repro=repro_doc(case, kind, detail, prop),
+    )
+
+
+def _is_unencodable(message: str) -> bool:
+    return any(marker in message for marker in _UNENCODABLE_MARKERS)
+
+
+def check_case(case: FuzzCase, handle=None) -> CaseOutcome:
+    """Run the full differential oracle on one case."""
+    outcome = CaseOutcome(case=case)
+    try:
+        if handle is None:
+            handle = load_case_model(case)
+        _check_spaces(case, handle, outcome)
+        _check_properties(case, handle, outcome)
+    except ReproError as exc:
+        outcome.failures.append(
+            _failure(case, "crash", f"{type(exc).__name__}: {exc}")
+        )
+    except Exception as exc:  # a hard crash is exactly what we hunt
+        outcome.failures.append(
+            _failure(case, "crash", f"{type(exc).__name__}: {exc}")
+        )
+    return outcome
+
+
+def _check_spaces(case: FuzzCase, handle, outcome: CaseOutcome) -> None:
+    """Phase 1: the state-space cross-check, both relation layouts."""
+    from repro.engine.equivalence import cross_check
+
+    model = handle.execution_model
+    for mode in ("partitioned", "monolithic"):
+        try:
+            report = cross_check(
+                model,
+                max_states=case.max_states,
+                relation_mode=mode,
+                properties=[],
+            )
+        except SymbolicEncodingError:
+            outcome.unencodable = True
+            return
+        outcome.checks += 1
+        if report["mismatches"]:
+            detail = (
+                f"state-space cross-check ({mode}): "
+                + "; ".join(report["mismatches"])
+            )
+            outcome.failures.append(
+                _failure(case, "disagreement", detail)
+            )
+
+
+def _check_properties(case: FuzzCase, handle,
+                      outcome: CaseOutcome) -> None:
+    """Phase 2: every property through every backend configuration."""
+    from repro.workbench import CheckSpec, Workbench
+
+    workbench = Workbench()
+    workbench.attach(case.name, handle)
+    for prop in case.properties:
+        results = {}
+        for label, strategy, mode in ORACLE_CONFIGS:
+            if outcome.unencodable and strategy == "symbolic":
+                continue
+            spec = CheckSpec(
+                case.name,
+                prop,
+                strategy=strategy,
+                relation_mode=mode,
+                max_states=case.max_states,
+                label=label,
+            )
+            result = workbench.run(spec)
+            outcome.checks += 1
+            if not result.ok:
+                if _is_unencodable(result.error or ""):
+                    outcome.unencodable = True
+                    continue
+                outcome.failures.append(
+                    _failure(
+                        case,
+                        "crash",
+                        f"{label} errored: {result.error}",
+                        prop,
+                    )
+                )
+                continue
+            results[label] = result
+        _diff_property(case, prop, results,
+                       handle.execution_model, outcome)
+
+
+def _diff_property(case: FuzzCase, prop: str, results: dict, model,
+                   outcome: CaseOutcome) -> None:
+    """Apply the three-valued comparison rules to one property's
+    per-config results."""
+    from repro.engine.ctl import replay_steps
+
+    def fail(kind: str, detail: str) -> None:
+        outcome.failures.append(_failure(case, kind, detail, prop))
+
+    verdicts = {
+        label: result.data["verdict"] for label, result in results.items()
+    }
+    explicit = results.get("explicit")
+    partitioned = verdicts.get("symbolic-partitioned")
+    monolithic = verdicts.get("symbolic-monolithic")
+    if (
+        partitioned is not None
+        and monolithic is not None
+        and partitioned != monolithic
+    ):
+        fail(
+            "disagreement",
+            f"relation modes disagree: partitioned={partitioned} "
+            f"monolithic={monolithic}",
+        )
+    symbolic = partitioned if partitioned is not None else monolithic
+    if explicit is not None:
+        explicit_verdict = explicit.data["verdict"]
+        truncated = bool(explicit.data.get("truncated"))
+        if explicit_verdict == "unknown" and not truncated:
+            fail(
+                "disagreement",
+                "explicit verdict is UNKNOWN on an untruncated "
+                "exploration",
+            )
+        if (
+            explicit_verdict != "unknown"
+            and symbolic is not None
+            and explicit_verdict != symbolic
+        ):
+            fail(
+                "disagreement",
+                f"explicit={explicit_verdict} "
+                f"({'truncated' if truncated else 'complete'} at "
+                f"{explicit.data['states']} states) but "
+                f"symbolic={symbolic}",
+            )
+    # witness rules: every reported witness must replay; backends that
+    # evaluate the same complete structure must report identical steps
+    for label, result in results.items():
+        steps = result.data.get("trace")
+        if steps is None:
+            continue
+        frozen = [frozenset(step) for step in steps]
+        try:
+            replays = replay_steps(model, frozen)
+        except Exception as error:
+            # a trace the kernel cannot even attempt (unknown events,
+            # malformed steps) is an invalid witness, not an engine crash
+            replays = False
+            fail(
+                "witness",
+                f"{label} witness of {len(steps)} step(s) is not a "
+                f"valid schedule prefix: {error}",
+            )
+        else:
+            if not replays:
+                fail(
+                    "witness",
+                    f"{label} witness of {len(steps)} step(s) does not "
+                    f"replay as a schedule prefix",
+                )
+    pair = [
+        results.get("symbolic-partitioned"),
+        results.get("symbolic-monolithic"),
+    ]
+    if all(pair) and _witness_of(pair[0]) != _witness_of(pair[1]):
+        fail(
+            "witness",
+            "symbolic relation modes report different witnesses",
+        )
+    if (
+        explicit is not None
+        and explicit.data["verdict"] != "unknown"
+        and not explicit.data.get("truncated")
+    ):
+        for label in ("symbolic-partitioned", "symbolic-monolithic"):
+            other = results.get(label)
+            if other is not None and _witness_of(explicit) != _witness_of(
+                other
+            ):
+                fail(
+                    "witness",
+                    f"explicit and {label} report different witnesses",
+                )
+                break
+
+
+def _witness_of(result) -> tuple:
+    return (
+        result.data.get("witness_kind"),
+        result.data.get("trace"),
+    )

@@ -1,0 +1,267 @@
+"""Greedy structure-level minimization of failing fuzz cases.
+
+The shrinker never edits rendered model text: it edits the *structure*
+the generators drew (:class:`repro.fuzz.generators.FuzzCase.structure`)
+and re-renders, so every candidate stays well-formed by construction.
+Per front-end it tries one-step reductions — drop an agent and its
+places, drop a place, drop a constraint, drop an event, zero a cycle
+count or a delay, collapse rates/capacities/integer parameters to
+their minimum, rebind to fewer processors, drop the non-failing
+properties — and greedily accepts any candidate that still *fails the
+same way*: the differential oracle reports a failure of the same kind
+on the same property text. Candidates that fail to load, or that no
+longer define an event a kept property mentions, are skipped, so a
+shrink can narrow the model but never change what the repro means.
+
+The result is a case whose repro document is no larger than the
+original's and still fails, which is what lands in the CI artifact.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import Iterator
+
+from repro.fuzz.generators import (
+    CCSL_RELATIONS,
+    MOCCML_RELATIONS,
+    FuzzCase,
+    GenerationError,
+    load_case_model,
+    with_structure,
+)
+from repro.fuzz.oracle import FuzzFailure, check_case
+
+#: event arity of every drawable constraint relation
+_ARITIES = {
+    name: arity for name, arity, _ranges in CCSL_RELATIONS + MOCCML_RELATIONS
+}
+
+#: the smallest valid integer-parameter tail per parameterized relation
+_MIN_INT_TAILS = {
+    "BoundedPrecedes": [1],
+    "DelayedFor": [1],
+    "Deadline": [1],
+    "PeriodicOn": [1, 0],
+    "FilterBy": [0, 0, 1, 1],
+    "Window": [1],
+}
+
+_OCCURS = re.compile(r"occurs\(\s*([^)\s]+)\s*\)")
+
+
+def referenced_events(properties: list[str]) -> set[str]:
+    """Every event name an ``occurs(...)`` atom in *properties* uses."""
+    events: set[str] = set()
+    for text in properties:
+        events.update(_OCCURS.findall(text))
+    return events
+
+
+def case_size(case: FuzzCase) -> int:
+    """A monotone size measure (canonical-JSON length of the case)."""
+    from repro.farm import canonical_json
+
+    return len(canonical_json(case.to_doc()))
+
+
+def shrink_case(
+    case: FuzzCase, failure: FuzzFailure, max_attempts: int = 150
+) -> tuple[FuzzCase, FuzzFailure, int]:
+    """Minimize *case* while it keeps failing like *failure*.
+
+    Returns ``(minimized_case, matching_failure, attempts)``; with no
+    accepted reduction that is the original pair and the attempt count
+    spent discovering so. *max_attempts* bounds oracle re-runs, so
+    shrinking a pathological case terminates."""
+    attempts = 0
+    best_case, best_failure = case, failure
+
+    def try_candidate(candidate: FuzzCase) -> FuzzFailure | None:
+        nonlocal attempts
+        attempts += 1
+        return _refailure(candidate, failure)
+
+    kept = [failure.prop] if failure.prop is not None else []
+    if list(case.properties) != kept and attempts < max_attempts:
+        candidate = replace(case, properties=kept)
+        matched = try_candidate(candidate)
+        if matched is not None:
+            best_case, best_failure = candidate, matched
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for structure in _reductions(best_case.frontend, best_case.structure):
+            if attempts >= max_attempts:
+                break
+            candidate = with_structure(best_case, structure)
+            matched = try_candidate(candidate)
+            if matched is not None:
+                best_case, best_failure = candidate, matched
+                progress = True
+                break
+    return best_case, best_failure, attempts
+
+
+def _refailure(case: FuzzCase, failure: FuzzFailure) -> FuzzFailure | None:
+    """The candidate's failure matching *failure* (kind and property),
+    or ``None`` when the candidate is invalid or no longer fails so."""
+    try:
+        handle = load_case_model(case)
+    except GenerationError:
+        return None
+    if not referenced_events(case.properties) <= set(
+        handle.execution_model.events
+    ):
+        return None
+    outcome = check_case(case, handle)
+    for candidate in outcome.failures:
+        if candidate.kind == failure.kind and candidate.prop == failure.prop:
+            return candidate
+    return None
+
+
+# ---------------------------------------------------------------------------
+# one-step structure reductions, per front-end
+# ---------------------------------------------------------------------------
+
+
+def _reductions(frontend: str, structure: dict) -> Iterator[dict]:
+    return _REDUCERS[frontend](structure)
+
+
+def _sigpml_reductions(structure: dict) -> Iterator[dict]:
+    agents = structure["agents"]
+    places = structure["places"]
+    if len(agents) > 1:
+        for i, (name, _cycles) in enumerate(agents):
+            yield {
+                **structure,
+                "agents": agents[:i] + agents[i + 1 :],
+                "places": [
+                    place
+                    for place in places
+                    if name not in (place[0], place[1])
+                ],
+            }
+    for i in range(len(places)):
+        yield {**structure, "places": places[:i] + places[i + 1 :]}
+    for i, (name, cycles) in enumerate(agents):
+        if cycles:
+            yield {
+                **structure,
+                "agents": agents[:i] + [[name, 0]] + agents[i + 1 :],
+            }
+    for i, place in enumerate(places):
+        producer, consumer, push, pop, capacity, delay = place
+        if delay:
+            reduced = [producer, consumer, push, pop, capacity, 0]
+            yield {
+                **structure,
+                "places": places[:i] + [reduced] + places[i + 1 :],
+            }
+        if (push, pop, capacity) != (1, 1, 1):
+            reduced = [producer, consumer, 1, 1, 1, 0]
+            yield {
+                **structure,
+                "places": places[:i] + [reduced] + places[i + 1 :],
+            }
+
+
+def _deployment_reductions(structure: dict) -> Iterator[dict]:
+    for application in _sigpml_reductions(structure["application"]):
+        kept = {agent for agent, _cycles in application["agents"]}
+        yield {
+            **structure,
+            "application": application,
+            "bindings": [
+                binding
+                for binding in structure["bindings"]
+                if binding[0] in kept
+            ],
+        }
+    processors = structure["processors"]
+    if len(processors) > 1:
+        for i in range(len(processors)):
+            remaining = processors[:i] + processors[i + 1 :]
+            names = {name for name, _speed in remaining}
+            target = remaining[0][0]
+            yield {
+                **structure,
+                "processors": remaining,
+                "bindings": [
+                    [agent, proc if proc in names else target]
+                    for agent, proc in structure["bindings"]
+                ],
+            }
+    if structure["latency"]:
+        yield {**structure, "latency": 0}
+    for i, (name, speed) in enumerate(processors):
+        if speed != 1:
+            yield {
+                **structure,
+                "processors": (
+                    processors[:i] + [[name, 1]] + processors[i + 1 :]
+                ),
+            }
+
+
+def _pam_reductions(structure: dict) -> Iterator[dict]:
+    cycles = structure.get("cycles")
+    if cycles:
+        yield {**structure, "cycles": None}
+        if len(cycles) > 1:
+            for agent in sorted(cycles):
+                yield {
+                    **structure,
+                    "cycles": {
+                        key: value
+                        for key, value in cycles.items()
+                        if key != agent
+                    },
+                }
+    if structure["configuration"] != "mono":
+        yield {**structure, "configuration": "mono"}
+
+
+def _ccsl_reductions(structure: dict) -> Iterator[dict]:
+    constraints = structure["constraints"]
+    for i in range(len(constraints)):
+        yield {
+            **structure,
+            "constraints": constraints[:i] + constraints[i + 1 :],
+        }
+    events = structure["events"]
+    if len(events) > 1:
+        for event in events:
+            yield {
+                **structure,
+                "events": [e for e in events if e != event],
+                "constraints": [
+                    constraint
+                    for constraint in constraints
+                    if event not in constraint[1][: _ARITIES[constraint[0]]]
+                ],
+            }
+    for i, (relation, args) in enumerate(constraints):
+        arity = _ARITIES[relation]
+        tail = _MIN_INT_TAILS.get(relation)
+        if tail is not None and list(args[arity:]) != tail:
+            reduced = [relation, list(args[:arity]) + tail]
+            yield {
+                **structure,
+                "constraints": (
+                    constraints[:i] + [reduced] + constraints[i + 1 :]
+                ),
+            }
+
+
+_REDUCERS = {
+    "sigpml": _sigpml_reductions,
+    "deployment": _deployment_reductions,
+    "pam": _pam_reductions,
+    "ccsl": _ccsl_reductions,
+    "moccml": _ccsl_reductions,
+}

@@ -1,0 +1,67 @@
+"""Corpus dedupe: clean cases are remembered, failures never are."""
+
+import repro
+from repro.farm import ArtifactStore
+from repro.fuzz import build_case, case_key
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.runner import run_round
+
+
+def test_case_key_is_stable_and_sensitive():
+    case, handle = build_case(42, 0)
+    key = case_key(case, handle)
+    assert key is not None and len(key) == 64
+    assert case_key(case, handle) == key
+    other, other_handle = build_case(42, 5)  # same frontend, new draw
+    assert case_key(other, other_handle) != key
+
+
+def test_case_key_depends_on_budget_and_properties():
+    case, handle = build_case(42, 0)
+    key = case_key(case, handle)
+    from dataclasses import replace
+
+    bigger = replace(case, max_states=case.max_states + 1)
+    assert case_key(bigger, handle) != key
+    reworded = replace(case, properties=["AG !deadlock"])
+    assert case_key(reworded, handle) != key
+
+
+def test_case_key_depends_on_engine_version(monkeypatch):
+    case, handle = build_case(42, 0)
+    before = case_key(case, handle)
+    monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+    assert case_key(case, handle) != before
+
+
+def test_corpus_round_trip(tmp_path):
+    case, handle = build_case(42, 0)
+    corpus = Corpus(ArtifactStore(tmp_path / "corpus"))
+    key = case_key(case, handle)
+    assert not corpus.seen(key)
+    assert not corpus.seen(None)
+    corpus.record(key, case, checks=7)
+    assert corpus.seen(key)
+    corpus.record(None, case, checks=7)  # keyless: silently skipped
+
+
+def test_store_has_probe(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    fingerprint = "ab" + "0" * 62
+    assert not store.has(fingerprint)
+    store.put(fingerprint, {"anything": True})
+    assert store.has(fingerprint)
+    assert store.get(fingerprint) == {"anything": True}
+
+
+def test_run_round_dedupes_clean_cases(tmp_path):
+    store = str(tmp_path / "corpus")
+    first = run_round(21, cases=3, store=store)
+    assert first["ok"]
+    assert first["deduped"] == 0
+    second = run_round(21, cases=3, store=store)
+    assert second["ok"]
+    # the second round skips every case the first proved clean and
+    # spends its budget on fresh indices instead
+    assert second["deduped"] >= first["cases"]
+    assert second["cases"] >= 3

@@ -1,0 +1,66 @@
+"""Seed determinism: a case is a pure function of (seed, index)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.ctl import parse_property
+from repro.farm import canonical_json
+from repro.fuzz import FRONTENDS, build_case, generate_case
+
+SEED = 1234
+INDICES = range(10)
+
+
+def _case_docs(seed, indices):
+    return [canonical_json(generate_case(seed, i).to_doc()) for i in indices]
+
+
+def test_same_seed_same_cases_byte_identical():
+    assert _case_docs(SEED, INDICES) == _case_docs(SEED, INDICES)
+
+
+def test_generation_is_order_independent():
+    forward = _case_docs(SEED, INDICES)
+    backward = _case_docs(SEED, reversed(INDICES))
+    assert forward == list(reversed(backward))
+
+
+def test_generation_is_worker_independent():
+    serial = _case_docs(SEED, INDICES)
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        threaded = list(
+            pool.map(
+                lambda i: canonical_json(generate_case(SEED, i).to_doc()),
+                INDICES,
+            )
+        )
+    assert serial == threaded
+
+
+def test_round_robin_covers_all_five_frontends():
+    frontends = [generate_case(SEED, i).frontend for i in range(5)]
+    assert tuple(frontends) == FRONTENDS
+
+
+def test_different_seeds_differ():
+    assert _case_docs(SEED, INDICES) != _case_docs(SEED + 1, INDICES)
+
+
+def test_rendering_is_stable_and_properties_parse():
+    for index in range(5):
+        case, handle = build_case(SEED, index)
+        assert case.model_doc() == case.model_doc()
+        assert case.properties, "every case carries properties"
+        events = set(handle.execution_model.events)
+        assert events, "every generated model has events"
+        for text in case.properties:
+            parse_property(text)  # must not raise
+
+
+def test_properties_only_mention_model_events():
+    from repro.fuzz.shrink import referenced_events
+
+    for index in range(10):
+        case, handle = build_case(SEED, index)
+        assert referenced_events(case.properties) <= set(
+            handle.execution_model.events
+        )

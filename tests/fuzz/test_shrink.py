@@ -1,0 +1,196 @@
+"""Shrinker: minimized cases still fail the same way and never grow."""
+
+import pytest
+
+from repro.fuzz import FuzzCase, case_size, shrink_case
+from repro.fuzz.generators import load_case_model
+from repro.fuzz.oracle import CaseOutcome, FuzzFailure
+from repro.fuzz.shrink import referenced_events
+
+
+def _failure(case, kind="disagreement", prop=None):
+    return FuzzFailure(
+        kind=kind,
+        seed=case.seed,
+        index=case.index,
+        frontend=case.frontend,
+        prop=prop,
+        detail="synthetic",
+        repro={},
+    )
+
+
+def _fake_oracle(predicate, kind="disagreement", prop=None):
+    """A stand-in ``check_case`` failing exactly when *predicate* holds."""
+
+    def check_case(case, handle=None):
+        outcome = CaseOutcome(case=case)
+        if predicate(case):
+            outcome.failures.append(_failure(case, kind=kind, prop=prop))
+        return outcome
+
+    return check_case
+
+
+def _sigpml_case():
+    structure = {
+        "name": "shrinkme",
+        "agents": [["a0", 2], ["a1", 0], ["a2", 1], ["a3", 0]],
+        "places": [
+            ["a0", "a1", 2, 1, 3, 1],
+            ["a1", "a2", 1, 2, 3, 0],
+            ["a2", "a3", 2, 2, 3, 0],
+        ],
+    }
+    return FuzzCase(
+        seed=0,
+        index=0,
+        frontend="sigpml",
+        structure=structure,
+        properties=["AG !deadlock", "EF occurs(a0.start)"],
+        max_states=300,
+    )
+
+
+def test_shrink_sigpml_to_two_agents(monkeypatch):
+    case = _sigpml_case()
+    failure = _failure(case)
+    predicate = lambda c: len(c.structure["agents"]) >= 2  # noqa: E731
+    monkeypatch.setattr(
+        "repro.fuzz.shrink.check_case", _fake_oracle(predicate)
+    )
+    small, small_failure, attempts = shrink_case(case, failure)
+    assert attempts >= 1
+    assert small_failure.kind == failure.kind
+    assert len(small.structure["agents"]) == 2
+    assert small.structure["places"] == []
+    assert small.properties == []  # prop=None drops every property
+    assert case_size(small) <= case_size(case)
+    load_case_model(small)  # the minimized case still loads
+
+
+def test_shrink_keeps_failing_property_and_its_events(monkeypatch):
+    case = _sigpml_case()
+    prop = "EF occurs(a2.start)"
+    case.properties = ["AG !deadlock", prop]
+    failure = _failure(case, prop=prop)
+    predicate = lambda c: len(c.structure["agents"]) >= 1  # noqa: E731
+    monkeypatch.setattr(
+        "repro.fuzz.shrink.check_case",
+        _fake_oracle(predicate, prop=prop),
+    )
+    small, small_failure, _attempts = shrink_case(case, failure)
+    assert small.properties == [prop]
+    assert small_failure.prop == prop
+    # the event the kept property mentions survived the shrink
+    handle = load_case_model(small)
+    assert referenced_events([prop]) <= set(handle.execution_model.events)
+    assert any(agent == "a2" for agent, _cycles in small.structure["agents"])
+
+
+def test_shrink_ccsl_drops_constraints_and_events(monkeypatch):
+    structure = {
+        "name": "shrinkccsl",
+        "events": ["e0", "e1", "e2", "e3"],
+        "constraints": [
+            ["Alternates", ["e0", "e1"]],
+            ["BoundedPrecedes", ["e1", "e2", 3]],
+            ["Deadline", ["e2", "e3", 2]],
+        ],
+    }
+    case = FuzzCase(
+        seed=0,
+        index=0,
+        frontend="ccsl",
+        structure=structure,
+        properties=["AG !deadlock"],
+        max_states=2500,
+    )
+    failure = _failure(case)
+    predicate = lambda c: len(c.structure["constraints"]) >= 1  # noqa: E731
+    monkeypatch.setattr(
+        "repro.fuzz.shrink.check_case", _fake_oracle(predicate)
+    )
+    small, _small_failure, _attempts = shrink_case(case, failure)
+    assert len(small.structure["constraints"]) == 1
+    # only the events the surviving constraint references remain
+    _relation, args = small.structure["constraints"][0]
+    assert set(small.structure["events"]) <= set(
+        arg for arg in args if isinstance(arg, str)
+    )
+    assert case_size(small) < case_size(case)
+    load_case_model(small)
+
+
+def test_shrink_reduces_integer_parameters(monkeypatch):
+    structure = {
+        "name": "shrinkints",
+        "events": ["e0", "e1"],
+        "constraints": [["BoundedPrecedes", ["e0", "e1", 3]]],
+    }
+    case = FuzzCase(
+        seed=0,
+        index=0,
+        frontend="ccsl",
+        structure=structure,
+        properties=[],
+        max_states=2500,
+    )
+    failure = _failure(case)
+    predicate = (  # noqa: E731
+        lambda c: any(
+            relation == "BoundedPrecedes"
+            for relation, _args in c.structure["constraints"]
+        )
+    )
+    monkeypatch.setattr(
+        "repro.fuzz.shrink.check_case", _fake_oracle(predicate)
+    )
+    small, _small_failure, _attempts = shrink_case(case, failure)
+    assert ["BoundedPrecedes", ["e0", "e1", 1]] in [
+        [relation, list(args)]
+        for relation, args in small.structure["constraints"]
+    ]
+
+
+def test_no_progress_returns_original():
+    case = _sigpml_case()
+    failure = _failure(case)
+    # the real oracle: the case is clean, so nothing re-fails and the
+    # shrinker hands back the original
+    small, small_failure, attempts = shrink_case(
+        case, failure, max_attempts=3
+    )
+    assert small is case
+    assert small_failure is failure
+    assert attempts == 3
+
+
+def test_attempt_budget_is_respected(monkeypatch):
+    case = _sigpml_case()
+    failure = _failure(case)
+    calls = []
+
+    def count_and_fail(candidate, handle=None):
+        calls.append(1)
+        outcome = CaseOutcome(case=candidate)
+        outcome.failures.append(_failure(candidate))
+        return outcome
+
+    monkeypatch.setattr("repro.fuzz.shrink.check_case", count_and_fail)
+    shrink_case(case, failure, max_attempts=5)
+    assert len(calls) <= 5
+
+
+@pytest.mark.parametrize("frontend", ["sigpml", "deployment", "pam",
+                                      "ccsl", "moccml"])
+def test_reductions_yield_loadable_structures(frontend):
+    from repro.fuzz import build_case, with_structure
+    from repro.fuzz.shrink import _reductions
+
+    case, _handle = build_case(99, {"sigpml": 0, "deployment": 1,
+                                    "pam": 2, "ccsl": 3,
+                                    "moccml": 4}[frontend])
+    assert case.frontend == frontend
+    for structure in _reductions(frontend, case.structure):
+        load_case_model(with_structure(case, structure))
