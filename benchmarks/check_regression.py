@@ -33,6 +33,7 @@ REQUIRED_FILES = (
     "bench_e14_farm.py",
     "bench_e15_partitioned_relation.py",
     "bench_e16_serve.py",
+    "bench_e17_lint.py",
 )
 
 

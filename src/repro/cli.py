@@ -10,6 +10,11 @@ the workbench facilities of the paper's tooling:
   verdicts (HOLDS/FAILS/UNKNOWN — never a definitive answer from a
   truncated exploration) and replayable witness/counterexample traces;
 * ``analyze`` — static SDF analysis (repetition vector, PASS);
+* ``lint`` — static analysis without stepping the engine (``repro lint
+  app.sigpml [--json|--sarif]``): stable-ID diagnostics (``SDF001``
+  rate inconsistency, ``CCS002`` precedence cycles, ``ENC001``
+  unencodable counters, …; see :mod:`repro.lint` for the catalog),
+  every ERROR claim engine-confirmable via the cross-check harness;
 * ``dot`` — render the application, its MoCC automata, or the state
   space as DOT;
 * ``deploy`` — deploy on a platform and simulate;
@@ -38,9 +43,10 @@ the workbench facilities of the paper's tooling:
   fuzz --replay FILE`` re-compares (see :mod:`repro.fuzz`);
 * ``selftest`` — cross-check the symbolic and explicit exploration
   strategies on three bundled models, then prove the artifact store
-  round-trip (cold run == warm run, byte for byte) and the serve
-  round-trip (served == direct, byte for byte) — the CI smoke
-  step.
+  round-trip (cold run == warm run, byte for byte), the serve
+  round-trip (served == direct, byte for byte) and the static-analysis
+  contract (bundled models lint clean, every lint claim replays on the
+  engine, a seeded-bad model is caught) — the CI smoke step.
 
 Every subcommand takes ``--json`` to emit the uniform
 :class:`~repro.workbench.RunResult` document instead of the text
@@ -181,6 +187,35 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         raise ReproError(result.error)
     print(run_result_report(result))
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import LintReport, sarif_doc
+    from repro.workbench import LintSpec
+    workbench = _workbench_for(args)
+    result = workbench.run(LintSpec("app", rules=args.rules))
+    if args.sarif:
+        if not result.ok:
+            raise ReproError(result.error)
+        report = LintReport.from_doc(result.data)
+        print(json.dumps(sarif_doc(report), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok and result.data["ok"] else 1
+    if not result.ok:
+        raise ReproError(result.error)
+    data = result.data
+    print(f"{data['model']} ({data['frontend']}): "
+          f"{data['rules_run']} rule(s) run")
+    for diagnostic in data["diagnostics"]:
+        print(f"  {diagnostic['rule']} {diagnostic['severity'].upper():<7} "
+              f"{diagnostic['path']}: {diagnostic['message']}")
+    counts = data["counts"]
+    verdict = "clean" if data["ok"] else "ERRORS"
+    print(f"{verdict}: {counts['error']} error(s), "
+          f"{counts['warning']} warning(s), {counts['info']} info")
+    return 0 if data["ok"] else 1
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
@@ -634,6 +669,42 @@ def _selftest_serve(handles) -> dict:
             "mismatches": mismatches, "agree": not mismatches}
 
 
+def _selftest_lint(handles) -> dict:
+    """Lint phase of the selftest: the bundled models must be free of
+    ERROR findings, every confirmable claim must replay on the engine
+    (the cross-check harness), and a seeded rate-inconsistent model
+    must be caught."""
+    from repro.lint import crosscheck_handle, lint_handle
+    from repro.workbench import load
+    mismatches = []
+    for handle in handles:
+        report = lint_handle(handle)
+        for diagnostic in report.errors:
+            mismatches.append(
+                f"{handle.name}: bundled model has a lint error "
+                f"({diagnostic.rule}: {diagnostic.message})")
+        cross = crosscheck_handle(handle, report)
+        mismatches.extend(cross["mismatches"])
+    seeded_bad = load("""
+    application selftest_bad {
+      agent a
+      agent b
+      place a -> b push 2 pop 1 capacity 4
+      place a -> b push 1 pop 1 capacity 4
+    }
+    """, name="selftest-bad")
+    bad_report = lint_handle(seeded_bad)
+    if not any(d.rule == "SDF001" for d in bad_report.errors):
+        mismatches.append(
+            "seeded rate-inconsistent model was not caught by SDF001")
+    else:
+        mismatches.extend(
+            crosscheck_handle(seeded_bad, bad_report)["mismatches"])
+    return {"models": len(handles) + 1,
+            "errors_caught": len(bad_report.errors),
+            "mismatches": mismatches, "agree": not mismatches}
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     """Cross-check symbolic vs explicit exploration on bundled models."""
     from repro.engine.equivalence import cross_check
@@ -647,16 +718,18 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     modes_report = _selftest_relation_modes(handles)
     store_report = _selftest_store_roundtrip(handles)
     serve_report = _selftest_serve(handles)
+    lint_report = _selftest_lint(handles)
     ok = all(report["agree"] for report in reports) \
         and modes_report["agree"] and store_report["agree"] \
-        and serve_report["agree"]
+        and serve_report["agree"] and lint_report["agree"]
     if args.json:
         print(json.dumps({"kind": "selftest", "ok": ok,
                           "version": repro.__version__,
                           "reports": reports,
                           "relation_modes": modes_report,
                           "store": store_report,
-                          "serve": serve_report},
+                          "serve": serve_report,
+                          "lint": lint_report},
                          indent=2, sort_keys=True))
         return 0 if ok else 1
     print(f"repro {repro.__version__} selftest — symbolic vs explicit "
@@ -686,6 +759,11 @@ def cmd_selftest(args: argparse.Namespace) -> int:
           f"{serve_report['models']:>6} model(s) "
           f"served==direct  {serve_verdict}")
     for mismatch in serve_report["mismatches"]:
+        print(f"    - {mismatch}")
+    lint_verdict = "OK" if lint_report["agree"] else "MISMATCH"
+    print(f"  static analysis    {lint_report['models']:>6} model(s) "
+          f"clean, seeded-bad caught, claims confirmed  {lint_verdict}")
+    for mismatch in lint_report["mismatches"]:
         print(f"    - {mismatch}")
     print("selftest PASSED" if ok else "selftest FAILED")
     return 0 if ok else 1
@@ -759,6 +837,17 @@ def build_parser() -> argparse.ArgumentParser:
     analyzer.add_argument("--json", action="store_true",
                           help="emit the RunResult document as JSON")
     analyzer.set_defaults(handler=cmd_analyze)
+
+    linter = subparsers.add_parser(
+        "lint", help="static analysis: lint the model without stepping "
+                     "the engine")
+    _add_common(linter)
+    linter.add_argument("--sarif", action="store_true",
+                        help="emit a SARIF 2.1.0 document")
+    linter.add_argument("--rule", action="append", dest="rules",
+                        metavar="ID", default=None,
+                        help="restrict to specific rule IDs (repeatable)")
+    linter.set_defaults(handler=cmd_lint)
 
     dot = subparsers.add_parser("dot", help="DOT renderings")
     dot.add_argument("what",

@@ -1375,17 +1375,28 @@ def check(model, prop: Prop | str, strategy: str = "auto",
         return explicit()
     if strategy == "symbolic":
         return symbolic()
+    # auto: the static encodability predictor routes up front; the
+    # SymbolicEncodingError handlers stay as the safety net for
+    # predictor misses (counted in the predictor telemetry)
+    from repro.engine.encodability import is_encodable, record_safety_net
     from repro.engine.explorer import AUTO_EVENT_THRESHOLD
     if len(model.events) >= AUTO_EVENT_THRESHOLD:
+        if not is_encodable(model):
+            return explicit()
         try:
             return symbolic()
         except SymbolicEncodingError:
+            record_safety_net()
             return explicit()
     result = explicit()
     if result.verdict is Verdict.UNKNOWN:
+        if not is_encodable(model):
+            result.reason += "; model is not finitely encodable"
+            return result
         try:
             return symbolic()
         except SymbolicEncodingError:
+            record_safety_net()
             result.reason += "; model is not finitely encodable"
     return result
 

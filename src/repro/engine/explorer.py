@@ -106,13 +106,22 @@ def _working_view(model: ExecutionModel, strategy: str,
     if strategy == "auto" and len(model.events) < AUTO_EVENT_THRESHOLD:
         return model.clone()
     from repro.engine.symbolic import CompiledStateView
+    if strategy == "auto":
+        # route through the static predictor instead of compiling just
+        # to catch SymbolicEncodingError (the except below stays as the
+        # safety net for predictor misses)
+        from repro.engine.encodability import is_encodable
+        if not is_encodable(model):
+            return model.clone()  # predicted not finitely encodable
     try:
         return CompiledStateView(model.kernel.transition_system(
             model, relation_mode=relation_mode, cluster_cap=cluster_cap))
     except SymbolicEncodingError:
         if strategy == "symbolic":
             raise
-        return model.clone()  # auto: not finitely encodable
+        from repro.engine.encodability import record_safety_net
+        record_safety_net()
+        return model.clone()  # predictor miss: not finitely encodable
 
 
 def _bfs(work, name: str, events: list[str], max_states: int,

@@ -25,7 +25,14 @@ Failure taxonomy (:class:`FuzzFailure.kind`):
     witness step sequences produced different ones;
 ``crash``
     the engine raised (or errored a result) on a generated —
-    well-formed by construction — input.
+    well-formed by construction — input;
+``static``
+    the static analyzer (:mod:`repro.lint`) disagrees with the engine:
+    an ERROR-severity finding on a generated model (the generators
+    produce lint-clean models by construction, so an ERROR means
+    either a generator regression or a false positive), or the
+    encodability predictor's verdict contradicts what the symbolic
+    engine actually did on the very same case.
 
 Three-valued soundness is encoded in the comparison rule: an explicit
 ``unknown`` on a *truncated* exploration is compatible with any
@@ -69,7 +76,7 @@ _UNENCODABLE_MARKERS = ("finitely encod", "locally unbounded")
 class FuzzFailure:
     """One oracle violation, with its self-contained repro document."""
 
-    kind: str  # "disagreement" | "witness" | "crash"
+    kind: str  # "disagreement" | "witness" | "crash" | "static"
     seed: int
     index: int
     frontend: str
@@ -133,7 +140,20 @@ def repro_doc(case: FuzzCase, failure_kind: str, detail: str,
     provenance both tools ignore."""
     from repro.workbench import ExploreSpec
 
-    if prop is None:  # state-space failure: replay the explorations
+    if failure_kind == "static":  # replay the lint plus the explorations
+        from repro.workbench import LintSpec
+
+        runs = [LintSpec(case.name, label="lint").to_doc()] + [
+            ExploreSpec(
+                case.name,
+                max_states=case.max_states,
+                strategy=strategy,
+                relation_mode=mode,
+                label=label,
+            ).to_doc()
+            for label, strategy, mode in ORACLE_CONFIGS
+        ]
+    elif prop is None:  # state-space failure: replay the explorations
         runs = [
             ExploreSpec(
                 case.name,
@@ -195,20 +215,61 @@ def _is_unencodable(message: str) -> bool:
 def check_case(case: FuzzCase, handle=None) -> CaseOutcome:
     """Run the full differential oracle on one case."""
     outcome = CaseOutcome(case=case)
+    crashed = False
+    predicted: bool | None = None
     try:
         if handle is None:
             handle = load_case_model(case)
+        predicted = _check_static(case, handle, outcome)
         _check_spaces(case, handle, outcome)
         _check_properties(case, handle, outcome)
     except ReproError as exc:
+        crashed = True
         outcome.failures.append(
             _failure(case, "crash", f"{type(exc).__name__}: {exc}")
         )
     except Exception as exc:  # a hard crash is exactly what we hunt
+        crashed = True
         outcome.failures.append(
             _failure(case, "crash", f"{type(exc).__name__}: {exc}")
         )
+    if not crashed and predicted is not None and predicted == outcome.unencodable:
+        # phase 1 compiled the very model the predictor judged: the
+        # two verdicts must coincide (a crash leaves no actual verdict
+        # to compare against)
+        actual = "unencodable" if outcome.unencodable else "encodable"
+        outcome.failures.append(
+            _failure(
+                case,
+                "static",
+                f"encodability predictor said "
+                f"{'encodable' if predicted else 'unencodable'} but the "
+                f"symbolic engine found the model {actual}",
+            )
+        )
     return outcome
+
+
+def _check_static(case: FuzzCase, handle, outcome: CaseOutcome) -> bool:
+    """Phase 0: the static analyzer, before any engine step.
+
+    Generated models are lint-clean by construction, so any
+    ERROR-severity finding is a ``static`` oracle failure (either a
+    generator regression or an analyzer false positive — both are
+    bugs). Returns the encodability predictor's verdict; the caller
+    diffs it against what the symbolic engine actually did."""
+    from repro.engine.encodability import is_encodable
+    from repro.lint import lint_handle
+
+    report = lint_handle(handle)
+    outcome.checks += 1
+    if report.errors:
+        detail = "lint errors on a generated model: " + "; ".join(
+            f"{diag.rule} at {diag.path}: {diag.message}"
+            for diag in report.errors
+        )
+        outcome.failures.append(_failure(case, "static", detail))
+    return is_encodable(handle.execution_model)
 
 
 def _check_spaces(case: FuzzCase, handle, outcome: CaseOutcome) -> None:

@@ -122,6 +122,8 @@ class MetaClass:
         self.supertypes: list[str] = list(supertypes or [])
         self.abstract = bool(abstract)
         self.metamodel: Optional["MetaModel"] = None
+        self._cache_version = -1
+        self._cache: dict[str, object] = {}
         for attr in attributes or []:
             self.add_attribute(attr)
         for ref in references or []:
@@ -145,6 +147,8 @@ class MetaClass:
         if feature_name in self.attributes or feature_name in self.references:
             raise MetamodelError(
                 f"duplicate feature {feature_name!r} in metaclass {self.name!r}")
+        if self.metamodel is not None:
+            self.metamodel._version += 1
 
     # -- resolved queries (require an owning metamodel) ----------------------
 
@@ -154,8 +158,23 @@ class MetaClass:
                 f"metaclass {self.name!r} is not attached to a metamodel")
         return self.metamodel
 
+    def _resolved(self, key: str, compute):
+        """Memoize a resolved query until the owning metamodel mutates
+        (version bumped by class/feature additions). Cached values are
+        shared — callers must treat them as read-only."""
+        mm = self._require_metamodel()
+        if self._cache_version != mm._version:
+            self._cache = {}
+            self._cache_version = mm._version
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
     def all_supertypes(self) -> list["MetaClass"]:
         """All transitive supertypes, nearest first, without duplicates."""
+        return self._resolved("supertypes", self._all_supertypes)
+
+    def _all_supertypes(self) -> list["MetaClass"]:
         mm = self._require_metamodel()
         seen: dict[str, MetaClass] = {}
         stack = list(self.supertypes)
@@ -176,7 +195,13 @@ class MetaClass:
         return any(sup.name == other_name for sup in self.all_supertypes())
 
     def all_attributes(self) -> dict[str, MetaAttribute]:
-        """Own plus inherited attributes (own definitions win)."""
+        """Own plus inherited attributes (own definitions win).
+
+        The returned dict is cached and shared; treat it as read-only.
+        """
+        return self._resolved("attributes", self._all_attributes)
+
+    def _all_attributes(self) -> dict[str, MetaAttribute]:
         merged: dict[str, MetaAttribute] = {}
         for sup in reversed(self.all_supertypes()):
             merged.update(sup.attributes)
@@ -184,7 +209,13 @@ class MetaClass:
         return merged
 
     def all_references(self) -> dict[str, MetaReference]:
-        """Own plus inherited references (own definitions win)."""
+        """Own plus inherited references (own definitions win).
+
+        The returned dict is cached and shared; treat it as read-only.
+        """
+        return self._resolved("references", self._all_references)
+
+    def _all_references(self) -> dict[str, MetaReference]:
         merged: dict[str, MetaReference] = {}
         for sup in reversed(self.all_supertypes()):
             merged.update(sup.references)
@@ -209,6 +240,9 @@ class MetaModel:
     def __init__(self, name: str):
         self.name = check_identifier(name, "metamodel name")
         self._classes: dict[str, MetaClass] = {}
+        #: bumped on every structural mutation; invalidates the
+        #: per-metaclass resolved-query caches
+        self._version = 0
 
     def add(self, metaclass: MetaClass) -> MetaClass:
         """Register *metaclass* under its name; names must be unique."""
@@ -217,6 +251,7 @@ class MetaModel:
                 f"duplicate metaclass {metaclass.name!r} in {self.name!r}")
         metaclass.metamodel = self
         self._classes[metaclass.name] = metaclass
+        self._version += 1
         return metaclass
 
     def metaclass(self, name: str) -> MetaClass:

@@ -4,33 +4,88 @@ Slot assignment already performs eager type checks; this module adds the
 whole-model checks that can only run once a model is complete: required
 features are set, containment is well-formed (single container, no
 cycles) and every referenced element is reachable from the model roots.
+
+Findings are structured :class:`ConformanceDiagnostic` records (stable
+rule ID, element path, offending feature, message) so downstream tools
+— ``repro lint`` surfaces them as the ``KER***`` rules — can report
+them without parsing strings; :func:`check_conformance` keeps the
+historical plain-string API as a shim over the same records.
+
+Rule catalog:
+
+========  ==========================================================
+``KER001``  required attribute or reference unset
+``KER002``  instance of an abstract metaclass
+``KER003``  cross-reference points outside the model closure
+``KER004``  containment cycle
+========  ==========================================================
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.errors import ConformanceError
 from repro.kernel.mobject import MObject
 from repro.kernel.model import Model
 
 
-def check_conformance(model: Model, strict_closure: bool = True) -> list[str]:
-    """Validate *model*; return the list of diagnostics (empty when valid).
+@dataclass(frozen=True)
+class ConformanceDiagnostic:
+    """One structured conformance finding.
 
-    With ``strict_closure`` every element referenced by a cross-link must
-    itself be part of the model (reachable from a root), mirroring EMF's
-    single-resource assumption used throughout this reproduction.
+    ``path`` is the offending element's label, ``feature`` the attribute
+    or reference at fault (``None`` for element-level findings) and
+    ``message`` the historical human-readable line — exactly the string
+    the old list-of-strings API returned, so ``str(diagnostic)`` keeps
+    error texts stable.
     """
-    issues: list[str] = []
+
+    rule: str
+    path: str
+    feature: str | None
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+    def to_doc(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "feature": self.feature,
+            "message": self.message,
+        }
+
+
+def conformance_diagnostics(
+        model: Model, strict_closure: bool = True
+) -> list[ConformanceDiagnostic]:
+    """Validate *model*; return structured diagnostics (empty when
+    valid).
+
+    With ``strict_closure`` every element referenced by a cross-link
+    must itself be part of the model (reachable from a root), mirroring
+    EMF's single-resource assumption used throughout this reproduction.
+    """
+    diagnostics: list[ConformanceDiagnostic] = []
     elements = list(model)
     element_set = {id(element) for element in elements}
 
     for element in elements:
-        issues.extend(_check_required(element))
-        issues.extend(_check_abstract(element))
+        diagnostics.extend(_check_required(element))
+        diagnostics.extend(_check_abstract(element))
         if strict_closure:
-            issues.extend(_check_closure(element, element_set))
-    issues.extend(_check_containment(elements))
-    return issues
+            diagnostics.extend(_check_closure(element, element_set))
+    diagnostics.extend(_check_containment(elements))
+    return diagnostics
+
+
+def check_conformance(model: Model, strict_closure: bool = True) -> list[str]:
+    """String shim over :func:`conformance_diagnostics` (the historical
+    API): the list of human-readable messages, empty when valid."""
+    return [diagnostic.message
+            for diagnostic in conformance_diagnostics(model, strict_closure)]
 
 
 def assert_conformance(model: Model) -> None:
@@ -40,31 +95,38 @@ def assert_conformance(model: Model) -> None:
         raise ConformanceError("; ".join(issues))
 
 
-def _check_required(element: MObject) -> list[str]:
-    issues = []
+def _check_required(element: MObject) -> list[ConformanceDiagnostic]:
+    diagnostics = []
     for attr in element.meta.all_attributes().values():
         if attr.optional or attr.many:
             continue
         if not element.is_set(attr.name):
-            issues.append(
-                f"{element.label()}: required attribute {attr.name!r} unset")
+            diagnostics.append(ConformanceDiagnostic(
+                rule="KER001", path=element.label(), feature=attr.name,
+                message=f"{element.label()}: required attribute "
+                        f"{attr.name!r} unset"))
     for ref in element.meta.all_references().values():
         if ref.optional or ref.many:
             continue
         if not element.is_set(ref.name):
-            issues.append(
-                f"{element.label()}: required reference {ref.name!r} unset")
-    return issues
+            diagnostics.append(ConformanceDiagnostic(
+                rule="KER001", path=element.label(), feature=ref.name,
+                message=f"{element.label()}: required reference "
+                        f"{ref.name!r} unset"))
+    return diagnostics
 
 
-def _check_abstract(element: MObject) -> list[str]:
+def _check_abstract(element: MObject) -> list[ConformanceDiagnostic]:
     if element.meta.abstract:
-        return [f"{element.label()}: instance of abstract metaclass"]
+        return [ConformanceDiagnostic(
+            rule="KER002", path=element.label(), feature=None,
+            message=f"{element.label()}: instance of abstract metaclass")]
     return []
 
 
-def _check_closure(element: MObject, element_set: set[int]) -> list[str]:
-    issues = []
+def _check_closure(element: MObject,
+                   element_set: set[int]) -> list[ConformanceDiagnostic]:
+    diagnostics = []
     for ref in element.meta.all_references().values():
         value = element.get(ref.name)
         targets = value if isinstance(value, list) else [value]
@@ -72,23 +134,27 @@ def _check_closure(element: MObject, element_set: set[int]) -> list[str]:
             if target is None:
                 continue
             if id(target) not in element_set:
-                issues.append(
-                    f"{element.label()}.{ref.name} points outside the model "
-                    f"({target.label()})")
-    return issues
+                diagnostics.append(ConformanceDiagnostic(
+                    rule="KER003", path=element.label(), feature=ref.name,
+                    message=f"{element.label()}.{ref.name} points outside "
+                            f"the model ({target.label()})"))
+    return diagnostics
 
 
-def _check_containment(elements: list[MObject]) -> list[str]:
+def _check_containment(
+        elements: list[MObject]) -> list[ConformanceDiagnostic]:
     """Detect containment cycles by walking container chains."""
-    issues = []
+    diagnostics = []
     for element in elements:
         seen: set[int] = set()
         cursor = element
         while cursor is not None:
             if id(cursor) in seen:
-                issues.append(
-                    f"{element.label()}: containment cycle detected")
+                diagnostics.append(ConformanceDiagnostic(
+                    rule="KER004", path=element.label(), feature=None,
+                    message=f"{element.label()}: containment cycle "
+                            f"detected"))
                 break
             seen.add(id(cursor))
             cursor = cursor.container
-    return issues
+    return diagnostics

@@ -1,0 +1,95 @@
+"""``repro.lint`` — static analysis of concurrency models.
+
+The paper's pitch is that an explicit concurrency metalanguage lets
+tools reason about models *before* executing them; this package is
+that tooling layer. Rules run on loaded
+:class:`~repro.workbench.frontends.ModelHandle` objects without
+stepping the engine, and every ERROR-severity claim is
+*engine-confirmable*: :mod:`repro.lint.crosscheck` replays it against
+the dynamic semantics (the engine is the oracle that keeps the
+analyzer honest).
+
+Rule catalog
+============
+
+=========  =======  ====================================================
+ID         Severity  Meaning — and how the engine confirms it
+=========  =======  ====================================================
+``SDF001``  ERROR    Rate-inconsistent dataflow component (balance
+                     equations only admit the zero vector) — ``EF
+                     deadlock`` HOLDS on the projected component.
+``SDF002``  ERROR    Consistent graph admitting no periodic schedule
+                     (class-S construction fails with unbounded
+                     buffers) — ``EF deadlock`` HOLDS on the projected
+                     component.
+``SDF003``  ERROR    Statically-dead actor (an input place can never
+                     accumulate its pop rate) — ``AG
+                     !occurs(<agent>.start)`` HOLDS untruncated.
+``SDF004``  INFO     Repetition vector of a schedulable component — an
+                     ASAP run settles into a cycle firing an exact
+                     integer multiple of the vector.
+``SDF005``  WARN     Periodic schedule exists with unbounded buffers
+                     but not within declared capacities — no dynamic
+                     claim (the bounded greedy construction is
+                     incomplete under concurrent firing).
+``CCS001``  ERROR    Event forbidden by the conjunction of the
+                     stateless relational constraints — ``AG
+                     !occurs(<event>)`` HOLDS.
+``CCS002``  ERROR    Strict precedence cycle (an SCC none of whose
+                     events can fire first) — ``AG !occurs(<event>)``
+                     HOLDS for every event on the cycle.
+``CCS003``  WARN     Event bound to no constraint (free-running clock)
+                     — legal, no dynamic claim.
+``CCS004``  ERROR    Contradictory bounded-relation parameters (delay
+                     deeper than the precedence bound, clashing
+                     periodic filters, all-zero filter word) — ``AG
+                     !occurs(<event>)`` HOLDS for the strangled event.
+``MOC001``  WARN     Automaton state unreachable under *any*
+                     environment (exact bounded local walk).
+``MOC002``  WARN     Overlapping transition guards — nondeterminism
+                     resolved by declaration order; may be masked by
+                     other constraints globally.
+``DEP001``  ERROR    Agent with no processor allocation — ``deploy()``
+                     refuses the model (DeploymentError).
+``DEP002``  ERROR    Allocation naming an unknown agent or processor —
+                     ``deploy()`` refuses the model.
+``DEP003``  WARN     Processor hosting several agents (mutex
+                     serialization).
+``DEP004``  INFO     Cross-processor place subject to communication
+                     latency.
+``KER001``  ERROR    Required attribute or reference unset —
+                     ``assert_conformance`` raises.
+``KER002``  ERROR    Instance of an abstract metaclass — same.
+``KER003``  ERROR    Cross-reference outside the model closure — same.
+``KER004``  ERROR    Containment cycle — same.
+``ENC001``  WARN     Model not finitely encodable — compiling raises
+                     ``SymbolicEncodingError`` iff this fires (the
+                     :mod:`repro.engine.encodability` predictor;
+                     checked corpus-wide by the cross-check harness).
+=========  =======  ====================================================
+"""
+
+from repro.lint.core import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    RULES,
+    register_rule,
+    lint_handle,
+    rule_catalog,
+)
+from repro.lint.crosscheck import crosscheck_corpus, crosscheck_handle
+from repro.lint.sarif import sarif_doc
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "RULES",
+    "register_rule",
+    "lint_handle",
+    "rule_catalog",
+    "crosscheck_handle",
+    "crosscheck_corpus",
+    "sarif_doc",
+]

@@ -1,0 +1,37 @@
+"""The encodability predictor as a lint rule (``ENC001``).
+
+Wraps :func:`repro.engine.encodability.predict`: a model some
+constraint of which admits unboundedly many local states cannot be
+compiled by the symbolic backend (``SymbolicEncodingError``) and is
+flagged here at admission time. WARN, not ERROR — such models are
+legal and run fine under ``strategy="explicit"`` — but the claim is
+still engine-checked: the cross-check harness asserts the predictor
+agrees with the actual compile outcome on every corpus model.
+"""
+
+from __future__ import annotations
+
+from repro.engine.encodability import predict
+from repro.lint.core import Diagnostic, register_rule
+
+
+@register_rule(
+    "ENC001", severity="warning", requires="execution_model",
+    summary="model not finitely encodable: the symbolic backend would "
+            "raise SymbolicEncodingError",
+    confirm="compiling the model raises `SymbolicEncodingError` iff "
+            "this diagnostic fires (checked corpus-wide)")
+def rule_unencodable(handle):
+    model = handle.execution_model
+    report = predict(model)
+    if report.encodable:
+        return
+    blockers = report.blockers
+    yield Diagnostic(
+        rule="ENC001", severity="warning",
+        path=f"{model.name}.{{{', '.join(v.label for v in blockers)}}}",
+        message=f"model is not finitely encodable "
+                f"({report.reason}); use strategy='explicit' or bound "
+                f"the offending relation(s)",
+        data={"report": report.to_doc(),
+              "confirm": {"kind": "unencodable"}})

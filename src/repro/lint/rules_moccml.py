@@ -1,0 +1,139 @@
+"""MoCCML rules: unreachable automaton states, overlapping guards.
+
+Both rules run an *exact bounded local walk* per
+:class:`~repro.moccml.semantics.automata_rt.AutomatonRuntime` instance:
+a BFS over ``(state, variables)`` configurations via
+``snapshot``/``restore`` on a clone, presenting every subset of the
+instance's (small) local alphabet as a candidate step. The walk
+over-approximates what the instance sees inside the full model (global
+constraints can only *remove* steps), so states it never reaches are
+truly unreachable — but a reported guard overlap might not be
+triggerable globally, which is why both rules stay WARN severity.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Diagnostic, register_rule
+from repro.moccml.semantics.automata_rt import AutomatonRuntime
+from repro.moccml.semantics.runtime import CompositeRuntime
+
+#: local walks beyond these sizes are skipped (ENC001 covers runaway
+#: counters; 2**_MAX_LOCAL_ALPHABET step subsets are tried per config)
+_MAX_LOCAL_ALPHABET = 8
+_MAX_CONFIGS = 2048
+
+
+def automaton_instances(model) -> list[AutomatonRuntime]:
+    instances = []
+    queue = list(model.constraints)
+    while queue:
+        runtime = queue.pop(0)
+        if isinstance(runtime, CompositeRuntime):
+            queue.extend(runtime.children)
+        elif isinstance(runtime, AutomatonRuntime):
+            instances.append(runtime)
+    return instances
+
+
+def local_walk(runtime: AutomatonRuntime) -> dict | None:
+    """Exact reachability of one instance under arbitrary environment
+    steps; ``None`` when the instance is too big to walk exhaustively.
+
+    Returns ``{"states": reachable state names, "overlaps": {state:
+    [(step, [transition descriptions])]}}``.
+    """
+    alphabet = sorted(runtime.constrained_events)
+    if len(alphabet) > _MAX_LOCAL_ALPHABET:
+        return None
+    steps = []
+    for mask in range(1, 2 ** len(alphabet)):
+        steps.append(frozenset(
+            event for index, event in enumerate(alphabet)
+            if mask >> index & 1))
+
+    probe = runtime.clone()
+    initial = probe.snapshot()
+    seen = {initial}
+    queue = [initial]
+    states: set[str] = set()
+    overlaps: dict[str, dict] = {}
+    while queue:
+        config = queue.pop(0)
+        for step in steps:
+            probe.restore(config)
+            enabled = probe.enabled_transitions(step)
+            if not enabled:
+                continue
+            if len(enabled) > 1:
+                record = overlaps.setdefault(probe.current_state, {})
+                key = tuple(f"{t.source}->{t.target}" for t in enabled)
+                record.setdefault(key, sorted(step))
+            probe.advance(step)
+            successor = probe.snapshot()
+            if successor not in seen:
+                if len(seen) >= _MAX_CONFIGS:
+                    return None
+                seen.add(successor)
+                queue.append(successor)
+    for config in seen:
+        probe.restore(config)
+        states.add(probe.current_state)
+    return {
+        "states": states,
+        "overlaps": {
+            state: [(step, list(key)) for key, step in record.items()]
+            for state, record in overlaps.items()
+        },
+    }
+
+
+@register_rule(
+    "MOC001", severity="warning", requires="execution_model",
+    summary="automaton state unreachable under any environment",
+    confirm="none (the local walk over-approximates the environment, "
+            "so unreachability is already exact; WARN because dead "
+            "specification states are legal)")
+def rule_unreachable_states(handle):
+    model = handle.execution_model
+    for runtime in automaton_instances(model):
+        walk = local_walk(runtime)
+        if walk is None:
+            continue
+        unreachable = [name for name in runtime.definition.state_names()
+                       if name not in walk["states"]]
+        if not unreachable:
+            continue
+        yield Diagnostic(
+            rule="MOC001", severity="warning",
+            path=f"{model.name}.{runtime.label}",
+            message=f"automaton {runtime.label!r}: state(s) "
+                    f"{', '.join(unreachable)} are unreachable under "
+                    f"any environment",
+            data={"constraint": runtime.label, "states": unreachable})
+
+
+@register_rule(
+    "MOC002", severity="warning", requires="execution_model",
+    summary="overlapping transition guards (nondeterministic choice "
+            "resolved by declaration order)",
+    confirm="none (the overlap is exact locally but may be masked by "
+            "other constraints in the full model)")
+def rule_overlapping_guards(handle):
+    model = handle.execution_model
+    for runtime in automaton_instances(model):
+        walk = local_walk(runtime)
+        if walk is None:
+            continue
+        for state in sorted(walk["overlaps"]):
+            for step, transitions in walk["overlaps"][state]:
+                yield Diagnostic(
+                    rule="MOC002", severity="warning",
+                    path=f"{model.name}.{runtime.label}",
+                    message=f"automaton {runtime.label!r}: in state "
+                            f"{state!r} the step {{{', '.join(step)}}} "
+                            f"enables {len(transitions)} transitions "
+                            f"({', '.join(transitions)}); the first "
+                            f"declared wins",
+                    data={"constraint": runtime.label, "state": state,
+                          "step": list(step),
+                          "transitions": list(transitions)})

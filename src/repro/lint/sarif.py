@@ -1,0 +1,58 @@
+"""SARIF 2.1.0 rendering of lint reports (CI upload format).
+
+Models are not files, so findings carry *logical* locations (the
+diagnostic's element path) rather than physical ones — consumers like
+the GitHub code-scanning UI render them by fully qualified name.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import LintReport, rule_catalog
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def sarif_doc(reports: list[LintReport] | LintReport) -> dict:
+    """One SARIF run covering *reports* (a single report is wrapped)."""
+    if isinstance(reports, LintReport):
+        reports = [reports]
+    used = {d.rule for report in reports for d in report.diagnostics}
+    rules = [
+        {
+            "id": entry["rule"],
+            "shortDescription": {"text": entry["summary"]},
+            "defaultConfiguration": {
+                "level": _LEVELS[entry["severity"]]},
+            "properties": {"confirm": entry["confirm"]},
+        }
+        for entry in rule_catalog() if entry["rule"] in used
+    ]
+    results = [
+        {
+            "ruleId": diagnostic.rule,
+            "level": _LEVELS[diagnostic.severity],
+            "message": {"text": diagnostic.message},
+            "locations": [{
+                "logicalLocations": [{
+                    "fullyQualifiedName": diagnostic.path,
+                }],
+            }],
+            "properties": {"model": report.model,
+                           "frontend": report.frontend},
+        }
+        for report in reports for diagnostic in report.diagnostics
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://github.com/paper-repo-growth/repro",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }

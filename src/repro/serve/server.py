@@ -192,8 +192,10 @@ class AnalysisService:
         }
 
     def metrics_doc(self) -> dict:
+        from repro.engine.encodability import telemetry_snapshot
         doc = self.metrics.snapshot()
         doc["model_cache"] = self.cache.telemetry()
+        doc["encodability"] = telemetry_snapshot()
         if self.store is not None:
             doc["store"] = self.store.stats()
         return doc

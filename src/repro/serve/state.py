@@ -77,6 +77,7 @@ class CacheEntry:
     key: str
     handle: object
     compile_s: float
+    encodable: bool | None = None
     built_at: float = field(default_factory=time.time)
     last_used: float = field(default_factory=time.time)
     hits: int = 0
@@ -100,6 +101,7 @@ class CacheEntry:
             "age_s": round(time.time() - self.built_at, 3),
             "idle_s": round(time.time() - self.last_used, 3),
             "bdd_nodes": self.nodes(),
+            "encodable": self.encodable,
         }
 
 
@@ -188,14 +190,17 @@ class ModelCache:
         started = time.perf_counter()
         try:
             handle = self._loader(source_doc)
+            entry = CacheEntry(key=key, handle=handle,
+                               compile_s=time.perf_counter() - started,
+                               encodable=self._admission_verdict(handle))
         except BaseException as exc:
+            # any failure must wake single-flight waiters, or they
+            # block forever on an event nobody will ever set
             pending.error = exc
             with self._lock:
                 self._pending.pop(key, None)
             pending.event.set()
             raise
-        entry = CacheEntry(key=key, handle=handle,
-                           compile_s=time.perf_counter() - started)
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
@@ -207,6 +212,23 @@ class ModelCache:
         if self.metrics is not None:
             self.metrics.observe("compile_s", entry.compile_s)
         return entry
+
+    def _admission_verdict(self, handle) -> bool | None:
+        """Run the encodability predictor at admission time.
+
+        Every resident model gets a static encodable/unencodable
+        verdict up front, so the service knows — before any run lands —
+        which entries can ever take the symbolic path. ``None`` when
+        the loaded handle carries no execution model — or a stub
+        without constraints (injected test loaders)."""
+        model = getattr(handle, "execution_model", None)
+        if model is None or not hasattr(model, "constraints"):
+            return None
+        from repro.engine.encodability import predict
+        encodable = predict(model).encodable
+        self._count("model_predicted_encodable" if encodable
+                    else "model_predicted_unencodable")
+        return encodable
 
     # -- eviction ----------------------------------------------------------
 

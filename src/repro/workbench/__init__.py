@@ -24,7 +24,8 @@ Four pieces:
   :func:`register_policy`) naming every scheduling policy, priorities
   and replays included;
 * **artifacts** — declarative :class:`RunSpec` (``SimulateSpec``,
-  ``ExploreSpec``, ``CampaignSpec``, ``AnalyzeSpec``, ``CheckSpec``)
+  ``ExploreSpec``, ``CampaignSpec``, ``AnalyzeSpec``, ``CheckSpec``,
+  ``LintSpec``)
   and uniform :class:`RunResult` with canonical
   ``to_json()``/``from_json()`` round-trips for external tooling.
   ``CheckSpec`` carries a temporal property ("AG !deadlock",
@@ -91,6 +92,7 @@ from repro.workbench.artifacts import (
     CampaignSpec,
     CheckSpec,
     ExploreSpec,
+    LintSpec,
     RunResult,
     RunSpec,
     SimulateSpec,
@@ -105,5 +107,5 @@ __all__ = [
     "make_policy", "register_policy", "policy_names", "PolicyError",
     "RunSpec", "RunResult",
     "SimulateSpec", "ExploreSpec", "CampaignSpec", "AnalyzeSpec",
-    "CheckSpec",
+    "CheckSpec", "LintSpec",
 ]

@@ -24,7 +24,7 @@ from repro.errors import SerializationError
 from repro.workbench.policies import policy_doc
 
 #: The spec kinds, in presentation order.
-KINDS = ("simulate", "explore", "campaign", "analyze", "check")
+KINDS = ("simulate", "explore", "campaign", "analyze", "check", "lint")
 
 #: doc format version for both artifacts
 _FORMAT = 1
@@ -58,6 +58,9 @@ class RunSpec:
     relation_mode: str | None = None
     # -- check -------------------------------------------------------------
     prop: str | None = None
+    # -- lint --------------------------------------------------------------
+    #: restrict to specific rule IDs (``None`` runs every applicable rule)
+    rules: list[str] | None = None
     # -- campaign ----------------------------------------------------------
     watch: list[str] | None = None
     policies: list | None = None
@@ -109,6 +112,9 @@ class RunSpec:
                 doc["strategy"] = self.strategy
             if self.relation_mode is not None:
                 doc["relation_mode"] = self.relation_mode
+        elif self.kind == "lint":
+            if self.rules is not None:
+                doc["rules"] = list(self.rules)
         elif self.kind == "campaign":
             doc["steps"] = self.steps
             if self.watch is not None:
@@ -131,7 +137,7 @@ class RunSpec:
             raise SerializationError("a run spec document needs a 'model'")
         known = {"format", "kind", "model", "label", "policy", "steps",
                  "max_states", "max_depth", "include_empty", "maximal_only",
-                 "strategy", "relation_mode", "property", "watch",
+                 "strategy", "relation_mode", "property", "rules", "watch",
                  "policies", "options"}
         unknown = set(doc) - known
         if unknown:
@@ -151,6 +157,8 @@ class RunSpec:
                              else "explicit"),
             relation_mode=doc.get("relation_mode"),
             prop=doc.get("property"),
+            rules=(list(doc["rules"]) if doc.get("rules") is not None
+                   else None),
             watch=(list(doc["watch"]) if doc.get("watch") is not None
                    else None),
             policies=(list(doc["policies"])
@@ -207,6 +215,21 @@ def AnalyzeSpec(model: str, label: str | None = None, **options) -> RunSpec:
     """A static-analysis spec (SDF theory: repetition vector, PASS)."""
     return RunSpec(kind="analyze", model=model, label=label,
                    options=options)
+
+
+def LintSpec(model: str, rules: list[str] | None = None,
+             label: str | None = None, **options) -> RunSpec:
+    """A static-analysis (lint) spec.
+
+    Runs every applicable :mod:`repro.lint` rule on the loaded handle
+    — no engine stepping — and returns the
+    :class:`~repro.lint.LintReport` document (``ok``, per-severity
+    counts, diagnostics with stable rule IDs). *rules* restricts to
+    specific rule IDs.
+    """
+    return RunSpec(kind="lint", model=model,
+                   rules=list(rules) if rules is not None else None,
+                   label=label, options=options)
 
 
 def CheckSpec(model: str, prop: str, strategy: str = "auto",
@@ -302,6 +325,13 @@ class RunResult:
                     f"{' (truncated)' if summary.get('truncated') else ''}")
         if self.kind == "campaign":
             return f"{head} {len(data['rows'])} policy row(s)"
+        if self.kind == "lint":
+            counts = data["counts"]
+            return (f"{head} {'clean' if data['ok'] else 'ERRORS'} "
+                    f"({counts['error']} error(s), "
+                    f"{counts['warning']} warning(s), "
+                    f"{counts['info']} info) over {data['rules_run']} "
+                    f"rule(s)")
         if self.kind == "check":
             tail = ""
             if data.get("witness_kind"):

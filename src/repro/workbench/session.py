@@ -80,6 +80,7 @@ from repro.workbench.artifacts import (
     CampaignSpec,
     CheckSpec,
     ExploreSpec,
+    LintSpec,
     RunResult,
     RunSpec,
     SimulateSpec,
@@ -204,12 +205,19 @@ def _execute_analyze(spec: RunSpec, handle: ModelHandle) -> dict:
     return data
 
 
+def _execute_lint(spec: RunSpec, handle: ModelHandle) -> dict:
+    from repro.lint import lint_handle
+    rules = tuple(spec.rules) if spec.rules is not None else None
+    return lint_handle(handle, rules=rules).to_doc()
+
+
 _EXECUTORS = {
     "simulate": _execute_simulate,
     "explore": _execute_explore,
     "campaign": _execute_campaign,
     "analyze": _execute_analyze,
     "check": _execute_check,
+    "lint": _execute_lint,
 }
 
 
@@ -329,6 +337,10 @@ class Workbench:
               **options) -> RunResult:
         return self.run(CheckSpec(model, prop, strategy=strategy,
                                   **options))
+
+    def lint(self, model: str, rules: list[str] | None = None,
+             **options) -> RunResult:
+        return self.run(LintSpec(model, rules=rules, **options))
 
     def run_many(self, specs: Iterable[RunSpec | dict | str],
                  workers: int = 1,

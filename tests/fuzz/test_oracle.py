@@ -5,9 +5,10 @@ from repro.fuzz import FuzzCase, build_case, check_case, replay_document
 from repro.fuzz.oracle import ORACLE_CONFIGS
 
 #: a generated case whose explicit exploration truncates — the kind of
-#: case the truncation-soundness rule exists for (build_case(11, 0) is
-#: deterministic: same structure, properties and budget forever)
-BUGGY_SEED, BUGGY_INDEX = 11, 0
+#: case the truncation-soundness rule exists for (build_case(11, 10) is
+#: deterministic for a fixed rng GENERATION: same structure, properties
+#: and budget forever; re-pin when GENERATION bumps)
+BUGGY_SEED, BUGGY_INDEX = 11, 10
 
 
 def _simple_case(max_states=2500, properties=("EF deadlock",)):
@@ -122,3 +123,59 @@ def test_unreplayable_witness_is_a_witness_failure(monkeypatch):
     assert not outcome.ok
     kinds = {failure.kind for failure in outcome.failures}
     assert "witness" in kinds
+
+
+def test_generated_cases_are_lint_clean():
+    """build_case redraws until the static analyzer accepts, so every
+    emitted model is ERROR-free across all five front-end lanes."""
+    from repro.lint import lint_handle
+
+    for index in range(5):  # one case per front-end lane
+        _case, handle = build_case(20260808, index)
+        report = lint_handle(handle)
+        assert report.errors == [], [d.message for d in report.errors]
+
+
+def test_defective_structure_is_a_static_failure():
+    """A hand-built rate-inconsistent model (the kind build_case can no
+    longer emit) trips the phase-0 static oracle."""
+    case = FuzzCase(
+        seed=0,
+        index=0,
+        frontend="sigpml",
+        structure={
+            "name": "statically_bad",
+            "agents": [["a0", 0], ["a1", 0]],
+            "places": [["a0", "a1", 2, 1, 4, 0],
+                       ["a0", "a1", 1, 1, 4, 0]],
+        },
+        properties=[],
+        max_states=300,
+    )
+    outcome = check_case(case)
+    static = [f for f in outcome.failures if f.kind == "static"]
+    assert static, [f.detail for f in outcome.failures]
+    assert "SDF001" in static[0].detail
+    # the repro document leads with a lint run, then the explorations
+    runs = static[0].repro["runs"]
+    assert runs[0]["kind"] == "lint"
+    assert len(runs) == 1 + len(ORACLE_CONFIGS)
+
+
+def test_lying_predictor_is_a_static_failure(monkeypatch):
+    import repro.engine.encodability as encodability
+
+    real_predict = encodability.predict
+
+    def lying(model, **kwargs):
+        report = real_predict(model, **kwargs)
+        report.encodable = not report.encodable
+        for verdict in report.verdicts:
+            verdict.encodable = not verdict.encodable
+        return report
+
+    monkeypatch.setattr(encodability, "predict", lying)
+    outcome = check_case(_simple_case())
+    static = [f for f in outcome.failures if f.kind == "static"]
+    assert static, [f.detail for f in outcome.failures]
+    assert "predictor" in static[0].detail

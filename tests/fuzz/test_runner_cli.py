@@ -8,6 +8,7 @@ import repro.engine.ctl as ctl
 from repro.cli import main
 from repro.fuzz import run_round
 from repro.fuzz.runner import replay_document
+from tests.fuzz.test_oracle import BUGGY_INDEX, BUGGY_SEED
 
 
 def test_run_round_needs_a_stopping_rule():
@@ -67,7 +68,8 @@ def test_cli_fuzz_round_and_replay(tmp_path, monkeypatch, capsys):
     _break_truncation_guard(monkeypatch)
     out = tmp_path / "artifacts"
     code = main([
-        "fuzz", "--seed", "11", "--cases", "2", "--minimize",
+        "fuzz", "--seed", str(BUGGY_SEED),
+        "--cases", str(BUGGY_INDEX + 1), "--minimize",
         "--out", str(out), "--json",
     ])
     assert code == 1

@@ -1,0 +1,45 @@
+"""Shared fixtures: one loaded handle per defect the analyzer targets."""
+
+import pytest
+
+from repro.workbench import CcslSpec, load
+
+CLEAN_CHAIN = """
+application chain {
+  agent src
+  agent dst
+  place src -> dst push 1 pop 1 capacity 2
+}
+"""
+
+#: two places between the same agents with clashing rates: no positive
+#: repetition vector exists
+INCONSISTENT = """
+application skewed {
+  agent a
+  agent b
+  place a -> b push 2 pop 1 capacity 4
+  place a -> b push 1 pop 1 capacity 4
+}
+"""
+
+#: consistent rates, but the cycle starts empty: no first firing exists
+STARVED_CYCLE = """
+application starved {
+  agent a
+  agent b
+  place a -> b push 1 pop 1 capacity 2
+  place b -> a push 1 pop 1 capacity 2
+}
+"""
+
+
+@pytest.fixture()
+def clean_chain():
+    return load(CLEAN_CHAIN)
+
+
+@pytest.fixture()
+def alternating_pair():
+    return load(CcslSpec(name="pair", events=["a", "b"],
+                         constraints=[("Alternates", ("a", "b"))]))

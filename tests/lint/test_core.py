@@ -1,0 +1,98 @@
+"""Diagnostics core: registry integrity, report round-trips, filtering."""
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    Diagnostic,
+    LintError,
+    LintReport,
+    lint_handle,
+    rule_catalog,
+)
+from repro.lint.core import SEVERITIES, _ensure_rules_loaded
+
+EXPECTED_RULES = {
+    "SDF001", "SDF002", "SDF003", "SDF004", "SDF005",
+    "CCS001", "CCS002", "CCS003", "CCS004",
+    "MOC001", "MOC002",
+    "DEP001", "DEP002", "DEP003", "DEP004",
+    "KER001", "KER002", "KER003", "KER004",
+    "ENC001",
+}
+
+
+class TestRegistry:
+    def test_full_catalog_is_registered(self):
+        _ensure_rules_loaded()
+        assert set(RULES) == EXPECTED_RULES
+
+    def test_catalog_entries_are_complete(self):
+        for entry in rule_catalog():
+            assert entry["rule"] in EXPECTED_RULES
+            assert entry["severity"] in SEVERITIES
+            assert entry["requires"]
+            assert entry["summary"]
+            assert entry["confirm"]
+
+    def test_every_error_rule_has_a_confirmation_story(self):
+        _ensure_rules_loaded()
+        for rule in RULES.values():
+            if rule.severity == "error":
+                assert rule.confirm != "none", rule.rule_id
+
+
+class TestDiagnostic:
+    def test_roundtrip(self):
+        diagnostic = Diagnostic(rule="SDF001", severity="error",
+                                path="m.a", message="boom",
+                                data={"agents": ["a"]})
+        assert Diagnostic.from_doc(diagnostic.to_doc()) == diagnostic
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(LintError):
+            Diagnostic(rule="X", severity="fatal", path="p", message="m")
+
+
+class TestLintHandle:
+    def test_clean_model_report(self, clean_chain):
+        report = lint_handle(clean_chain)
+        assert report.ok
+        assert report.errors == []
+        assert report.rules_run > 0
+        # the repetition vector is surfaced as an info finding
+        assert any(d.rule == "SDF004" for d in report.diagnostics)
+
+    def test_rule_filter(self, clean_chain):
+        report = lint_handle(clean_chain, rules=("SDF004",))
+        assert report.rules_run == 1
+        assert {d.rule for d in report.diagnostics} <= {"SDF004"}
+
+    def test_unknown_rule_filter_rejected(self, clean_chain):
+        with pytest.raises(LintError, match="NOPE01"):
+            lint_handle(clean_chain, rules=("NOPE01",))
+
+    def test_output_is_deterministic(self, clean_chain):
+        first = lint_handle(clean_chain).to_doc()
+        second = lint_handle(clean_chain).to_doc()
+        assert first == second
+
+    def test_report_roundtrip(self, clean_chain):
+        report = lint_handle(clean_chain)
+        doc = report.to_doc()
+        back = LintReport.from_doc(doc)
+        assert back.to_doc() == doc
+        assert back.ok == report.ok
+
+
+class TestReportCounts:
+    def test_counts_by_severity(self):
+        report = LintReport(model="m", frontend="f", diagnostics=[
+            Diagnostic(rule="A", severity="error", path="p", message="1"),
+            Diagnostic(rule="B", severity="warning", path="p", message="2"),
+            Diagnostic(rule="C", severity="warning", path="p", message="3"),
+        ])
+        doc = report.to_doc()
+        assert doc["counts"] == {"error": 1, "warning": 2, "info": 0}
+        assert not doc["ok"]
+        assert not report.ok

@@ -1,0 +1,121 @@
+"""CCSL rules: stateless contradictions, strict cycles, parameters."""
+
+from repro.lint import lint_handle
+from repro.lint.rules_ccsl import precedence_edges
+from repro.workbench import CcslSpec, load
+
+
+def rules_of(handle, rule):
+    return [d for d in lint_handle(handle).diagnostics if d.rule == rule]
+
+
+def ccsl(name, events, constraints):
+    return load(CcslSpec(name=name, events=events,
+                         constraints=constraints))
+
+
+class TestStatelessContradiction:
+    def test_coincides_plus_excludes_kills_both(self):
+        handle = ccsl("contra", ["x", "y"], [
+            ("Coincides", ("x", "y")),
+            ("Excludes", ("x", "y")),
+        ])
+        findings = rules_of(handle, "CCS001")
+        assert {d.data["event"] for d in findings} == {"x", "y"}
+        for finding in findings:
+            assert finding.data["confirm"]["kind"] == "dead-event"
+
+    def test_plain_coincides_is_clean(self):
+        handle = ccsl("coinc", ["x", "y"], [("Coincides", ("x", "y"))])
+        assert rules_of(handle, "CCS001") == []
+
+
+class TestPrecedenceCycle:
+    def test_alternates_cycle_kills_every_member(self):
+        handle = ccsl("cycle", ["a", "b"], [
+            ("Alternates", ("a", "b")),
+            ("Alternates", ("b", "a")),
+        ])
+        findings = rules_of(handle, "CCS002")
+        assert {d.data["event"] for d in findings} == {"a", "b"}
+        assert all(d.data["cycle"] == ["a", "b"] for d in findings)
+
+    def test_pure_causes_cycle_is_legal(self):
+        # Causes edges are weak: simultaneous firing satisfies them
+        handle = ccsl("weak", ["a", "b"], [
+            ("Causes", ("a", "b")),
+            ("Causes", ("b", "a")),
+        ])
+        assert rules_of(handle, "CCS002") == []
+
+    def test_chain_without_cycle_is_clean(self):
+        handle = ccsl("chain", ["a", "b", "c"], [
+            ("Alternates", ("a", "b")),
+            ("Alternates", ("b", "c")),
+        ])
+        assert rules_of(handle, "CCS002") == []
+
+    def test_edge_extraction(self):
+        handle = ccsl("edges", ["a", "b", "c"], [
+            ("Alternates", ("a", "b")),
+            ("Causes", ("b", "c")),
+        ])
+        edges = precedence_edges(handle.execution_model)
+        strictness = {(c, e): strict for c, e, strict, _ in edges}
+        assert strictness[("a", "b")] is True
+        assert strictness[("b", "c")] is False
+
+
+class TestUnconstrainedEvents:
+    def test_free_clock_warns(self):
+        handle = ccsl("free", ["a", "b", "ghost"],
+                      [("Alternates", ("a", "b"))])
+        [finding] = rules_of(handle, "CCS003")
+        assert finding.severity == "warning"
+        assert finding.data["event"] == "ghost"
+
+    def test_sigpml_models_are_exempt(self, clean_chain):
+        # every SigPML event is woven into constraints anyway, but the
+        # rule is scoped to ccsl/moccml front-ends outright
+        assert rules_of(clean_chain, "CCS003") == []
+
+
+class TestParameterContradictions:
+    def test_delay_deeper_than_bound(self):
+        handle = ccsl("stuck", ["b", "d"], [
+            ("DelayedFor", ("d", "b", 3)),
+            ("BoundedPrecedes", ("b", "d", 1)),
+        ])
+        findings = rules_of(handle, "CCS004")
+        assert any(d.data["event"] == "d" for d in findings)
+
+    def test_delay_within_bound_is_clean(self):
+        handle = ccsl("fits", ["b", "d"], [
+            ("DelayedFor", ("d", "b", 1)),
+            ("BoundedPrecedes", ("b", "d", 2)),
+        ])
+        assert rules_of(handle, "CCS004") == []
+
+    def test_clashing_periodic_filters(self):
+        handle = ccsl("clash", ["base", "f"], [
+            ("PeriodicOn", ("f", "base", 2, 0)),
+            ("PeriodicOn", ("f", "base", 2, 1)),
+        ])
+        findings = rules_of(handle, "CCS004")
+        assert any(d.data["event"] == "f" for d in findings)
+
+    def test_compatible_periodic_filters_are_clean(self):
+        handle = ccsl("compat", ["base", "f"], [
+            ("PeriodicOn", ("f", "base", 2, 1)),
+            ("PeriodicOn", ("f", "base", 4, 1)),
+        ])
+        assert rules_of(handle, "CCS004") == []
+
+    def test_all_zero_filter_word(self):
+        # FilterBy(filtered, base, prefix_bits, prefix_len,
+        #          period_bits, period_len): word 0(0)^ω keeps nothing
+        handle = ccsl("zero", ["base", "f"], [
+            ("FilterBy", ("f", "base", 0, 1, 0, 1)),
+        ])
+        findings = rules_of(handle, "CCS004")
+        assert any(d.data["event"] == "f" for d in findings)

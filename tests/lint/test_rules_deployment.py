@@ -1,0 +1,87 @@
+"""Deployment rules: allocation pre-checks, platform pressure findings."""
+
+from repro.deployment import parse_platform
+from repro.deployment.allocation import Allocation
+from repro.lint import lint_handle
+from repro.lint.rules_deployment import allocation_diagnostics
+from repro.workbench import DeploymentSpec, load
+
+APPLICATION = """
+application pipeline {
+  agent src
+  agent dst
+  place src -> dst push 1 pop 1 capacity 2
+}
+"""
+
+PLATFORM = """
+platform board {
+  processor cpu
+  processor dsp
+  link cpu <-> dsp latency 2
+}
+"""
+
+
+def platform():
+    return parse_platform(PLATFORM)
+
+
+def app():
+    return load(APPLICATION).application
+
+
+class TestAllocationDiagnostics:
+    """DEP001/DEP002 fire pre-deploy: ``deploy()`` refuses these
+    allocations outright, so the rules are exercised through
+    :func:`allocation_diagnostics` on candidate triples."""
+
+    def test_total_allocation_is_clean(self):
+        allocation = Allocation({"src": "cpu", "dst": "dsp"})
+        assert allocation_diagnostics(app(), platform(), allocation) == []
+
+    def test_missing_agent_is_dep001(self):
+        allocation = Allocation({"src": "cpu"})
+        [finding] = allocation_diagnostics(app(), platform(), allocation)
+        assert finding.rule == "DEP001"
+        assert finding.data["agent"] == "dst"
+        assert finding.data["confirm"] == {"kind": "deploy-error"}
+
+    def test_unknown_agent_is_dep002(self):
+        allocation = Allocation({"src": "cpu", "dst": "dsp",
+                                 "ghost": "cpu"})
+        [finding] = allocation_diagnostics(app(), platform(), allocation)
+        assert finding.rule == "DEP002"
+        assert "ghost" in finding.message
+
+    def test_unknown_processor_is_dep002(self):
+        allocation = Allocation({"src": "cpu", "dst": "gpu"})
+        [finding] = allocation_diagnostics(app(), platform(), allocation)
+        assert finding.rule == "DEP002"
+        assert finding.data["processor"] == "gpu"
+
+
+class TestWovenFindings:
+    def test_shared_processor_is_dep003(self):
+        handle = load(DeploymentSpec(
+            application=APPLICATION,
+            deployment="platform solo {\n  processor cpu\n}\n"
+                       "allocation {\n  src, dst -> cpu\n}\n"))
+        report = lint_handle(handle)
+        [finding] = [d for d in report.diagnostics if d.rule == "DEP003"]
+        assert finding.severity == "warning"
+        assert finding.data["agents"] == ["src", "dst"]
+        # loaded handles are never DEP001/DEP002: deploy() enforces it
+        assert not any(d.rule in ("DEP001", "DEP002")
+                       for d in report.diagnostics)
+
+    def test_cross_processor_place_is_dep004(self):
+        handle = load(DeploymentSpec(
+            application=APPLICATION,
+            deployment=PLATFORM
+            + "allocation {\n  src -> cpu\n  dst -> dsp\n}\n"))
+        report = lint_handle(handle)
+        [finding] = [d for d in report.diagnostics if d.rule == "DEP004"]
+        assert finding.severity == "info"
+        assert finding.data["latency"] == 2
+        assert not any(d.rule == "DEP003" for d in report.diagnostics)

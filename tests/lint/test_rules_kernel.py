@@ -1,0 +1,83 @@
+"""KER rules: structured conformance diagnostics surfaced by lint."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.kernel import Model, check_conformance
+from repro.kernel.validation import (
+    ConformanceDiagnostic,
+    conformance_diagnostics,
+)
+from repro.lint import lint_handle
+from tests.kernel.test_metamodel import build_library_metamodel
+
+
+@pytest.fixture()
+def mm():
+    return build_library_metamodel()
+
+
+def kernel_handle(model, name="kmodel"):
+    """A minimal handle exposing only a source model: every rule except
+    the KER family skips it."""
+    return SimpleNamespace(name=name, frontend="kernel",
+                           source_model=model, application=None,
+                           execution_model=None, deployment=None,
+                           source_doc=None)
+
+
+class TestConformanceDiagnostics:
+    def test_valid_model_is_clean(self, mm):
+        model = Model(mm, "lib")
+        model.create("Book", name="SICP", pages=657)
+        assert conformance_diagnostics(model) == []
+
+    def test_unset_required_attribute_is_ker001(self, mm):
+        model = Model(mm)
+        model.create("Book", pages=3)  # name unset
+        [finding] = conformance_diagnostics(model)
+        assert finding.rule == "KER001"
+        assert finding.feature == "name"
+        assert "required attribute" in finding.message
+
+    def test_stray_reference_is_ker003(self, mm):
+        model = Model(mm)
+        reader = model.create("Reader", name="ada")
+        stray = mm.instantiate("Book", name="stray", pages=1)
+        reader.add("borrowed", stray)  # never added to the model
+        findings = conformance_diagnostics(model)
+        assert any(f.rule == "KER003" and f.feature == "borrowed"
+                   for f in findings)
+
+    def test_string_shim_matches_structured_messages(self, mm):
+        model = Model(mm)
+        model.create("Book", pages=3)
+        structured = conformance_diagnostics(model)
+        assert check_conformance(model) == [f.message for f in structured]
+        assert [str(f) for f in structured] == [f.message
+                                                for f in structured]
+
+    def test_doc_shape(self):
+        finding = ConformanceDiagnostic(rule="KER001", path="Book:?",
+                                        feature="name", message="m")
+        assert finding.to_doc() == {"rule": "KER001", "path": "Book:?",
+                                    "feature": "name", "message": "m"}
+
+
+class TestKernelLintRules:
+    def test_ker001_surfaces_through_lint(self, mm):
+        model = Model(mm)
+        model.create("Book", pages=3)
+        report = lint_handle(kernel_handle(model))
+        [finding] = report.errors
+        assert finding.rule == "KER001"
+        assert finding.data["feature"] == "name"
+        assert finding.data["confirm"] == {"kind": "conformance"}
+
+    def test_clean_model_runs_only_kernel_rules(self, mm):
+        model = Model(mm, "lib")
+        model.create("Book", name="SICP", pages=657)
+        report = lint_handle(kernel_handle(model))
+        assert report.ok
+        assert report.rules_run == 4  # KER001-KER004, nothing else

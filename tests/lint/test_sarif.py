@@ -1,0 +1,46 @@
+"""SARIF rendering: valid 2.1.0 shape, levels, logical locations."""
+
+import json
+
+from repro.lint import lint_handle, sarif_doc
+from repro.workbench import load
+from tests.lint.conftest import INCONSISTENT
+
+
+class TestSarifDoc:
+    def test_single_report_is_wrapped(self, clean_chain):
+        doc = sarif_doc(lint_handle(clean_chain))
+        assert doc["version"] == "2.1.0"
+        assert len(doc["runs"]) == 1
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_error_maps_to_error_level(self):
+        report = lint_handle(load(INCONSISTENT))
+        doc = sarif_doc([report])
+        results = doc["runs"][0]["results"]
+        sdf001 = [r for r in results if r["ruleId"] == "SDF001"]
+        assert sdf001 and all(r["level"] == "error" for r in sdf001)
+
+    def test_info_maps_to_note_level(self, clean_chain):
+        results = sarif_doc(lint_handle(clean_chain))["runs"][0]["results"]
+        notes = [r for r in results if r["ruleId"] == "SDF004"]
+        assert notes and all(r["level"] == "note" for r in notes)
+
+    def test_only_used_rules_are_declared(self, clean_chain):
+        report = lint_handle(clean_chain)
+        doc = sarif_doc(report)
+        declared = {r["id"] for r in
+                    doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert declared == {d.rule for d in report.diagnostics}
+
+    def test_locations_are_logical(self, clean_chain):
+        report = lint_handle(clean_chain)
+        for result in sarif_doc(report)["runs"][0]["results"]:
+            [location] = result["locations"]
+            [logical] = location["logicalLocations"]
+            assert logical["fullyQualifiedName"]
+            assert result["properties"]["model"] == report.model
+
+    def test_doc_is_json_serializable(self, clean_chain):
+        doc = sarif_doc(lint_handle(clean_chain))
+        assert json.loads(json.dumps(doc)) == doc

@@ -1,0 +1,130 @@
+"""LintSpec through the workbench, the store, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.farm import ArtifactStore
+from repro.workbench import LintSpec, RunSpec, Workbench
+from tests.lint.conftest import CLEAN_CHAIN, INCONSISTENT
+
+
+@pytest.fixture()
+def chain_path(tmp_path):
+    path = tmp_path / "chain.sigpml"
+    path.write_text(CLEAN_CHAIN)
+    return str(path)
+
+
+@pytest.fixture()
+def skewed_path(tmp_path):
+    path = tmp_path / "skewed.sigpml"
+    path.write_text(INCONSISTENT)
+    return str(path)
+
+
+class TestLintSpec:
+    def test_roundtrip(self):
+        spec = LintSpec("m", rules=("SDF001", "SDF004"), label="lab")
+        doc = spec.to_doc()
+        assert doc["kind"] == "lint"
+        assert doc["rules"] == ["SDF001", "SDF004"]
+        assert RunSpec.from_doc(doc) == spec
+
+    def test_rules_default_to_all(self):
+        spec = LintSpec("m")
+        doc = spec.to_doc()
+        assert "rules" not in doc
+        assert RunSpec.from_doc(doc).rules is None
+
+
+class TestWorkbenchLint:
+    def test_lint_clean_model(self):
+        workbench = Workbench()
+        workbench.add(CLEAN_CHAIN, name="m")
+        result = workbench.lint("m")
+        assert result.ok
+        assert result.data["ok"] is True
+        assert "clean" in result.summary()
+
+    def test_lint_defective_model(self):
+        workbench = Workbench()
+        workbench.add(INCONSISTENT, name="m")
+        result = workbench.lint("m")
+        assert result.ok  # the run succeeded; the model is dirty
+        assert result.data["ok"] is False
+        assert any(d["rule"] == "SDF001"
+                   for d in result.data["diagnostics"])
+        assert "ERRORS" in result.summary()
+
+    def test_rule_filter_propagates(self):
+        workbench = Workbench()
+        workbench.add(CLEAN_CHAIN, name="m")
+        result = workbench.lint("m", rules=("SDF004",))
+        assert result.data["rules_run"] == 1
+
+    def test_unknown_rule_errors_the_run(self):
+        workbench = Workbench()
+        workbench.add(CLEAN_CHAIN, name="m")
+        result = workbench.run(LintSpec("m", rules=("NOPE01",)))
+        assert not result.ok
+        assert "NOPE01" in (result.error or "")
+
+    def test_store_caches_lint_runs(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for _ in range(2):
+            workbench = Workbench(store=store)
+            workbench.add(CLEAN_CHAIN, name="m")
+            result = workbench.run(LintSpec("m"))
+            assert result.ok
+        stats = store.stats()
+        assert stats["session"]["hits"] >= 1
+
+
+class TestCliLint:
+    def test_text_output_clean(self, chain_path, capsys):
+        assert main(["lint", chain_path]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "SDF004" in out
+
+    def test_text_output_errors_exit_nonzero(self, skewed_path, capsys):
+        assert main(["lint", skewed_path]) == 1
+        out = capsys.readouterr().out
+        assert "ERRORS" in out
+        assert "SDF001" in out
+
+    def test_json_output(self, chain_path, capsys):
+        assert main(["lint", chain_path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["data"]["ok"] is True
+
+    def test_sarif_output(self, skewed_path, capsys):
+        assert main(["lint", skewed_path, "--sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert any(r["ruleId"] == "SDF001"
+                   for r in doc["runs"][0]["results"])
+
+    def test_rule_filter_flag(self, chain_path, capsys):
+        assert main(["lint", chain_path, "--rule", "SDF004",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["data"]["rules_run"] == 1
+
+
+class TestSelftestLintPhase:
+    def test_selftest_reports_static_analysis(self, capsys):
+        assert main(["selftest", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["lint"]["agree"] is True
+        assert doc["lint"]["errors_caught"] >= 1
+        assert doc["lint"]["mismatches"] == []
+
+
+def test_lint_spec_is_exported():
+    import repro.workbench as wb
+
+    assert wb.LintSpec is LintSpec
