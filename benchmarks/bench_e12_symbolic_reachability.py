@@ -12,6 +12,7 @@ the strategy comparison on a graph both strategies can materialize.
 
 import pytest
 
+from repro import obs
 from repro.engine import explore, symbolic_variable_bounds
 from repro.engine.equivalence import assert_equivalent
 from repro.engine.symbolic import symbolic_reachable
@@ -95,7 +96,7 @@ def bench_fixpoint_chain_scaling(benchmark, length):
 
     reachable = benchmark.pedantic(fixpoint, rounds=1, iterations=1)
     assert reachable.count() == 3 ** (length - 1)
-    benchmark.extra_info["engine"] = reachable.system.telemetry()
+    benchmark.extra_info["engine"] = obs.engine_snapshot(reachable)
 
 
 @pytest.mark.benchmark(group="e12-fixpoint")
@@ -108,7 +109,7 @@ def bench_fixpoint_mesh(benchmark):
 
     reachable = benchmark.pedantic(fixpoint, rounds=1, iterations=1)
     assert not reachable.truncated
-    benchmark.extra_info["engine"] = reachable.system.telemetry()
+    benchmark.extra_info["engine"] = obs.engine_snapshot(reachable)
 
 
 @pytest.mark.benchmark(group="e12-strategies")

@@ -16,6 +16,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.engine import explore
 from repro.engine.ctl import check, check_space
 from repro.engine.properties import Verdict
@@ -91,8 +92,7 @@ def bench_symbolic_ctl_chain12(benchmark, prop):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.verdict is Verdict.HOLDS
-    benchmark.extra_info["engine"] = \
-        model.kernel.transition_system(model).telemetry()
+    benchmark.extra_info["engine"] = obs.engine_snapshot(model)
 
 
 @pytest.mark.benchmark(group="e13-ctl")

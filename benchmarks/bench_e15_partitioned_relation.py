@@ -26,6 +26,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.engine.symbolic import TransitionSystem, symbolic_reachable
 from repro.sdf import SdfBuilder, weave_sdf
 
@@ -138,7 +139,7 @@ def bench_torus_fixpoint_mode(benchmark, mode):
 
     system, reached = benchmark.pedantic(fixpoint, rounds=1, iterations=1)
     assert reached.count() == 140
-    benchmark.extra_info["engine"] = system.telemetry()
+    benchmark.extra_info["engine"] = obs.engine_snapshot(system)
 
 
 @pytest.mark.benchmark(group="e15-scaling")
@@ -156,4 +157,4 @@ def bench_torus_scaling_partitioned(benchmark, size):
 
     system, reached = benchmark.pedantic(fixpoint, rounds=1, iterations=1)
     assert not reached.truncated
-    benchmark.extra_info["engine"] = system.telemetry()
+    benchmark.extra_info["engine"] = obs.engine_snapshot(system)

@@ -34,6 +34,7 @@ REQUIRED_FILES = (
     "bench_e15_partitioned_relation.py",
     "bench_e16_serve.py",
     "bench_e17_lint.py",
+    "bench_e18_obs.py",
 )
 
 

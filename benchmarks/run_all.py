@@ -89,10 +89,11 @@ def run_one(bench_file: Path, smoke: bool, timeout: int) -> dict:
                 "rounds": stats.get("rounds"),
             }
             # engine observability: benches that compile a symbolic
-            # system attach its telemetry() — BDD node counts, reorder
-            # count, image iterations, cache hit rates — via
-            # pytest-benchmark's extra_info, making perf regressions
-            # attributable (was it node growth? a cache going cold?)
+            # system attach repro.obs.engine_snapshot(...) — BDD node
+            # counts, reorder count, image iterations, cache hit rates
+            # — via pytest-benchmark's extra_info, making perf
+            # regressions attributable (was it node growth? a cache
+            # going cold?). One snapshot API across CLI, benches, tests.
             extra = bench.get("extra_info") or {}
             if extra.get("engine"):
                 entry["engine"] = extra["engine"]

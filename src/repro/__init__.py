@@ -55,6 +55,9 @@ Layers (Fig. 1 of the paper):
   seeded well-formed models for all five front-ends, generated CTL
   properties, every backend configuration cross-checked (``repro
   fuzz``; a bounded deterministic round gates every PR in CI);
+* :mod:`repro.obs` — the observability layer: nested thread-aware
+  tracing spans over every engine phase, the shared metrics registry,
+  Chrome-trace/profile exports (``repro profile``, ``--trace``);
 * :mod:`repro.viz` — DOT exports and the uniform text reports.
 
 Choosing an entry point

@@ -31,9 +31,11 @@ lazy enumeration (:meth:`Bdd.iter_models`) is being consumed.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Iterable, Iterator, Mapping
 
+from repro import obs
 from repro.boolalg.expr import (
     BExpr,
     Var,
@@ -882,8 +884,13 @@ class Bdd:
             self._reorder_at = max(self._reorder_at, 2 * len(self._nodes))
             if self._auto_reorder_threshold is not None:
                 self._auto_reorder_threshold = self._reorder_at
+            obs.count("bdd.reorder_skips")
             return 0
         self._reordering = True
+        started = time.perf_counter()
+        trace = obs.span("bdd.reorder", auto=auto,
+                         nodes_before=len(self._nodes))
+        trace.__enter__()
         try:
             # refs first: the bucket sweep keeps live rows only and
             # evicts the rest from the unique table
@@ -913,10 +920,15 @@ class Bdd:
                     self._auto_reorder_threshold, 2 * len(self._nodes))
                 self._reorder_at = self._auto_reorder_threshold
             self.clear_operation_caches()
+            obs.count("bdd.reorders")
+            obs.observe("bdd.reorder_s", time.perf_counter() - started)
+            trace.set(sifted=sifted, live_after=self._live,
+                      reduction=before - self._live)
             return before - self._live
         finally:
             self._reordering = False
             self._level_nodes = {}  # bucket upkeep stops with the reorder
+            trace.__exit__(None, None, None)
 
     def reorder_due(self) -> bool:
         """True when the auto-reorder trigger has fired and a reorder

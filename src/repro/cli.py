@@ -41,6 +41,17 @@ the workbench facilities of the paper's tooling:
   witness, or crash fails the round and emits a self-contained repro
   document (``--out DIR``) that ``repro submit`` accepts and ``repro
   fuzz --replay FILE`` re-compares (see :mod:`repro.fuzz`);
+  ``--trace-failures`` additionally replays each failure under the
+  tracer and drops a Chrome trace-event file next to its repro
+  document;
+* ``profile`` — run any other subcommand under the tracer (``repro
+  profile [--trace FILE] [--top N] check app.sigpml "AG !deadlock"``)
+  and print a top-N self-time report; ``--trace`` also writes the full
+  span tree as Chrome trace-event JSON (loadable in Perfetto /
+  ``chrome://tracing``). The same ``--trace FILE`` flag is available
+  directly on ``explore``/``check``/``batch``/``fuzz``. Telemetry is
+  out-of-band: result documents are byte-identical with tracing on or
+  off (see :mod:`repro.obs`);
 * ``selftest`` — cross-check the symbolic and explicit exploration
   strategies on three bundled models, then prove the artifact store
   round-trip (cold run == warm run, byte for byte), the serve
@@ -62,6 +73,7 @@ import json
 import sys
 
 import repro
+from repro import obs
 from repro.errors import ReproError
 from repro.viz import run_result_report, sdf_to_dot, statespace_report, \
     trace_report
@@ -106,6 +118,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="emit the RunResult document as JSON")
 
 
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write the command's span tree as Chrome "
+                             "trace-event JSON (Perfetto-loadable); "
+                             "results are byte-identical with or "
+                             "without it")
+
+
 def _workbench_for(args: argparse.Namespace) -> Workbench:
     """A session with the argument application loaded as ``app``."""
     workbench = Workbench()
@@ -141,8 +161,7 @@ def _json_with_engine(result, workbench: Workbench) -> str:
     byte-equal. It rides the CLI JSON output only, and only when a
     symbolic kernel actually ran."""
     doc = result.to_doc()
-    engine = workbench.handle("app").execution_model.kernel \
-        .engine_telemetry()
+    engine = obs.engine_snapshot(workbench.handle("app").execution_model)
     if engine is not None:
         doc["engine"] = engine
     return json.dumps(doc, indent=2, sort_keys=True)
@@ -473,6 +492,10 @@ def cmd_store(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Run one differential-fuzzing round (or replay one repro doc)."""
     from repro.fuzz import replay_document, run_round
+    if args.trace_failures and not args.out:
+        print("error: --trace-failures needs --out (traces are written "
+              "next to the repro documents)", file=sys.stderr)
+        return 2
     if args.replay:
         with open(args.replay, encoding="utf-8") as handle:
             document = json.load(handle)
@@ -501,6 +524,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                           sort_keys=True)
             if not args.json:
                 print(f"repro document written to {path}")
+            if args.trace_failures:
+                trace_path = _trace_failure(failure["repro"], args.out,
+                                            number)
+                if not args.json:
+                    print(f"failure trace written to {trace_path}")
     if args.json:
         print(json.dumps({"kind": "fuzz",
                           "version": repro.__version__, **report},
@@ -522,6 +550,57 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"{failure['frontend']}): {failure['detail']}")
     print("fuzz PASSED" if report["ok"] else "fuzz FAILED")
     return 0 if report["ok"] else 1
+
+
+def _trace_failure(repro_doc: dict, out_dir: str, number: int) -> str:
+    """Replay one fuzz failure under a dedicated tracer and write its
+    Chrome trace next to the repro document (``--trace-failures``).
+
+    The replay gets its own tracer — an ambient one (an enclosing
+    ``repro profile fuzz ...``) is parked and restored so each
+    failure's file holds exactly that failure's spans.
+    """
+    import os
+    from repro.fuzz import replay_document
+    previous = obs.disable_tracing()
+    tracer = obs.enable_tracing()
+    try:
+        replay_document(repro_doc)
+    finally:
+        obs.disable_tracing()
+        if previous is not None:
+            obs.enable_tracing(previous)
+    trace_path = os.path.join(out_dir, f"fuzz-repro-{number:03d}"
+                                       f".trace.json")
+    obs.write_chrome_trace(tracer, trace_path)
+    return trace_path
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run any repro command under the tracer; report span self-times.
+
+    Re-enters :func:`main` with the remaining argv, so everything a
+    direct invocation supports is profilable (including ``--json``
+    output, which stays on stdout — the profile report goes to stderr).
+    """
+    rest = list(args.cmd)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest or rest[0] == "profile":
+        print("error: repro profile needs a repro command to run, e.g. "
+              "repro profile check app.sigpml 'AG !deadlock'",
+              file=sys.stderr)
+        return 2
+    with obs.capture() as tracer:
+        with obs.span("repro.profile", cmd=" ".join(rest)):
+            code = main(rest)
+        if args.trace:
+            obs.write_chrome_trace(tracer, args.trace)
+    print(obs.profile_report(tracer, top=args.top), file=sys.stderr)
+    if args.trace:
+        print(f"trace written to {args.trace} (load in Perfetto or "
+              f"chrome://tracing)", file=sys.stderr)
+    return code
 
 
 #: bundled selftest models: diverse front-ends, all finitely encodable,
@@ -805,6 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "early quantification) or monolithic "
                                "(eagerly conjoined relation); the "
                                "result is identical either way")
+    _add_trace(explorer)
     explorer.set_defaults(handler=cmd_explore)
 
     checker = subparsers.add_parser(
@@ -829,6 +909,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="symbolic relation layout (verdict-"
                               "neutral, cost-relevant); see "
                               "'repro explore --help'")
+    _add_trace(checker)
     checker.set_defaults(handler=cmd_check)
 
     analyzer = subparsers.add_parser(
@@ -911,6 +992,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the result documents as a JSON array "
                             "(with --store, each document carries a "
                             "'cached' flag)")
+    _add_trace(batch)
     batch.set_defaults(handler=cmd_batch)
 
     server = subparsers.add_parser(
@@ -1020,7 +1102,28 @@ def build_parser() -> argparse.ArgumentParser:
                            "emitted repro document instead of fuzzing")
     fuzz.add_argument("--json", action="store_true",
                       help="emit the round report as JSON")
+    fuzz.add_argument("--trace-failures", action="store_true",
+                      dest="trace_failures",
+                      help="with --out: replay each failure under the "
+                           "tracer and write a Chrome trace-event file "
+                           "next to its repro document")
+    _add_trace(fuzz)
     fuzz.set_defaults(handler=cmd_fuzz)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run any repro command under the tracer and print a "
+             "self-time profile")
+    profile.add_argument("--trace", default=None, metavar="FILE",
+                         help="also write the full span tree as Chrome "
+                              "trace-event JSON (Perfetto-loadable)")
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the self-time report "
+                              "(default: 15)")
+    profile.add_argument("cmd", nargs=argparse.REMAINDER,
+                         help="the repro command to run, e.g. "
+                              "check app.sigpml 'AG !deadlock'")
+    profile.set_defaults(handler=cmd_profile)
 
     selftest = subparsers.add_parser(
         "selftest",
@@ -1040,6 +1143,14 @@ def main(argv: list[str] | None = None) -> int:
             and args.application is None:
         parser.error("an application file is required")
     try:
+        trace_path = getattr(args, "trace", None)
+        if trace_path is not None and args.command != "profile":
+            # --trace on explore/check/batch/fuzz: capture the whole
+            # command (profile manages its own capture and file)
+            with obs.capture() as tracer:
+                code = args.handler(args)
+            obs.write_chrome_trace(tracer, trace_path)
+            return code
         return args.handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

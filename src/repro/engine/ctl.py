@@ -56,6 +56,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro import obs
 from repro.engine.properties import Verdict
 from repro.engine.statespace import StateSpace
 from repro.engine.trace import Trace
@@ -1127,6 +1128,15 @@ def _extract_witness(backend, prop: Prop,
                      verdict: Verdict) -> tuple[str, list] | None:
     """A ``(kind, steps)`` witness/counterexample for the *top-level*
     operator, when the verdict admits a single-path explanation."""
+    with obs.span("check.witness") as trace:
+        found = _extract_witness_inner(backend, prop, verdict)
+        if found is not None:
+            trace.set(kind=found[0], steps=len(found[1]))
+    return found
+
+
+def _extract_witness_inner(backend, prop: Prop,
+                           verdict: Verdict) -> tuple[str, list] | None:
     if verdict is Verdict.HOLDS:
         found = _existential_witness(backend, prop)
         return ("witness", found) if found is not None else None
@@ -1342,6 +1352,22 @@ def check(model, prop: Prop | str, strategy: str = "auto",
     """
     if isinstance(prop, str):
         prop = parse_property(prop)
+    with obs.span("ctl.check", property=str(prop),
+                  strategy=strategy) as trace:
+        result = _check_dispatch(
+            model, prop, strategy=strategy, max_states=max_states,
+            max_depth=max_depth, include_empty=include_empty,
+            witness=witness, relation_mode=relation_mode,
+            cluster_cap=cluster_cap)
+        trace.set(strategy=result.strategy, verdict=result.verdict.name)
+    return result
+
+
+def _check_dispatch(model, prop: Prop, strategy: str,
+                    max_states: int, max_depth: int | None,
+                    include_empty: bool, witness: bool,
+                    relation_mode: str | None,
+                    cluster_cap: int | None) -> CheckResult:
     if strategy not in PROPERTY_STRATEGIES:
         raise EngineError(
             f"unknown check strategy {strategy!r}; expected one of "

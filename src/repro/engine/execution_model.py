@@ -178,7 +178,12 @@ class SymbolicKernel:
         <repro.engine.symbolic.TransitionSystem.telemetry>`) — peak BDD
         nodes and reorders maximized, image/preimage counts summed, the
         per-system records under ``"systems"``. ``None`` when nothing
-        symbolic ran."""
+        symbolic ran.
+
+        Prefer :func:`repro.obs.engine_snapshot` in new code — it
+        accepts a kernel, model, handle, system or reachable set and
+        routes here when appropriate; this method stays as the
+        kernel-level view it dispatches to."""
         records = [system.telemetry()
                    for system in self._ts_cache.values()]
         if not records:

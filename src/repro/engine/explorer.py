@@ -32,6 +32,7 @@ from collections import deque
 
 import networkx as nx
 
+from repro import obs
 from repro.engine.execution_model import ExecutionModel
 from repro.engine.statespace import StateSpace
 from repro.errors import EngineError, ExplorationLimitError, \
@@ -137,6 +138,7 @@ def _bfs(work, name: str, events: list[str], max_states: int,
     one. Admission order, truncation and frontier marking are therefore
     identical across strategies by construction.
     """
+    obs.count("explore.spaces")
     graph = nx.MultiDiGraph()
     root_key = work.configuration()
 
@@ -144,6 +146,25 @@ def _bfs(work, name: str, events: list[str], max_states: int,
     graph.add_node(0, accepting=work.is_accepting(), depth=0, key=root_key)
     #: BFS frontier of (snapshot token, configuration key, node id, depth)
     frontier: deque = deque([(work.snapshot(), root_key, 0, 0)])
+    with obs.span("explore.bfs", model=name) as trace:
+        truncated = _bfs_loop(work, graph, key_to_id, frontier, name,
+                              max_states=max_states, max_depth=max_depth,
+                              include_empty=include_empty, strict=strict,
+                              maximal_only=maximal_only)
+        trace.set(states=graph.number_of_nodes(),
+                  transitions=graph.number_of_edges(), truncated=truncated)
+
+    return StateSpace(graph=graph, initial=0, events=events,
+                      truncated=truncated, name=name,
+                      maximal_only=maximal_only)
+
+
+def _bfs_loop(work, graph, key_to_id: dict, frontier: deque, name: str,
+              max_states: int, max_depth: int | None, include_empty: bool,
+              strict: bool, maximal_only: bool) -> bool:
+    """The admission loop of :func:`_bfs`, factored out so the whole
+    walk sits under one ``explore.bfs`` span; returns the truncation
+    flag."""
     truncated = False
 
     while frontier:
@@ -183,9 +204,7 @@ def _bfs(work, name: str, events: list[str], max_states: int,
             graph.add_edge(node_id, succ_id, step=step)
             work.restore(snapshot)
 
-    return StateSpace(graph=graph, initial=0, events=events,
-                      truncated=truncated, name=name,
-                      maximal_only=maximal_only)
+    return truncated
 
 
 def _maximal_steps(steps: list[frozenset[str]]) -> list[frozenset[str]]:

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.boolalg.bdd import Bdd
 from repro.boolalg.expr import BExpr
 from repro.engine.execution_model import _LruCache
@@ -116,6 +117,14 @@ class LocalSpace:
 
 def _close_local(index: int, runtime, max_local_states: int) -> LocalSpace:
     """Explore one runtime's local state machine to fixpoint."""
+    with obs.span("symbolic.closure", constraint=runtime.label) as trace:
+        space = _close_local_inner(index, runtime, max_local_states)
+        trace.set(states=space.n_states)
+    return space
+
+
+def _close_local_inner(index: int, runtime,
+                       max_local_states: int) -> LocalSpace:
     alphabet = tuple(sorted(runtime.constrained_events))
     if len(alphabet) > MAX_ALPHABET:
         raise SymbolicEncodingError(
@@ -229,6 +238,15 @@ class TransitionSystem:
                  relation_mode: str = DEFAULT_RELATION_MODE,
                  cluster_cap: int = DEFAULT_CLUSTER_CAP,
                  reorder_budget: int | None = None):
+        obs.count("symbolic.compiles")
+        with obs.span("symbolic.compile", model=model.name) as trace:
+            self._build(model, max_local_states, relation_mode,
+                        cluster_cap, reorder_budget)
+            trace.set(mode=self.relation_mode, clusters=len(self._clusters),
+                      bdd_nodes=self.bdd.node_count())
+
+    def _build(self, model, max_local_states: int, relation_mode: str,
+               cluster_cap: int, reorder_budget: int | None) -> None:
         if relation_mode not in RELATION_MODES:
             raise EngineError(
                 f"unknown relation_mode {relation_mode!r}; expected one "
@@ -556,6 +574,7 @@ class TransitionSystem:
         """Successor states of the *frontier* set, over current bits."""
         bdd = self.bdd
         self.image_count += 1
+        obs.count("symbolic.images")
         if self.relation_mode == "monolithic":
             succ = bdd.and_exists(self.step_relation(include_empty), frontier,
                                   self.all_cur + self.events)
@@ -582,6 +601,7 @@ class TransitionSystem:
         """
         bdd = self.bdd
         self.preimage_count += 1
+        obs.count("symbolic.preimages")
         primed = bdd.substitute(targets, self.cur_to_primed)
         if relation is None and self.relation_mode != "monolithic":
             return self._clustered_product(primed, include_empty,
@@ -642,23 +662,34 @@ class TransitionSystem:
         layers = [self.initial_node]
         truncated = False
         depth = 0
-        while frontier != bdd.zero:
-            if max_depth is not None and depth >= max_depth:
-                truncated = True
-                break
-            successors = self.image(frontier, include_empty)
-            fresh = bdd.apply_and(successors, bdd.apply_not(reached))
-            if fresh == bdd.zero:
-                break
-            reached = bdd.apply_or(reached, fresh)
-            frontier = fresh
-            layers.append(fresh)
-            depth += 1
-            if max_states is not None and self.count_states(
-                    reached) > max_states:
-                truncated = True
-                break
-            self._maybe_reorder(reached, *layers)
+        with obs.span("symbolic.fixpoint", model=self.name) as trace:
+            while frontier != bdd.zero:
+                if max_depth is not None and depth >= max_depth:
+                    truncated = True
+                    break
+                with obs.span("symbolic.fixpoint.iteration",
+                              depth=depth) as step:
+                    successors = self.image(frontier, include_empty)
+                    fresh = bdd.apply_and(successors, bdd.apply_not(reached))
+                    if fresh == bdd.zero:
+                        break
+                    reached = bdd.apply_or(reached, fresh)
+                    frontier = fresh
+                    layers.append(fresh)
+                    depth += 1
+                    if obs.tracing_active():
+                        # frontier sizing walks the BDD — only pay for
+                        # it when someone is collecting the spans
+                        step.set(frontier_nodes=bdd.size(frontier),
+                                 reached_nodes=bdd.size(reached))
+                    if max_states is not None and self.count_states(
+                            reached) > max_states:
+                        truncated = True
+                        break
+                self._maybe_reorder(reached, *layers)
+            trace.set(iterations=depth, truncated=truncated,
+                      nodes=bdd.size(reached) if obs.tracing_active()
+                      else None)
         return ReachableSet(self, reached, layers, truncated, include_empty)
 
     def reachable_set(self, include_empty: bool = False) -> "ReachableSet":
@@ -701,7 +732,12 @@ class TransitionSystem:
         BDD nodes (the table is append-only, so the total *is* the
         peak), dynamic-reorder count, image/preimage iterations and
         operation-cache hit rates. Never part of canonical artifacts —
-        counters depend on evaluation history, not on the model."""
+        counters depend on evaluation history, not on the model.
+
+        Prefer :func:`repro.obs.engine_snapshot` in new code — it
+        resolves any engine-ish object (handle, kernel, reachable set,
+        or this system) to this document through one API; this method
+        stays as the per-system view it dispatches to."""
         bdd = self.bdd
         return {
             "relation_mode": self.relation_mode,

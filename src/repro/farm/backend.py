@@ -26,12 +26,14 @@ and a kernel is only ever touched by one worker at a time.
 
 from __future__ import annotations
 
+import contextvars
 import json
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.errors import ReproError
 
 #: the run_many backends, in documentation order
@@ -92,10 +94,13 @@ def _run_group_local(group: GroupTask,
     if lock is not None:
         lock.acquire()
     try:
-        for index, spec in zip(group.indices, group.specs):
-            if should_stop is not None and should_stop():
-                return
-            deliver(index, execute(spec, group.handle))
+        with obs.span("farm.group",
+                      model=getattr(group.handle, "name", None),
+                      runs=len(group.specs)):
+            for index, spec in zip(group.indices, group.specs):
+                if should_stop is not None and should_stop():
+                    return
+                deliver(index, execute(spec, group.handle))
     finally:
         if lock is not None:
             lock.release()
@@ -104,7 +109,11 @@ def _run_group_local(group: GroupTask,
 def _run_thread(groups, workers, deliver, should_stop=None) -> None:
     pool = ThreadPoolExecutor(max_workers=min(workers, len(groups)))
     try:
-        futures = [pool.submit(_run_group_local, group, deliver,
+        # pool threads do not inherit the submitter's context — copy it
+        # per submission so each group's spans nest under the caller's
+        # current span (e.g. workbench.run_many) instead of floating
+        futures = [pool.submit(contextvars.copy_context().run,
+                               _run_group_local, group, deliver,
                                should_stop)
                    for group in groups]
         for future in futures:
@@ -162,15 +171,22 @@ def _run_process(groups, workers, deliver, should_stop=None) -> None:
             _run_group_local(group, deliver, should_stop)
         return
     from repro.workbench.artifacts import RunResult
+    tracer = obs.current_tracer()
     pool = ProcessPoolExecutor(max_workers=min(workers, len(shippable)))
     try:
-        futures = [(group, pool.submit(_worker_run_group, payload))
+        # the submit timestamp (parent clock) rebases each worker's
+        # span tree when it is adopted back — workers time against
+        # their own epoch, which starts roughly at submission
+        futures = [(group,
+                    tracer.now() if tracer is not None else 0.0,
+                    pool.submit(_worker_run_group, payload,
+                                tracer is not None))
                    for group, payload in shippable]
         # the parent is idle while workers compute: run the unshippable
         # groups (and their kernels stay parent-side, warm) meanwhile
         for group in local:
             _run_group_local(group, deliver, should_stop)
-        for group, future in futures:
+        for group, submitted_at, future in futures:
             if should_stop is not None and should_stop():
                 # cancellation: skip the remaining merges (in-flight
                 # workers finish on their own; nothing is delivered)
@@ -191,29 +207,59 @@ def _run_process(groups, workers, deliver, should_stop=None) -> None:
                     stacklevel=2)
                 _run_group_local(group, deliver, should_stop)
                 continue
+            if isinstance(returned, dict):
+                # traced envelope: re-root the worker's span trees under
+                # the parent's current span. Merging happens here, in
+                # submission order, so adopted trees are position-stable
+                # regardless of which worker finished first.
+                if tracer is not None and returned.get("spans"):
+                    tracer.adopt(returned["spans"], offset=submitted_at,
+                                 pid=returned.get("pid"))
+                returned = returned["results"]
             for index, result_json in returned:
                 deliver(index, RunResult.from_json(result_json))
     finally:
         pool.shutdown(wait=True)
 
 
-def _worker_run_group(payload: str) -> list[tuple[int, str]]:
+def _worker_run_group(payload: str, trace: bool = False):
     """Process-pool entry point: rebuild the model, run the specs.
 
     Returns ``(position, canonical result JSON)`` pairs — JSON, not
     pickled results, so the merge in the parent is exactly the
-    serialization the store and the CLI emit.
+    serialization the store and the CLI emit. With *trace* the pairs
+    travel inside a ``{"results", "spans", "pid"}`` envelope: the
+    worker runs its own tracer and ships the serialized span trees so
+    the parent can re-root them into its trace (result JSON itself is
+    identical either way — telemetry stays out-of-band).
     """
+    import os
+
     from repro.workbench.artifacts import RunSpec
     from repro.workbench.frontends import load, source_from_doc
     from repro.workbench.session import execute
 
-    document = json.loads(payload)
-    source_doc = document["source"]
-    handle = load(source_from_doc(source_doc), name=document["name"],
-                  **source_doc.get("options", {}))
-    out: list[tuple[int, str]] = []
-    for run in document["runs"]:
-        spec = RunSpec.from_doc(run["spec"])
-        out.append((run["index"], execute(spec, handle).to_json()))
-    return out
+    worker_tracer = obs.enable_tracing() if trace else None
+    # under the fork start method this worker inherited the parent's
+    # span context; detach it so our spans root in the worker tracer
+    obs.detach_context()
+    try:
+        document = json.loads(payload)
+        source_doc = document["source"]
+        with obs.span("farm.worker", model=document["name"],
+                      runs=len(document["runs"])):
+            handle = load(source_from_doc(source_doc),
+                          name=document["name"],
+                          **source_doc.get("options", {}))
+            out: list[tuple[int, str]] = []
+            for run in document["runs"]:
+                spec = RunSpec.from_doc(run["spec"])
+                out.append((run["index"],
+                            execute(spec, handle).to_json()))
+    finally:
+        if worker_tracer is not None:
+            obs.disable_tracing()
+    if worker_tracer is None:
+        return out
+    return {"results": out, "spans": worker_tracer.to_docs(),
+            "pid": os.getpid()}

@@ -3,15 +3,16 @@
 One :class:`Metrics` instance aggregates everything the server wants to
 report — request/run counters, artifact-store and model-cache hit
 rates, kernel compile times, per-phase latency histograms and a live
-BDD-node gauge — behind one lock, and renders it as one JSON document
+BDD-node gauge — and renders it as one JSON document
 (:meth:`Metrics.snapshot`) for ``GET /metrics`` and the drain log.
 
-Latencies go into fixed logarithmic-bucket histograms
-(:class:`LatencyHistogram`): recording is O(1) and lock-cheap, and
-p50/p90/p99 are interpolated from the bucket counts — accurate to a
-bucket width, which is plenty for "is the tail regressing" dashboards
-while keeping a long-lived server's memory flat no matter how many
-requests it has served.
+The counter/histogram/gauge machinery itself lives in
+:mod:`repro.obs.metrics` (the shared, lock-guarded
+:class:`~repro.obs.metrics.MetricsRegistry` every subsystem writes to);
+this module keeps the serve-specific surface: the seeded counter names
+the wire protocol promises and the derived ``cache_hit_rate`` field.
+``DEFAULT_BUCKETS`` and ``LatencyHistogram`` are re-exported for
+compatibility — they are the same objects the registry uses.
 
 Everything here is *out-of-band* telemetry: nothing a histogram or
 counter holds ever enters a canonical result artifact (two identical
@@ -20,79 +21,24 @@ requests must stay byte-identical regardless of server history).
 
 from __future__ import annotations
 
-import threading
-import time
-
-#: histogram bucket upper bounds in seconds: ~log-spaced from 100 µs to
-#: 100 s, plus a +inf overflow bucket. Chosen to straddle both cache
-#: hits (sub-millisecond) and cold symbolic compiles (seconds).
-DEFAULT_BUCKETS = (
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
-    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+from repro.obs.metrics import (  # noqa: F401 - compatibility re-exports
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    MetricsRegistry,
 )
 
 
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with interpolated percentiles."""
+class Metrics(MetricsRegistry):
+    """The per-server registry with the serve wire-protocol surface.
 
-    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
-        self.bounds = tuple(sorted(buckets))
-        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow
-        self.total = 0
-        self.sum = 0.0
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        seconds = max(0.0, float(seconds))
-        slot = len(self.bounds)  # overflow unless a bound catches it
-        for index, bound in enumerate(self.bounds):
-            if seconds <= bound:
-                slot = index
-                break
-        self.counts[slot] += 1
-        self.total += 1
-        self.sum += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    def percentile(self, q: float) -> float | None:
-        """The *q*-quantile (``0 < q <= 1``), linearly interpolated
-        inside the bucket that crosses it; ``None`` when empty."""
-        if self.total == 0:
-            return None
-        target = q * self.total
-        seen = 0
-        lower = 0.0
-        for index, bound in enumerate(self.bounds):
-            count = self.counts[index]
-            if count and seen + count >= target:
-                fraction = (target - seen) / count
-                return lower + (bound - lower) * fraction
-            seen += count
-            lower = bound
-        return self.max  # the quantile falls in the overflow bucket
-
-    def snapshot(self) -> dict:
-        doc = {
-            "count": self.total,
-            "sum_s": round(self.sum, 6),
-            "max_s": round(self.max, 6),
-        }
-        if self.total:
-            doc["mean_s"] = round(self.sum / self.total, 6)
-            for name, q in (("p50_s", 0.5), ("p90_s", 0.9),
-                            ("p99_s", 0.99)):
-                doc[name] = round(self.percentile(q), 6)
-        return doc
-
-
-class Metrics:
-    """Thread-safe counter/gauge/histogram registry for one server."""
+    Seeds the counters and histograms the ``/metrics`` document always
+    carries (a fresh server reports zeros, not absent keys) and adds
+    the derived ``cache_hit_rate`` field to every snapshot.
+    """
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self.started = time.time()
-        self.counters: dict[str, int] = {
+        super().__init__()
+        self.counters.update({
             "requests": 0,          # POST /run requests served
             "requests_failed": 0,   # malformed / transport-failed
             "runs": 0,              # individual specs executed
@@ -103,52 +49,24 @@ class Metrics:
             "model_cache_misses": 0,
             "model_compiles": 0,    # front-end load + weave performed
             "model_evictions": 0,   # kernels dropped by the LRU
-        }
-        self.histograms: dict[str, LatencyHistogram] = {
+        })
+        self.histograms.update({
             "request_s": LatencyHistogram(),   # whole POST /run
             "run_s": LatencyHistogram(),       # one spec
             "compile_s": LatencyHistogram(),   # one model build
-        }
-        #: live gauges are callables polled at snapshot time (the
-        #: model cache registers its entry count and BDD-node total)
-        self._gauges: dict[str, object] = {}
-
-    def count(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self.counters[name] = self.counters.get(name, 0) + amount
-
-    def observe(self, name: str, seconds: float) -> None:
-        with self._lock:
-            histogram = self.histograms.get(name)
-            if histogram is None:
-                histogram = self.histograms[name] = LatencyHistogram()
-            histogram.record(seconds)
-
-    def register_gauge(self, name: str, read) -> None:
-        """Register a zero-argument callable polled per snapshot."""
-        with self._lock:
-            self._gauges[name] = read
+        })
 
     def snapshot(self) -> dict:
         """The full observability document (``GET /metrics``)."""
-        with self._lock:
-            counters = dict(self.counters)
-            histograms = {name: histogram.snapshot()
-                          for name, histogram in self.histograms.items()}
-            gauges = dict(self._gauges)
-        gauge_values: dict[str, object] = {}
-        for name, read in gauges.items():
-            try:  # a failing gauge must never take /metrics down
-                gauge_values[name] = read()
-            except Exception as exc:
-                gauge_values[name] = f"error: {exc}"
+        doc = super().snapshot()
+        counters = doc["counters"]
         hits, misses = counters["store_hits"], counters["store_misses"]
         served = hits + misses
         return {
-            "uptime_s": round(time.time() - self.started, 3),
+            "uptime_s": doc["uptime_s"],
             "counters": counters,
             "cache_hit_rate": (round(hits / served, 6) if served
                                else None),
-            "latency": histograms,
-            "gauges": gauge_values,
+            "latency": doc["latency"],
+            "gauges": doc["gauges"],
         }

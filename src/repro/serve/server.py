@@ -30,6 +30,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import repro
+from repro import obs
 from repro.farm.fingerprint import canonical_json
 from repro.serve.metrics import Metrics
 from repro.serve.state import ModelCache, ServeError
@@ -125,7 +126,7 @@ class AnalysisService:
                 f"in the request's 'models' section (the server only "
                 f"loads inline source documents, never paths)")
 
-        with self._slots:
+        with self._slots, obs.span("serve.request", runs=len(specs)):
             with self._inflight_lock:
                 self._inflight += 1
             started = time.perf_counter()

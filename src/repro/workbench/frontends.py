@@ -20,6 +20,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.engine.execution_model import ExecutionModel
 from repro.errors import ReproError
 
@@ -201,27 +202,30 @@ def load(source, frontend: str | None = None, name: str | None = None,
         if name is not None:
             source.name = name
         return source
-    if frontend is not None:
-        try:
-            entry = _FRONTENDS[frontend]
-        except KeyError:
-            raise FrontendError(
-                f"unknown front-end {frontend!r}; registered: "
-                f"{', '.join(frontend_names())}") from None
-        handle = entry.loader(source, **options)
-    else:
-        for probe in sorted(_FRONTENDS.values(),
-                            key=lambda f: (-f.priority, f.name)):
-            if probe.matches(source):
-                handle = probe.loader(source, **options)
-                break
+    with obs.span("model.load", frontend=frontend) as trace:
+        obs.count("model.loads")
+        if frontend is not None:
+            try:
+                entry = _FRONTENDS[frontend]
+            except KeyError:
+                raise FrontendError(
+                    f"unknown front-end {frontend!r}; registered: "
+                    f"{', '.join(frontend_names())}") from None
+            handle = entry.loader(source, **options)
         else:
-            raise FrontendError(
-                f"no front-end recognizes source of type "
-                f"{type(source).__name__}; registered: "
-                f"{', '.join(frontend_names())}")
-    if name is not None:
-        handle.name = name
+            for probe in sorted(_FRONTENDS.values(),
+                                key=lambda f: (-f.priority, f.name)):
+                if probe.matches(source):
+                    handle = probe.loader(source, **options)
+                    break
+            else:
+                raise FrontendError(
+                    f"no front-end recognizes source of type "
+                    f"{type(source).__name__}; registered: "
+                    f"{', '.join(frontend_names())}")
+        if name is not None:
+            handle.name = name
+        trace.set(frontend=handle.frontend, model=handle.name)
     return handle
 
 

@@ -71,6 +71,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterable
 
+from repro import obs
 from repro.engine.campaign import campaign as _campaign
 from repro.engine.explorer import explore as _explore
 from repro.engine.simulator import simulate_model
@@ -92,15 +93,18 @@ from repro.workbench.policies import make_policy
 def execute(spec: RunSpec, handle: ModelHandle) -> RunResult:
     """Run one spec against one handle; never raises on engine errors."""
     result = RunResult(kind=spec.kind, model=spec.model, label=spec.label)
-    try:
-        # to_doc is inside the guard: a non-serializable spec (e.g. a
-        # policy instance instead of a name/mapping) yields an error
-        # result instead of aborting a whole batch
-        result.spec = spec.to_doc()
-        result.data = _EXECUTORS[spec.kind](spec, handle)
-    except ReproError as exc:
-        result.status = "error"
-        result.error = str(exc)
+    with obs.span("workbench.run", model=spec.model,
+                  kind=spec.kind) as trace:
+        try:
+            # to_doc is inside the guard: a non-serializable spec (e.g.
+            # a policy instance instead of a name/mapping) yields an
+            # error result instead of aborting a whole batch
+            result.spec = spec.to_doc()
+            result.data = _EXECUTORS[spec.kind](spec, handle)
+        except ReproError as exc:
+            result.status = "error"
+            result.error = str(exc)
+        trace.set(status=result.status)
     return result
 
 
@@ -370,9 +374,17 @@ class Workbench:
         still written through to the store, and the callback's
         exception is re-raised here once the backend has quiesced.
         """
+        specs = [_coerce_spec(spec) for spec in specs]
+        with obs.span("workbench.run_many", runs=len(specs),
+                      backend=backend, workers=workers):
+            return self._run_many_impl(specs, workers, on_result, backend,
+                                       store)
+
+    def _run_many_impl(self, specs: list[RunSpec], workers: int,
+                       on_result: Callable[[int, RunResult], None] | None,
+                       backend: str, store) -> list[RunResult]:
         from repro.farm import GroupTask, execute_groups, try_fingerprint
 
-        specs = [_coerce_spec(spec) for spec in specs]
         store = (self.store if store is _SESSION_STORE
                  else _coerce_store(store))
         results: list[RunResult | None] = [None] * len(specs)
@@ -508,6 +520,7 @@ def _store_lookup(store, fingerprint: str | None) -> RunResult | None:
         return None
     document = store.get(fingerprint)
     if document is None:
+        obs.count("store.misses")
         return None
     try:
         result = RunResult.from_doc(document)
@@ -515,7 +528,9 @@ def _store_lookup(store, fingerprint: str | None) -> RunResult | None:
         # a digest-consistent envelope can still hold a document that
         # is not a result (wrong container types, hand-edited) — e.g.
         # dict() over a list raises TypeError, not SerializationError
+        obs.count("store.misses")
         return None
+    obs.count("store.hits")
     result.cached = True
     return result
 

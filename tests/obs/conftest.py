@@ -1,0 +1,32 @@
+"""Tracing isolation for the obs tests.
+
+The tracer is a process-global switch, so every test in this package
+runs with the ambient tracer parked (whatever the surrounding session
+installed) and restored afterwards — a test that wants tracing installs
+its own via the ``tracer`` fixture.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracing():
+    previous = obs.disable_tracing()
+    try:
+        yield
+    finally:
+        obs.disable_tracing()
+        if previous is not None:
+            obs.enable_tracing(previous)
+
+
+@pytest.fixture()
+def tracer():
+    """A fresh installed tracer, uninstalled after the test."""
+    installed = obs.enable_tracing()
+    try:
+        yield installed
+    finally:
+        obs.disable_tracing()

@@ -4,6 +4,22 @@ import threading
 
 from repro.serve.metrics import DEFAULT_BUCKETS, LatencyHistogram, Metrics
 
+#: the exact top-level key order GET /metrics has always promised —
+#: Metrics moving onto the shared repro.obs registry must not move,
+#: rename or drop any of these.
+SNAPSHOT_KEYS = ("uptime_s", "counters", "cache_hit_rate", "latency",
+                 "gauges")
+
+#: the seeded counter names a fresh server reports as zeros
+SEEDED_COUNTERS = frozenset({
+    "requests", "requests_failed", "runs", "run_errors",
+    "store_hits", "store_misses", "model_cache_hits",
+    "model_cache_misses", "model_compiles", "model_evictions",
+})
+
+#: the seeded latency histograms (present even when empty)
+SEEDED_HISTOGRAMS = frozenset({"request_s", "run_s", "compile_s"})
+
 
 class TestLatencyHistogram:
     def test_empty_percentile_is_none(self):
@@ -114,3 +130,87 @@ class TestMetrics:
         snap = metrics.snapshot()
         assert snap["counters"]["runs"] == 4000
         assert snap["latency"]["run_s"]["count"] == 4000
+
+
+class TestGoldenPayloadShape:
+    """The /metrics wire contract, pinned: the move onto the shared
+    :class:`repro.obs.MetricsRegistry` must be invisible on the wire."""
+
+    def test_fresh_snapshot_key_order_and_seeds(self):
+        snap = Metrics().snapshot()
+        assert tuple(snap) == SNAPSHOT_KEYS
+        assert set(snap["counters"]) == SEEDED_COUNTERS
+        assert all(value == 0 for value in snap["counters"].values())
+        assert set(snap["latency"]) == SEEDED_HISTOGRAMS
+        for histogram in snap["latency"].values():
+            assert histogram == {"count": 0, "sum_s": 0.0, "max_s": 0.0}
+        assert snap["cache_hit_rate"] is None
+        assert snap["gauges"] == {}
+        assert snap["uptime_s"] >= 0.0
+
+    def test_metrics_is_the_shared_registry_but_not_the_global_one(self):
+        from repro import obs
+
+        metrics = Metrics()
+        assert isinstance(metrics, obs.MetricsRegistry)
+        assert metrics is not obs.GLOBAL
+        # per-server counters never leak into the process-global
+        # registry the engine writes to
+        before = obs.GLOBAL.counter("requests")
+        metrics.count("requests")
+        assert obs.GLOBAL.counter("requests") == before
+
+    def test_reset_preserves_the_seeded_shape(self):
+        metrics = Metrics()
+        metrics.count("runs", 5)
+        metrics.observe("custom_s", 0.1)
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert tuple(snap) == SNAPSHOT_KEYS
+        assert set(snap["counters"]) >= SEEDED_COUNTERS
+        assert snap["counters"]["runs"] == 0
+        # reset drops histogram history; the wire shape only promises
+        # that recorded phases reappear as they are observed
+        metrics.observe("run_s", 0.2)
+        snap_after = metrics.snapshot()
+        assert snap_after["latency"]["run_s"]["count"] == 1
+
+
+class TestDrainReportShape:
+    """The drain log (``AnalysisService.close``) is the /metrics
+    document plus the service-level sections and the eviction count."""
+
+    def _service(self):
+        from repro.serve.server import AnalysisService
+
+        return AnalysisService(max_models=2, workers=1)
+
+    def _document(self):
+        text = """
+        application drainapp {
+          agent src
+          agent dst
+          place src -> dst push 1 pop 1 capacity 2
+        }
+        """
+        return {"models": {"m": {"frontend": "sigpml", "text": text}},
+                "runs": [{"kind": "simulate", "model": "m",
+                          "steps": 4}]}
+
+    def test_drain_report_extends_the_metrics_document(self):
+        service = self._service()
+        summary = service.handle_request(self._document(),
+                                         lambda line: None)
+        assert summary["errors"] == 0
+        service.begin_drain()
+        assert service.drained()
+        report = service.close()
+        assert tuple(report)[:5] == SNAPSHOT_KEYS
+        assert set(report) == set(SNAPSHOT_KEYS) | {
+            "model_cache", "encodability", "evicted_on_close"}
+        assert report["counters"]["requests"] == 1
+        assert report["counters"]["runs"] == 1
+        assert report["counters"]["model_compiles"] == 1
+        assert report["latency"]["request_s"]["count"] == 1
+        assert report["evicted_on_close"] == 1
+        assert report["gauges"]["models_cached"] == 1  # polled pre-evict
